@@ -1,0 +1,84 @@
+//! Criterion bench: EEC-ABFT detection and correction paths
+//! (the §5.5 cost decomposition at vector/matrix granularity).
+
+use attn_tensor::rng::TensorRng;
+use attnchecker::checked::CheckedMatrix;
+use attnchecker::checksum::vector_sums;
+use attnchecker::config::{AbftConfig, Strategy};
+use attnchecker::detect::full_correct;
+use attnchecker::eec::{eec_correct_vector, eec_detect_vector};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_eec(c: &mut Criterion) {
+    let cfg = AbftConfig::default();
+    let mut group = c.benchmark_group("eec_vector");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = TensorRng::seed_from(4);
+        let v: Vec<f32> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let (s, ws, _) = vector_sums(&v);
+
+        group.bench_with_input(BenchmarkId::new("detect_clean", n), &v, |b, v| {
+            b.iter(|| black_box(eec_detect_vector(black_box(v), s, ws, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("correct_clean", n), &v, |b, v| {
+            b.iter_batched(
+                || v.clone(),
+                |mut vv| black_box(eec_correct_vector(&mut vv, s, ws, &cfg)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("correct_inf", n), &v, |b, v| {
+            b.iter_batched(
+                || {
+                    let mut vv = v.clone();
+                    vv[n / 2] = f32::INFINITY;
+                    vv
+                },
+                |mut vv| black_box(eec_correct_vector(&mut vv, s, ws, &cfg)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("full_correct_matrix");
+    let mut rng = TensorRng::seed_from(5);
+    let a = rng.normal_matrix(64, 64, 1.0);
+    let clean = CheckedMatrix::encode_both(&a, Strategy::Fused);
+    group.bench_function("clean_64x64", |b| {
+        b.iter_batched(
+            || clean.clone(),
+            |mut m| black_box(full_correct(&mut m, &cfg)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("zero_d_64x64", |b| {
+        b.iter_batched(
+            || {
+                let mut m = clean.clone();
+                m.set(10, 20, f32::NAN);
+                m
+            },
+            |mut m| black_box(full_correct(&mut m, &cfg)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("one_d_64x64", |b| {
+        b.iter_batched(
+            || {
+                let mut m = clean.clone();
+                for r in 0..64 {
+                    m.set(r, 31, f32::INFINITY);
+                }
+                m
+            },
+            |mut m| black_box(full_correct(&mut m, &cfg)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eec);
+criterion_main!(benches);

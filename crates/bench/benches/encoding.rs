@@ -1,0 +1,36 @@
+//! Criterion bench: fused single-pass vs naive two-pass checksum encoding
+//! (the kernel behind Fig 9).
+
+use attn_tensor::rng::TensorRng;
+use attnchecker::checksum::{
+    col_checksums, col_checksums_naive, row_checksums, row_checksums_naive,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum_encoding");
+    for &(rows, cols) in &[(128usize, 768usize), (512, 768), (1024, 1024)] {
+        let mut rng = TensorRng::seed_from(2);
+        let a = rng.normal_matrix(rows, cols, 1.0);
+        let label = format!("{rows}x{cols}");
+        group.throughput(Throughput::Bytes((rows * cols * 4) as u64));
+
+        group.bench_with_input(BenchmarkId::new("col_fused", &label), &a, |b, a| {
+            b.iter(|| black_box(col_checksums(black_box(a))))
+        });
+        group.bench_with_input(BenchmarkId::new("col_naive", &label), &a, |b, a| {
+            b.iter(|| black_box(col_checksums_naive(black_box(a))))
+        });
+        group.bench_with_input(BenchmarkId::new("row_fused", &label), &a, |b, a| {
+            b.iter(|| black_box(row_checksums(black_box(a))))
+        });
+        group.bench_with_input(BenchmarkId::new("row_naive", &label), &a, |b, a| {
+            b.iter(|| black_box(row_checksums_naive(black_box(a))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

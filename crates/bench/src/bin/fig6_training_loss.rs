@@ -1,0 +1,91 @@
+//! **Fig 6 reproduction** — training loss: fault-free vs faulty execution
+//! recovered with ATTNChecker.
+//!
+//! Fine-tunes each of the four models for 3 epochs twice from identical
+//! initial weights:
+//!
+//! * **fault-free** — protection off, no faults;
+//! * **ATTNChecker** — full protection, one extreme fault injected into a
+//!   random attention GEMM *every step*.
+//!
+//! The paper's claim (its Fig 6): the recovered loss curve is
+//! indistinguishable from the fault-free one.
+//!
+//! Run: `cargo run --release -p attn-bench --bin fig6_training_loss`
+
+use attn_bench::{build_trainer, dataset_for, TextTable};
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig};
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+
+const EPOCHS: usize = 3;
+const BATCH: usize = 8;
+const DATASET: usize = 64;
+
+fn main() {
+    println!("== Fig 6: Training loss — fault-free vs ATTNChecker-recovered ==");
+    println!("({DATASET} examples, batch {BATCH}, {EPOCHS} epochs, 1 injected fault per step)\n");
+
+    let sites = [AttnOp::Q, AttnOp::K, AttnOp::V, AttnOp::AS, AttnOp::CL];
+    let kinds = [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf];
+
+    for config in ModelConfig::paper_four() {
+        let ds = dataset_for(&config, DATASET, 5);
+
+        // Fault-free baseline.
+        let mut clean = build_trainer(&config, ProtectionConfig::off(), 1234);
+        let mut rng_a = TensorRng::seed_from(77);
+        let clean_losses: Vec<f32> = (0..EPOCHS)
+            .map(|_| clean.train_epoch(&ds, BATCH, &mut rng_a))
+            .collect();
+
+        // Protected run with one fault per step.
+        let mut protected = build_trainer(&config, ProtectionConfig::full(), 1234);
+        let mut rng_b = TensorRng::seed_from(77); // same batch order
+        let mut rng_fault = TensorRng::seed_from(4242);
+        let mut corrections = 0usize;
+        let mut unrecovered = 0usize;
+        let mut protected_losses = Vec::with_capacity(EPOCHS);
+        for _ in 0..EPOCHS {
+            let batches = ds.batches(BATCH, &mut rng_b);
+            let mut sum = 0.0f32;
+            let mut n = 0;
+            for batch in &batches {
+                let spec = InjectionSpec {
+                    layer: rng_fault.index(config.layers),
+                    op: sites[rng_fault.index(sites.len())],
+                    head: rng_fault.index(config.heads),
+                    row: rng_fault.index(1 << 16),
+                    col: rng_fault.index(1 << 16),
+                    kind: kinds[rng_fault.index(kinds.len())],
+                };
+                let item = rng_fault.index(batch.len());
+                let out = protected.train_step_injected(batch, Some((item, spec)));
+                corrections += out.report.correction_count();
+                unrecovered += out.report.unrecovered;
+                sum += out.loss;
+                n += 1;
+            }
+            protected_losses.push(sum / n as f32);
+        }
+
+        let mut t = TextTable::new(&["epoch", "fault-free loss", "ATTNChecker loss", "Δ"]);
+        for e in 0..EPOCHS {
+            t.row(&[
+                format!("{}", e + 1),
+                format!("{:.4}", clean_losses[e]),
+                format!("{:.4}", protected_losses[e]),
+                format!("{:+.4}", protected_losses[e] - clean_losses[e]),
+            ]);
+        }
+        println!("-- {} --", config.name);
+        println!("{}", t.render());
+        println!(
+            "corrections applied: {corrections}; unrecovered: {unrecovered}\n"
+        );
+    }
+    println!("Paper reference (appendix, Bert): 0.5349/0.3071/0.1285 with ATTNChecker");
+    println!("vs 0.5635/0.3362/0.1312 baseline — curves overlap; ours must too.");
+}

@@ -1,0 +1,32 @@
+//! # attn-bench
+//!
+//! Experiment harness for the reproduction: shared setup, timing, and
+//! table-formatting utilities used by the per-table/per-figure regeneration
+//! binaries (`src/bin/*.rs`) and the criterion benches (`benches/*.rs`).
+//!
+//! Every binary prints the corresponding paper artefact in a comparable
+//! textual form:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table2_propagation` | Table 2 — error propagation patterns |
+//! | `table3_gemm_ratio` | Table 3 — GEMM share of attention |
+//! | `table4_vulnerability` | Table 4 — P(non-trainable) |
+//! | `fig6_training_loss` | Fig 6 — loss, fault-free vs ATTNChecker |
+//! | `fig7_overhead` | Fig 7 — overhead on 6 LLMs |
+//! | `fig8_opt_ablation` | Fig 8 — optimized vs non-optimized |
+//! | `fig9_encoding_throughput` | Fig 9 — encoding throughput |
+//! | `fig10_adaptive_frequency` | Fig 10 — adaptive detection frequency |
+//! | `fig11_recovery_overhead` | Fig 11 — CR vs ATTNChecker recovery |
+//! | `fig12_scale_projection` | Fig 12 — multi-billion-parameter scale |
+//! | `sec55_correction_cost` | §5.5 — correction-path overheads |
+
+pub mod setup;
+pub mod stepbench;
+pub mod table;
+pub mod timing;
+
+pub use setup::{build_trainer, dataset_for, dataset_full_seq, trials_from_env};
+pub use stepbench::{measure_interleaved, StepTimes};
+pub use table::TextTable;
+pub use timing::{measure, MeasuredTime};

@@ -1,0 +1,102 @@
+//! Drift-resistant training-step measurement.
+//!
+//! On a small shared host, wall-clock drift (frequency scaling, noisy
+//! neighbours) can exceed the effect being measured. The overhead
+//! experiments therefore interleave the configurations under comparison —
+//! one step of each per round — so drift hits every configuration equally,
+//! and report per-step **medians** rather than means.
+
+use crate::timing::median;
+use attn_model::{Example, Trainer};
+
+/// Median per-step timings of one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTimes {
+    /// Median attention-forward time per step, milliseconds.
+    pub attn_ms: f64,
+    /// Median full-step time, milliseconds.
+    pub step_ms: f64,
+}
+
+impl StepTimes {
+    /// Relative overhead of `self` vs `base` on the attention timer.
+    pub fn attn_overhead_vs(&self, base: &StepTimes) -> f64 {
+        self.attn_ms / base.attn_ms - 1.0
+    }
+
+    /// Relative overhead of `self` vs `base` on the step timer.
+    pub fn step_overhead_vs(&self, base: &StepTimes) -> f64 {
+        self.step_ms / base.step_ms - 1.0
+    }
+}
+
+/// Run `warmup` unmeasured rounds then `steps` measured rounds, where one
+/// round executes one training step on *each* trainer in turn. Returns the
+/// median timings per trainer, in input order.
+pub fn measure_interleaved(
+    trainers: &mut [&mut Trainer],
+    batch: &[&Example],
+    warmup: usize,
+    steps: usize,
+) -> Vec<StepTimes> {
+    for _ in 0..warmup {
+        for tr in trainers.iter_mut() {
+            let _ = tr.train_step(batch);
+        }
+    }
+    let n = trainers.len();
+    let mut attn_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); n];
+    let mut step_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); n];
+    for _ in 0..steps {
+        for (i, tr) in trainers.iter_mut().enumerate() {
+            let out = tr.train_step(batch);
+            attn_samples[i].push(out.attention_time.as_secs_f64() * 1e3);
+            step_samples[i].push(out.step_time.as_secs_f64() * 1e3);
+        }
+    }
+    (0..n)
+        .map(|i| StepTimes {
+            attn_ms: median(&attn_samples[i]),
+            step_ms: median(&step_samples[i]),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{build_trainer, dataset_for};
+    use attn_model::model::ModelConfig;
+    use attnchecker::config::ProtectionConfig;
+
+    #[test]
+    fn interleaved_measurement_returns_positive_medians() {
+        let mut cfg = ModelConfig::bert_small();
+        cfg.hidden = 16;
+        cfg.heads = 2;
+        cfg.layers = 1;
+        let ds = dataset_for(&cfg, 4, 1);
+        let batch: Vec<&Example> = ds.examples.iter().take(2).collect();
+        let mut a = build_trainer(&cfg, ProtectionConfig::off(), 3);
+        let mut b = build_trainer(&cfg, ProtectionConfig::full(), 3);
+        let times = measure_interleaved(&mut [&mut a, &mut b], &batch, 1, 3);
+        assert_eq!(times.len(), 2);
+        for t in &times {
+            assert!(t.attn_ms > 0.0 && t.step_ms >= t.attn_ms);
+        }
+    }
+
+    #[test]
+    fn overhead_helpers() {
+        let base = StepTimes {
+            attn_ms: 10.0,
+            step_ms: 100.0,
+        };
+        let other = StepTimes {
+            attn_ms: 11.0,
+            step_ms: 107.0,
+        };
+        assert!((other.attn_overhead_vs(&base) - 0.10).abs() < 1e-9);
+        assert!((other.step_overhead_vs(&base) - 0.07).abs() < 1e-9);
+    }
+}

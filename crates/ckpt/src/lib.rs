@@ -1,0 +1,17 @@
+//! # attn-ckpt
+//!
+//! Checkpoint/restore (CR) substrate — the recovery baseline ATTNChecker is
+//! compared against in the paper's Fig 11.
+//!
+//! CR recovery from a non-trainable state costs three phases the paper
+//! charges against every faulty step: *save* (serialise model + optimizer
+//! state), *load* (deserialise the last good state), and *replay*
+//! (re-execute the lost training step). [`snapshot`] implements a compact
+//! binary wire format; [`manager`] adds on-disk storage and a
+//! restore-and-replay driver with phase timings.
+
+pub mod manager;
+pub mod snapshot;
+
+pub use manager::{CheckpointManager, RecoveryTiming};
+pub use snapshot::{restore_model, snapshot_model, SnapshotError};

@@ -1,0 +1,261 @@
+//! Binary serialisation of model + optimizer state.
+//!
+//! Wire format (little-endian throughout):
+//!
+//! ```text
+//! magic   b"ATNC"
+//! version u32        (currently 1)
+//! t       u64        optimizer step counter
+//! nparams u64
+//! repeat nparams times:
+//!   name_len u32, name utf-8 bytes
+//!   rows u64, cols u64
+//!   value f32 × rows·cols
+//!   m     f32 × rows·cols      (Adam first moment)
+//!   v     f32 × rows·cols      (Adam second moment)
+//! ```
+//!
+//! Moments are included because restarting fine-tuning without optimizer
+//! state changes the trajectory — the paper's CR baseline checkpoints the
+//! full training state.
+
+use attn_model::param::HasParams;
+use attn_tensor::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"ATNC";
+const VERSION: u32 = 1;
+
+/// Deserialisation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Bad magic bytes.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion(u32),
+    /// Buffer ended early.
+    Truncated,
+    /// Parameter name/shape mismatch against the receiving model.
+    Mismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "bad checkpoint magic"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            SnapshotError::Truncated => write!(f, "checkpoint truncated"),
+            SnapshotError::Mismatch(s) => write!(f, "checkpoint/model mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialise the full training state (`t` is the optimizer step counter).
+pub fn snapshot_model(model: &mut dyn HasParams, t: u64) -> Bytes {
+    let mut entries: Vec<(String, Matrix, Matrix, Matrix)> = Vec::new();
+    model.visit_params(&mut |p| {
+        entries.push((p.name.clone(), p.value.clone(), p.m.clone(), p.v.clone()));
+    });
+
+    let payload: usize = entries
+        .iter()
+        .map(|(n, v, _, _)| 4 + n.len() + 16 + 3 * 4 * v.len())
+        .sum();
+    let mut buf = BytesMut::with_capacity(4 + 4 + 8 + 8 + payload);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(t);
+    buf.put_u64_le(entries.len() as u64);
+    for (name, value, m, v) in &entries {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+        buf.put_u64_le(value.rows() as u64);
+        buf.put_u64_le(value.cols() as u64);
+        for mat in [value, m, v] {
+            for &x in mat.data() {
+                buf.put_f32_le(x);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Restore training state from [`snapshot_model`] output. Returns the saved
+/// optimizer step counter.
+///
+/// Parameters are matched by visit order and verified by name and shape, so
+/// a checkpoint can only be restored into the model that produced it.
+pub fn restore_model(model: &mut dyn HasParams, data: &[u8]) -> Result<u64, SnapshotError> {
+    let mut buf = data;
+    if buf.remaining() < 24 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let t = buf.get_u64_le();
+    let nparams = buf.get_u64_le() as usize;
+
+    // Decode into a list first so a half-applied restore cannot corrupt the
+    // model on error.
+    let mut decoded: Vec<(String, Matrix, Matrix, Matrix)> = Vec::with_capacity(nparams);
+    for _ in 0..nparams {
+        if buf.remaining() < 4 {
+            return Err(SnapshotError::Truncated);
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len + 16 {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| SnapshotError::Mismatch("non-utf8 name".into()))?;
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        let n = rows * cols;
+        if buf.remaining() < 3 * 4 * n {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut mats = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(buf.get_f32_le());
+            }
+            mats.push(Matrix::from_vec(rows, cols, v));
+        }
+        let vv = mats.pop().expect("3 matrices");
+        let mm = mats.pop().expect("2 matrices");
+        let val = mats.pop().expect("1 matrix");
+        decoded.push((name, val, mm, vv));
+    }
+
+    let mut idx = 0usize;
+    let mut err: Option<SnapshotError> = None;
+    model.visit_params(&mut |p| {
+        if err.is_some() {
+            return;
+        }
+        let Some((name, val, m, v)) = decoded.get(idx) else {
+            err = Some(SnapshotError::Mismatch("too few params in checkpoint".into()));
+            return;
+        };
+        if *name != p.name {
+            err = Some(SnapshotError::Mismatch(format!(
+                "param {idx}: checkpoint has `{name}`, model has `{}`",
+                p.name
+            )));
+            return;
+        }
+        if (val.rows(), val.cols()) != (p.value.rows(), p.value.cols()) {
+            err = Some(SnapshotError::Mismatch(format!("shape mismatch for `{name}`")));
+            return;
+        }
+        p.value = val.clone();
+        p.m = m.clone();
+        p.v = v.clone();
+        idx += 1;
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    if idx != decoded.len() {
+        return Err(SnapshotError::Mismatch(
+            "checkpoint has more params than model".into(),
+        ));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_model::param::Param;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+    impl HasParams for Toy {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    fn toy() -> Toy {
+        let mut a = Param::new("a", Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32));
+        a.m = Matrix::full(2, 3, 0.5);
+        a.v = Matrix::full(2, 3, 0.25);
+        Toy {
+            a,
+            b: Param::new("b", Matrix::full(1, 4, -1.0)),
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_values_and_moments() {
+        let mut t = toy();
+        let snap = snapshot_model(&mut t, 17);
+        // Corrupt everything.
+        t.a.value.data_mut().fill(9.0);
+        t.a.m.data_mut().fill(9.0);
+        t.b.value.data_mut().fill(9.0);
+        let step = restore_model(&mut t, &snap).unwrap();
+        assert_eq!(step, 17);
+        assert_eq!(t.a.value[(1, 2)], 5.0);
+        assert_eq!(t.a.m[(0, 0)], 0.5);
+        assert_eq!(t.a.v[(0, 0)], 0.25);
+        assert_eq!(t.b.value[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut t = toy();
+        let mut snap = snapshot_model(&mut t, 0).to_vec();
+        snap[0] = b'X';
+        assert_eq!(restore_model(&mut t, &snap), Err(SnapshotError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected_without_partial_apply() {
+        let mut t = toy();
+        let snap = snapshot_model(&mut t, 0);
+        let before = t.a.value.clone();
+        let cut = &snap[..snap.len() - 7];
+        assert_eq!(restore_model(&mut t, cut), Err(SnapshotError::Truncated));
+        assert_eq!(t.a.value, before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn name_mismatch_rejected() {
+        let mut t = toy();
+        let snap = snapshot_model(&mut t, 0);
+        let mut other = toy();
+        other.a.name = "renamed".into();
+        assert!(matches!(
+            restore_model(&mut other, &snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_size_is_deterministic() {
+        let mut t = toy();
+        let s1 = snapshot_model(&mut t, 1);
+        let s2 = snapshot_model(&mut t, 1);
+        assert_eq!(s1, s2);
+        // 24-byte header + entries.
+        assert!(s1.len() > 24 + 3 * 4 * (6 + 4));
+    }
+}

@@ -1,0 +1,759 @@
+//! Protected multi-head attention: the three ABFT sections with checksum
+//! passing (paper §4.4, Fig 5).
+//!
+//! The six attention GEMMs are grouped into sections so that every section
+//! tolerates one fault, wherever it strikes:
+//!
+//! * **S_AS** `{X·W_Q, X·W_K, Q·Kᵀ}` — `X` is column-encoded once; `Q` and
+//!   `K` inherit column checksums through the fused GEMMs; `AS = Q·Kᵀ`
+//!   arrives with *both* borders (K's column checksums transpose into AS's
+//!   row checksums). Detection is **delayed** to AS: a 0D fault in `Q`
+//!   surfaces as a deterministic 1R there, a 0D fault in `K` as a 1C with
+//!   poisoned column checksums — both healed by [`crate::detect::full_correct`].
+//! * **S_CL** `{X·W_V, AP·V}` — each head's slice of `W_V` is row-encoded,
+//!   so `V` inherits row checksums; `AP` (re-encoded after the nonlinear
+//!   softmax) carries column checksums; `CL = AP·V` has both borders.
+//! * **S_O** `{CL·W_O}` — `CL`'s column checksums ride through the output
+//!   GEMM; `O` is protected column-side (1R residue from CL plus 0D faults).
+//!
+//! When a section's detection fires, the *source* operand matrices (`Q`,
+//! `K`, `V`) are also healed through their own inherited checksums — they
+//! are reused by the backward pass, where a surviving extreme value would
+//! re-poison training.
+//!
+//! Fault-injection campaigns hook into the pipeline between every GEMM and
+//! its detection point via [`FaultSite`] callbacks.
+
+use crate::checked::CheckedMatrix;
+use crate::config::{ProtectionConfig, Strategy};
+use crate::detect::{correct_columns, correct_rows, full_correct, CorrectionSummary};
+use crate::report::{AbftReport, CorrectionRecord, SectionId};
+use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+
+/// The GEMM (or softmax) outputs a fault can strike, mirroring the paper's
+/// injection sites (Table 2 / Table 4 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttnOp {
+    /// Output of `X·W_Q`.
+    Q,
+    /// Output of `X·W_K`.
+    K,
+    /// Output of `X·W_V`.
+    V,
+    /// Output of `Q·Kᵀ` (pre-softmax attention scores).
+    AS,
+    /// Output of `AP·V` (per-head context layer).
+    CL,
+    /// Output of `CL·W_O`.
+    O,
+}
+
+impl AttnOp {
+    /// All injectable sites, in pipeline order.
+    pub const ALL: [AttnOp; 6] = [
+        AttnOp::Q,
+        AttnOp::K,
+        AttnOp::V,
+        AttnOp::AS,
+        AttnOp::CL,
+        AttnOp::O,
+    ];
+
+    /// The five sites of the paper's vulnerability study (Table 4).
+    pub const STUDY: [AttnOp; 5] = [AttnOp::Q, AttnOp::K, AttnOp::V, AttnOp::AS, AttnOp::CL];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttnOp::Q => "Q",
+            AttnOp::K => "K",
+            AttnOp::V => "V",
+            AttnOp::AS => "AS",
+            AttnOp::CL => "CL",
+            AttnOp::O => "O",
+        }
+    }
+}
+
+/// Where a hook fires: the op plus the head for per-head matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// Which GEMM output is exposed.
+    pub op: AttnOp,
+    /// Head index for per-head sites (`AS`, `CL`, `V`); `None` for the
+    /// model-wide `Q`, `K`, `O` matrices.
+    pub head: Option<usize>,
+}
+
+/// Mutable callback giving campaigns access to each GEMM output *before*
+/// its section's detection runs.
+pub type FaultHook<'a> = &'a mut dyn FnMut(FaultSite, &mut CheckedMatrix);
+
+/// Which sections perform detection in this execution (the per-execution
+/// realisation of the §4.5 frequencies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionToggles {
+    /// Run S_AS protection.
+    pub s_as: bool,
+    /// Run S_CL protection.
+    pub s_cl: bool,
+    /// Run S_O protection.
+    pub s_o: bool,
+}
+
+impl SectionToggles {
+    /// Protect everything.
+    pub fn all() -> Self {
+        Self {
+            s_as: true,
+            s_cl: true,
+            s_o: true,
+        }
+    }
+
+    /// Protect nothing.
+    pub fn none() -> Self {
+        Self {
+            s_as: false,
+            s_cl: false,
+            s_o: false,
+        }
+    }
+
+    /// Any section active?
+    pub fn any(&self) -> bool {
+        self.s_as || self.s_cl || self.s_o
+    }
+}
+
+/// Learnable parameters of one multi-head attention block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttentionWeights {
+    /// Model width.
+    pub hidden: usize,
+    /// Number of attention heads (must divide `hidden`).
+    pub heads: usize,
+    /// Query projection, `hidden × hidden`.
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Output projection.
+    pub wo: Matrix,
+    /// Query bias.
+    pub bq: Vec<f32>,
+    /// Key bias.
+    pub bk: Vec<f32>,
+    /// Value bias.
+    pub bv: Vec<f32>,
+    /// Output bias.
+    pub bo: Vec<f32>,
+}
+
+impl AttentionWeights {
+    /// Xavier-initialised weights.
+    ///
+    /// # Panics
+    /// Panics when `heads` does not divide `hidden`.
+    pub fn random(hidden: usize, heads: usize, rng: &mut TensorRng) -> Self {
+        assert!(heads > 0 && hidden.is_multiple_of(heads), "heads must divide hidden");
+        Self {
+            hidden,
+            heads,
+            wq: rng.xavier_matrix(hidden, hidden),
+            wk: rng.xavier_matrix(hidden, hidden),
+            wv: rng.xavier_matrix(hidden, hidden),
+            wo: rng.xavier_matrix(hidden, hidden),
+            bq: vec![0.0; hidden],
+            bk: vec![0.0; hidden],
+            bv: vec![0.0; hidden],
+            bo: vec![0.0; hidden],
+        }
+    }
+
+    /// Per-head width.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+/// Activations cached for the backward pass and for propagation studies.
+///
+/// All values are post-correction when protection ran, raw otherwise.
+#[derive(Debug, Clone)]
+pub struct AttnCache {
+    /// Block input, `seq × hidden`.
+    pub x: Matrix,
+    /// Query activations (post bias), `seq × hidden`.
+    pub q: Matrix,
+    /// Key activations, `seq × hidden`.
+    pub k: Matrix,
+    /// Value activations, `seq × hidden`.
+    pub v: Matrix,
+    /// Pre-softmax scaled (and masked) attention scores per head,
+    /// `seq × seq` each.
+    pub scores: Vec<Matrix>,
+    /// Post-softmax attention probabilities per head, `seq × seq` each.
+    pub ap: Vec<Matrix>,
+    /// Merged context layer, `seq × hidden`.
+    pub cl: Matrix,
+}
+
+/// Forward output: the attention block result plus the backward cache.
+#[derive(Debug, Clone)]
+pub struct AttnForward {
+    /// `seq × hidden` attention output (post `W_O` and bias).
+    pub output: Matrix,
+    /// Cached activations.
+    pub cache: AttnCache,
+}
+
+/// Per-call options for [`ProtectedAttention::forward`].
+pub struct ForwardOptions<'a> {
+    /// Additive attention mask (`seq × seq`), e.g. causal or local-banded.
+    pub mask: Option<&'a Matrix>,
+    /// Per-execution section toggles (from the frequency gates).
+    pub toggles: SectionToggles,
+    /// Optional fault-injection hook.
+    pub hook: Option<FaultHook<'a>>,
+}
+
+impl Default for ForwardOptions<'_> {
+    fn default() -> Self {
+        Self {
+            mask: None,
+            toggles: SectionToggles::all(),
+            hook: None,
+        }
+    }
+}
+
+/// A multi-head attention block wrapped with ATTNChecker protection.
+#[derive(Debug, Clone)]
+pub struct ProtectedAttention {
+    /// Block parameters.
+    pub weights: AttentionWeights,
+    /// Protection policy.
+    pub config: ProtectionConfig,
+}
+
+impl ProtectedAttention {
+    /// Wrap weights with a protection policy.
+    pub fn new(weights: AttentionWeights, config: ProtectionConfig) -> Self {
+        Self { weights, config }
+    }
+
+    /// Convenience forward: full protection, no mask, no hook.
+    pub fn forward_simple(&self, x: &Matrix, report: &mut AbftReport) -> AttnForward {
+        self.forward(x, ForwardOptions::default(), report)
+    }
+
+    /// Run the protected attention pipeline on `x` (`seq × hidden`).
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != hidden`.
+    #[allow(clippy::needless_range_loop)] // head index drives several buffers
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        mut opts: ForwardOptions<'_>,
+        report: &mut AbftReport,
+    ) -> AttnForward {
+        let w = &self.weights;
+        assert_eq!(x.cols(), w.hidden, "input width mismatch");
+        let seq = x.rows();
+        let heads = w.heads;
+        let d = w.head_dim();
+        let strat = self.config.strategy;
+        let cfg = &self.config.abft;
+        let scale = 1.0 / (d as f32).sqrt();
+
+        let as_on = opts.toggles.s_as && !self.config.is_off();
+        let cl_on = opts.toggles.s_cl && !self.config.is_off();
+        let o_on = opts.toggles.s_o && !self.config.is_off();
+        // The non-optimized baseline (Fig 8) does not use delayed detection:
+        // it verifies every GEMM output immediately, the way a generic ABFT
+        // composition would (§3.2 "Segmented Protection" is one of the
+        // optimizations being ablated).
+        let immediate = strat == Strategy::Separate;
+        bump_section_counters(report, as_on, cl_on, o_on);
+
+        // ------------------------------------------------ section S_AS
+        let (mut q, mut k) = if as_on {
+            let xc = CheckedMatrix::encode_cols(x, strat);
+            let wq = CheckedMatrix::from_plain(&w.wq);
+            let wk = CheckedMatrix::from_plain(&w.wk);
+            let mut q = mul(&xc, &wq, strat);
+            let mut k = mul(&xc, &wk, strat);
+            q.add_bias(&w.bq);
+            k.add_bias(&w.bk);
+            (q, k)
+        } else {
+            let mut q = CheckedMatrix::from_plain(x).matmul(&CheckedMatrix::from_plain(&w.wq));
+            let mut k = CheckedMatrix::from_plain(x).matmul(&CheckedMatrix::from_plain(&w.wk));
+            q.add_bias(&w.bq);
+            k.add_bias(&w.bk);
+            (q, k)
+        };
+        fire(&mut opts.hook, AttnOp::Q, None, &mut q);
+        fire(&mut opts.hook, AttnOp::K, None, &mut k);
+        if as_on && immediate {
+            let qfix = correct_columns(&mut q, cfg);
+            let kfix = correct_columns(&mut k, cfg);
+            record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
+            record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
+        }
+
+        let mut scores_cache = Vec::with_capacity(heads);
+        let mut ap_checked: Vec<CheckedMatrix> = Vec::with_capacity(heads);
+        let mut qk_detected = false;
+        for h in 0..heads {
+            let qh = q.slice_cols(h * d, (h + 1) * d);
+            let kh = k.slice_cols(h * d, (h + 1) * d);
+            let mut as_h = if as_on {
+                mul_nt(&qh, &kh, strat)
+            } else {
+                qh.matmul_nt(&kh)
+            };
+            as_h.scale_inplace(scale);
+            fire(&mut opts.hook, AttnOp::AS, Some(h), &mut as_h);
+            if as_on {
+                let summary = full_correct(&mut as_h, cfg);
+                if summary.total_detections() > 0 {
+                    qk_detected = true;
+                }
+                absorb(report, &summary, SectionId::AttentionScore, h);
+            }
+
+            // Leave the checksummed region: mask + softmax are nonlinear.
+            let mut as_mat = as_h.logical();
+            if let Some(m) = opts.mask {
+                apply_additive_mask(&mut as_mat, m);
+            }
+            scores_cache.push(as_mat.clone());
+            softmax_rows_inplace(&mut as_mat);
+            let ap_c = if cl_on {
+                CheckedMatrix::encode_cols(&as_mat, strat)
+            } else {
+                CheckedMatrix::from_plain(&as_mat)
+            };
+            ap_checked.push(ap_c);
+        }
+
+        // Heal the source operands when the delayed detection fired: Q and K
+        // are cached for backward, where an uncorrected 0D extreme value
+        // would re-poison the gradients.
+        if as_on && qk_detected {
+            let qfix = correct_columns(&mut q, cfg);
+            let kfix = correct_columns(&mut k, cfg);
+            record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
+            record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
+        }
+
+        // ------------------------------------------------ section S_CL
+        let x_plain = CheckedMatrix::from_plain(x);
+        let mut cl_blocks = Vec::with_capacity(heads);
+        let mut v_cols: Vec<Matrix> = Vec::with_capacity(heads);
+        for h in 0..heads {
+            let wv_h = w.wv.submatrix(0, w.hidden, h * d, (h + 1) * d);
+            let bv_h = &w.bv[h * d..(h + 1) * d];
+            let mut v_h = if cl_on {
+                let wv_enc = CheckedMatrix::encode_rows(&wv_h, strat);
+                let mut v_h = mul(&x_plain, &wv_enc, strat);
+                v_h.add_bias(bv_h);
+                v_h
+            } else {
+                let mut v_h = x_plain.matmul(&CheckedMatrix::from_plain(&wv_h));
+                v_h.add_bias(bv_h);
+                v_h
+            };
+            fire(&mut opts.hook, AttnOp::V, Some(h), &mut v_h);
+            if cl_on && immediate && v_h.has_row_checksums() {
+                let vfix = correct_rows(&mut v_h, cfg);
+                record_fixes(report, &vfix, SectionId::ContextLayer, h);
+            }
+
+            let mut cl_h = if cl_on {
+                mul(&ap_checked[h], &v_h, strat)
+            } else {
+                ap_checked[h].matmul(&v_h)
+            };
+            fire(&mut opts.hook, AttnOp::CL, Some(h), &mut cl_h);
+            if cl_on {
+                let summary = full_correct(&mut cl_h, cfg);
+                let detected = summary.total_detections() > 0;
+                absorb(report, &summary, SectionId::ContextLayer, h);
+                if detected && v_h.has_row_checksums() {
+                    // Heal the cached V the same way Q/K are healed.
+                    let vfix = correct_rows(&mut v_h, cfg);
+                    record_fixes(report, &vfix, SectionId::ContextLayer, h);
+                }
+            }
+            v_cols.push(v_h.logical());
+            cl_blocks.push(cl_h.drop_row_checksums());
+        }
+        let cl_merged = CheckedMatrix::concat_cols(&cl_blocks);
+
+        // ------------------------------------------------ section S_O
+        let cl_for_o = if o_on && !cl_merged.has_col_checksums() {
+            CheckedMatrix::encode_cols(&cl_merged.logical(), strat)
+        } else if !o_on && cl_merged.has_col_checksums() {
+            CheckedMatrix::from_plain(&cl_merged.logical())
+        } else {
+            cl_merged.clone()
+        };
+        let mut o = if o_on {
+            mul(&cl_for_o, &CheckedMatrix::from_plain(&w.wo), strat)
+        } else {
+            cl_for_o.matmul(&CheckedMatrix::from_plain(&w.wo))
+        };
+        o.add_bias(&w.bo);
+        fire(&mut opts.hook, AttnOp::O, None, &mut o);
+        if o_on {
+            let summary = full_correct(&mut o, cfg);
+            absorb(report, &summary, SectionId::Output, usize::MAX);
+        }
+
+        // Assemble caches (all post-correction).
+        let q_mat = q.logical();
+        let k_mat = k.logical();
+        let mut v_mat = Matrix::zeros(seq, w.hidden);
+        for (h, vh) in v_cols.iter().enumerate() {
+            for r in 0..seq {
+                v_mat.row_mut(r)[h * d..(h + 1) * d].copy_from_slice(vh.row(r));
+            }
+        }
+        let ap_cache: Vec<Matrix> = ap_checked.iter().map(|m| m.logical()).collect();
+
+        AttnForward {
+            output: o.logical(),
+            cache: AttnCache {
+                x: x.clone(),
+                q: q_mat,
+                k: k_mat,
+                v: v_mat,
+                scores: scores_cache,
+                ap: ap_cache,
+                cl: cl_merged.logical(),
+            },
+        }
+    }
+}
+
+/// Strategy dispatch for `A · B`.
+fn mul(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatrix {
+    match strat {
+        Strategy::Fused => a.matmul(b),
+        Strategy::Separate => a.matmul_separate(b),
+    }
+}
+
+/// Strategy dispatch for `A · Bᵀ`.
+fn mul_nt(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatrix {
+    match strat {
+        Strategy::Fused => a.matmul_nt(b),
+        Strategy::Separate => a.matmul_nt_separate(b),
+    }
+}
+
+/// Fire the fault hook, if any.
+fn fire(
+    hook: &mut Option<FaultHook<'_>>,
+    op: AttnOp,
+    head: Option<usize>,
+    m: &mut CheckedMatrix,
+) {
+    if let Some(h) = hook.as_mut() {
+        h(FaultSite { op, head }, m);
+    }
+}
+
+fn bump_section_counters(report: &mut AbftReport, as_on: bool, cl_on: bool, o_on: bool) {
+    for on in [as_on, cl_on, o_on] {
+        if on {
+            report.sections_checked += 1;
+        } else {
+            report.sections_skipped += 1;
+        }
+    }
+}
+
+/// Fold a correction summary into the running report.
+fn absorb(report: &mut AbftReport, summary: &CorrectionSummary, section: SectionId, head: usize) {
+    report.detections += summary.total_detections();
+    report.propagations += summary.total_propagations();
+    report.checksum_rebuilds += summary.stale_rebuilds
+        + summary.col_pass.rebuilt.len()
+        + summary
+            .row_pass
+            .as_ref()
+            .map(|p| p.rebuilt.len())
+            .unwrap_or(0);
+    report.unrecovered += summary.unrecovered;
+    for fix in summary
+        .col_pass
+        .fixes
+        .iter()
+        .chain(summary.row_pass.iter().flat_map(|p| p.fixes.iter()))
+    {
+        report.corrections.push(CorrectionRecord {
+            section,
+            head,
+            row: fix.row,
+            col: fix.col,
+            old_value: fix.old_value,
+            new_value: fix.new_value,
+        });
+    }
+}
+
+/// Fold a single-pass outcome (source-operand healing) into the report.
+fn record_fixes(
+    report: &mut AbftReport,
+    pass: &crate::detect::PassOutcome,
+    section: SectionId,
+    head: usize,
+) {
+    report.detections += pass.fixes.len();
+    report.checksum_rebuilds += pass.rebuilt.len();
+    for fix in &pass.fixes {
+        report.corrections.push(CorrectionRecord {
+            section,
+            head,
+            row: fix.row,
+            col: fix.col,
+            old_value: fix.old_value,
+            new_value: fix.new_value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_fault::FaultKind;
+    use attn_tensor::ops::causal_mask;
+
+    fn setup(seq: usize, hidden: usize, heads: usize) -> (Matrix, ProtectedAttention) {
+        let mut rng = TensorRng::seed_from(42);
+        let w = AttentionWeights::random(hidden, heads, &mut rng);
+        let x = rng.normal_matrix(seq, hidden, 0.5);
+        (x, ProtectedAttention::new(w, ProtectionConfig::full()))
+    }
+
+    #[test]
+    fn protected_matches_unprotected_when_fault_free() {
+        let (x, attn) = setup(12, 32, 4);
+        let unprotected = ProtectedAttention::new(attn.weights.clone(), ProtectionConfig::off());
+        let mut r1 = AbftReport::default();
+        let mut r2 = AbftReport::default();
+        let a = attn.forward_simple(&x, &mut r1);
+        let b = unprotected.forward(
+            &x,
+            ForwardOptions {
+                toggles: SectionToggles::none(),
+                ..Default::default()
+            },
+            &mut r2,
+        );
+        assert!(
+            a.output.approx_eq(&b.output, 1e-4, 1e-4),
+            "protection must not perturb fault-free results"
+        );
+        assert!(r1.is_quiet(), "no detections expected: {r1}");
+    }
+
+    #[test]
+    fn separate_strategy_matches_fused_results() {
+        let (x, attn) = setup(10, 24, 3);
+        let sep = ProtectedAttention::new(
+            attn.weights.clone(),
+            ProtectionConfig::full_unoptimized(),
+        );
+        let mut r1 = AbftReport::default();
+        let mut r2 = AbftReport::default();
+        let a = attn.forward_simple(&x, &mut r1);
+        let b = sep.forward_simple(&x, &mut r2);
+        assert!(a.output.approx_eq(&b.output, 1e-4, 1e-4));
+        assert!(r2.is_quiet());
+    }
+
+    #[test]
+    fn masked_forward_respects_causality() {
+        let (x, attn) = setup(8, 16, 2);
+        let mask = causal_mask(8);
+        let mut r = AbftReport::default();
+        let out = attn.forward(
+            &x,
+            ForwardOptions {
+                mask: Some(&mask),
+                ..Default::default()
+            },
+            &mut r,
+        );
+        // Attention probabilities above the diagonal must be ~0.
+        for ap in &out.cache.ap {
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    assert!(ap[(i, j)] < 1e-6, "ap[{i},{j}] = {}", ap[(i, j)]);
+                }
+            }
+        }
+        assert!(r.is_quiet());
+    }
+
+    fn inject_then_check(op: AttnOp, kind: FaultKind) {
+        let (x, attn) = setup(10, 32, 4);
+        // Ground truth from a clean protected run.
+        let mut quiet = AbftReport::default();
+        let clean = attn.forward_simple(&x, &mut quiet);
+
+        let mut fired = false;
+        let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+            let right_site = site.op == op && (site.head.is_none() || site.head == Some(1));
+            if right_site && !fired {
+                fired = true;
+                let (r, c) = (m.rows() / 2, m.cols() / 3);
+                let old = m.get(r, c);
+                m.set(r, c, kind.apply(old));
+            }
+        };
+        let mut report = AbftReport::default();
+        let out = attn.forward(
+            &x,
+            ForwardOptions {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: Some(&mut hook),
+            },
+            &mut report,
+        );
+        assert!(fired, "hook never fired for {op:?}");
+        assert!(
+            out.output.approx_eq(&clean.output, 1e-2, 1e-2),
+            "{op:?}/{kind:?}: output diverged after correction; report {report}"
+        );
+        assert!(out.output.all_finite());
+        assert!(report.correction_count() > 0, "{op:?}/{kind:?}: no corrections");
+        assert_eq!(report.unrecovered, 0);
+    }
+
+    #[test]
+    fn corrects_inf_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::Inf);
+        }
+    }
+
+    #[test]
+    fn corrects_nan_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::NaN);
+        }
+    }
+
+    #[test]
+    fn corrects_near_inf_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::NearInf);
+        }
+    }
+
+    #[test]
+    fn corrects_neg_inf_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::NegInf);
+        }
+    }
+
+    #[test]
+    fn unprotected_run_propagates_fault_to_output() {
+        let (x, attn) = setup(10, 32, 4);
+        let off = ProtectedAttention::new(attn.weights.clone(), ProtectionConfig::off());
+        let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+            if site.op == AttnOp::Q {
+                m.set(2, 5, f32::NAN);
+            }
+        };
+        let mut report = AbftReport::default();
+        let out = off.forward(
+            &x,
+            ForwardOptions {
+                mask: None,
+                toggles: SectionToggles::none(),
+                hook: Some(&mut hook),
+            },
+            &mut report,
+        );
+        assert!(!out.output.all_finite(), "NaN must reach the output unprotected");
+        assert_eq!(report.correction_count(), 0);
+    }
+
+    #[test]
+    fn cached_q_is_healed_after_delayed_detection() {
+        let (x, attn) = setup(10, 32, 4);
+        let mut quiet = AbftReport::default();
+        let clean = attn.forward_simple(&x, &mut quiet);
+        let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+            if site.op == AttnOp::Q {
+                m.set(3, 7, f32::INFINITY);
+            }
+        };
+        let mut report = AbftReport::default();
+        let out = attn.forward(
+            &x,
+            ForwardOptions {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: Some(&mut hook),
+            },
+            &mut report,
+        );
+        // The cached Q (used by backward) must be finite and match clean.
+        assert!(out.cache.q.all_finite());
+        assert!(out.cache.q.approx_eq(&clean.cache.q, 1e-2, 1e-2));
+    }
+
+    #[test]
+    fn toggled_off_section_skips_detection() {
+        let (x, attn) = setup(8, 16, 2);
+        let mut report = AbftReport::default();
+        let _ = attn.forward(
+            &x,
+            ForwardOptions {
+                mask: None,
+                toggles: SectionToggles {
+                    s_as: true,
+                    s_cl: false,
+                    s_o: false,
+                },
+                hook: None,
+            },
+            &mut report,
+        );
+        assert_eq!(report.sections_checked, 1);
+        assert_eq!(report.sections_skipped, 2);
+    }
+
+    #[test]
+    fn output_shape_and_cache_shapes() {
+        let (x, attn) = setup(9, 24, 3);
+        let mut r = AbftReport::default();
+        let out = attn.forward_simple(&x, &mut r);
+        assert_eq!((out.output.rows(), out.output.cols()), (9, 24));
+        assert_eq!((out.cache.q.rows(), out.cache.q.cols()), (9, 24));
+        assert_eq!(out.cache.ap.len(), 3);
+        assert_eq!((out.cache.ap[0].rows(), out.cache.ap[0].cols()), (9, 9));
+        assert_eq!((out.cache.cl.rows(), out.cache.cl.cols()), (9, 24));
+        // AP rows are probability distributions.
+        for h in 0..3 {
+            for r in 0..9 {
+                let s: f32 = out.cache.ap[h].row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}

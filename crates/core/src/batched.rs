@@ -1,0 +1,127 @@
+//! Batch-parallel protected attention.
+//!
+//! The paper parallelises ABFT work "along the streaming multiprocessors by
+//! the number of heads × number of batches" (§4.6). The CPU analogue
+//! applies the parallelism at the batch-item level: each sequence's
+//! protected forward is independent, so a rayon fan-out keeps every core
+//! busy with coarse tasks (the granularity lesson recorded in
+//! `attn_tensor::gemm::PAR_FLOP_THRESHOLD` applies — fine-grained splits
+//! lose to scheduling jitter, whole-sequence tasks win).
+
+use crate::attention::{AttnForward, ForwardOptions, ProtectedAttention, SectionToggles};
+use crate::report::AbftReport;
+use attn_tensor::Matrix;
+use rayon::prelude::*;
+
+/// Result of a batched protected forward.
+#[derive(Debug, Clone)]
+pub struct BatchForward {
+    /// Per-item outputs, in input order.
+    pub items: Vec<AttnForward>,
+    /// Merged ABFT activity across the batch.
+    pub report: AbftReport,
+}
+
+impl ProtectedAttention {
+    /// Run the protected forward over a batch of independent sequences in
+    /// parallel. All items share the same mask and section toggles; fault
+    /// hooks are not supported here (campaigns inject per-item via the
+    /// sequential API).
+    pub fn forward_batch(
+        &self,
+        xs: &[Matrix],
+        mask: Option<&Matrix>,
+        toggles: SectionToggles,
+    ) -> BatchForward {
+        let results: Vec<(AttnForward, AbftReport)> = xs
+            .par_iter()
+            .map(|x| {
+                let mut report = AbftReport::default();
+                let out = self.forward(
+                    x,
+                    ForwardOptions {
+                        mask,
+                        toggles,
+                        hook: None,
+                    },
+                    &mut report,
+                );
+                (out, report)
+            })
+            .collect();
+        let mut report = AbftReport::default();
+        let mut items = Vec::with_capacity(results.len());
+        for (out, r) in results {
+            report.merge(&r);
+            items.push(out);
+        }
+        BatchForward { items, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::AttentionWeights;
+    use crate::config::ProtectionConfig;
+    use attn_tensor::ops::causal_mask;
+    use attn_tensor::rng::TensorRng;
+
+    fn setup(batch: usize) -> (Vec<Matrix>, ProtectedAttention) {
+        let mut rng = TensorRng::seed_from(99);
+        let weights = AttentionWeights::random(32, 4, &mut rng);
+        let xs = (0..batch).map(|_| rng.normal_matrix(12, 32, 0.5)).collect();
+        (xs, ProtectedAttention::new(weights, ProtectionConfig::full()))
+    }
+
+    #[test]
+    fn batched_matches_sequential() {
+        let (xs, attn) = setup(6);
+        let batch = attn.forward_batch(&xs, None, SectionToggles::all());
+        assert_eq!(batch.items.len(), 6);
+        for (i, x) in xs.iter().enumerate() {
+            let mut r = AbftReport::default();
+            let solo = attn.forward_simple(x, &mut r);
+            assert!(
+                batch.items[i].output.approx_eq(&solo.output, 1e-5, 1e-5),
+                "item {i} diverged"
+            );
+        }
+        assert!(batch.report.is_quiet());
+        assert_eq!(batch.report.sections_checked, 6 * 3);
+    }
+
+    #[test]
+    fn batched_with_mask_matches_sequential() {
+        let (xs, attn) = setup(3);
+        let mask = causal_mask(12);
+        let batch = attn.forward_batch(&xs, Some(&mask), SectionToggles::all());
+        let mut r = AbftReport::default();
+        let solo = attn.forward(
+            &xs[1],
+            ForwardOptions {
+                mask: Some(&mask),
+                toggles: SectionToggles::all(),
+                hook: None,
+            },
+            &mut r,
+        );
+        assert!(batch.items[1].output.approx_eq(&solo.output, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn batched_report_merges_section_counters() {
+        let (xs, attn) = setup(4);
+        let batch = attn.forward_batch(&xs, None, SectionToggles::none());
+        assert_eq!(batch.report.sections_skipped, 4 * 3);
+        assert_eq!(batch.report.sections_checked, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (_, attn) = setup(1);
+        let batch = attn.forward_batch(&[], None, SectionToggles::all());
+        assert!(batch.items.is_empty());
+        assert!(batch.report.is_quiet());
+    }
+}

@@ -1,0 +1,760 @@
+//! Checksum-augmented matrices with fused update (paper §4.6).
+//!
+//! A [`CheckedMatrix`] *physically* appends its checksum rows/columns to the
+//! data buffer:
+//!
+//! ```text
+//!                cols      2 (row cs)
+//!            ┌─────────┬────────┐
+//!    rows    │  data   │ A·v1 A·v2 │
+//!            ├─────────┼────────┤
+//!    2       │ v1ᵀA    │ corner │   (col cs)
+//!  (col cs)  │ v2ᵀA    │        │
+//!            └─────────┴────────┘
+//! ```
+//!
+//! Because checksums live inside the operand, a *single* GEMM over the
+//! augmented buffers updates data and checksums together — the paper's
+//! "pack the checksum with the operand matrix such that the checksum can be
+//! updated together with the original operation". The alternative
+//! [`Strategy::Separate`] path performs the same mathematics as four
+//! independent products plus assembly copies, reproducing the kernel-launch-
+//! and-traffic-heavy baseline of Fig 8.
+
+use crate::checksum::{
+    col_checksums, col_checksums_naive, row_checksums, row_checksums_naive, weight,
+};
+use crate::config::Strategy;
+use attn_tensor::gemm;
+use attn_tensor::Matrix;
+
+/// A dense matrix whose buffer physically carries dual checksums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedMatrix {
+    /// Logical (data) rows.
+    rows: usize,
+    /// Logical (data) columns.
+    cols: usize,
+    /// Two extra buffer rows hold `v1ᵀA` / `v2ᵀA`.
+    has_col_cs: bool,
+    /// Two extra buffer columns hold `A·v1` / `A·v2`.
+    has_row_cs: bool,
+    /// Physical storage, `(rows + 2·col_cs) × (cols + 2·row_cs)`.
+    buf: Matrix,
+}
+
+impl CheckedMatrix {
+    /// Wrap a plain matrix with no checksums.
+    pub fn from_plain(data: &Matrix) -> Self {
+        Self {
+            rows: data.rows(),
+            cols: data.cols(),
+            has_col_cs: false,
+            has_row_cs: false,
+            buf: data.clone(),
+        }
+    }
+
+    /// Encode column checksums (two appended rows).
+    pub fn encode_cols(data: &Matrix, strategy: Strategy) -> Self {
+        let cs = match strategy {
+            Strategy::Fused => col_checksums(data),
+            Strategy::Separate => col_checksums_naive(data),
+        };
+        Self {
+            rows: data.rows(),
+            cols: data.cols(),
+            has_col_cs: true,
+            has_row_cs: false,
+            buf: data.vstack(&cs),
+        }
+    }
+
+    /// Encode row checksums (two appended columns).
+    pub fn encode_rows(data: &Matrix, strategy: Strategy) -> Self {
+        let cs = match strategy {
+            Strategy::Fused => row_checksums(data),
+            Strategy::Separate => row_checksums_naive(data),
+        };
+        Self {
+            rows: data.rows(),
+            cols: data.cols(),
+            has_col_cs: false,
+            has_row_cs: true,
+            buf: data.hstack(&cs),
+        }
+    }
+
+    /// Encode both sides (columns, rows, and the consistency corner).
+    pub fn encode_both(data: &Matrix, strategy: Strategy) -> Self {
+        let with_rows = Self::encode_rows(data, strategy);
+        // Column checksums of the row-augmented buffer also cover the
+        // checksum columns, producing the 2×2 corner automatically.
+        let cs = match strategy {
+            Strategy::Fused => col_checksums(&with_rows.buf),
+            Strategy::Separate => col_checksums_naive(&with_rows.buf),
+        };
+        Self {
+            rows: data.rows(),
+            cols: data.cols(),
+            has_col_cs: true,
+            has_row_cs: true,
+            buf: with_rows.buf.vstack(&cs),
+        }
+    }
+
+    /// Logical rows of the protected matrix.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical columns of the protected matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether column checksums are present.
+    #[inline]
+    pub fn has_col_checksums(&self) -> bool {
+        self.has_col_cs
+    }
+
+    /// Whether row checksums are present.
+    #[inline]
+    pub fn has_row_checksums(&self) -> bool {
+        self.has_row_cs
+    }
+
+    /// Physical buffer (data + checksum borders).
+    #[inline]
+    pub fn buf(&self) -> &Matrix {
+        &self.buf
+    }
+
+    /// Mutable physical buffer. Campaign code uses this to strike faults in
+    /// the checksum regions as well as the data region.
+    #[inline]
+    pub fn buf_mut(&mut self) -> &mut Matrix {
+        &mut self.buf
+    }
+
+    /// Logical element read.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.buf[(r, c)]
+    }
+
+    /// Logical element write (checksums intentionally untouched — this is
+    /// how campaigns model a computation fault).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.buf[(r, c)] = v;
+    }
+
+    /// Copy of the logical data region.
+    pub fn logical(&self) -> Matrix {
+        self.buf.submatrix(0, self.rows, 0, self.cols)
+    }
+
+    /// Stored column checksums as a `2 × cols` matrix.
+    ///
+    /// # Panics
+    /// Panics when column checksums are absent.
+    pub fn stored_col_checksums(&self) -> Matrix {
+        assert!(self.has_col_cs, "no column checksums");
+        self.buf.submatrix(self.rows, self.rows + 2, 0, self.cols)
+    }
+
+    /// Stored row checksums as a `rows × 2` matrix.
+    ///
+    /// # Panics
+    /// Panics when row checksums are absent.
+    pub fn stored_row_checksums(&self) -> Matrix {
+        assert!(self.has_row_cs, "no row checksums");
+        self.buf.submatrix(0, self.rows, self.cols, self.cols + 2)
+    }
+
+    /// Stored `(checksum, weighted checksum)` for logical column `c`.
+    #[inline]
+    pub fn col_checksum(&self, c: usize) -> (f32, f32) {
+        debug_assert!(self.has_col_cs);
+        (self.buf[(self.rows, c)], self.buf[(self.rows + 1, c)])
+    }
+
+    /// Stored `(checksum, weighted checksum)` for logical row `r`.
+    #[inline]
+    pub fn row_checksum(&self, r: usize) -> (f32, f32) {
+        debug_assert!(self.has_row_cs);
+        (self.buf[(r, self.cols)], self.buf[(r, self.cols + 1)])
+    }
+
+    /// Overwrite the stored checksums of column `c`.
+    #[inline]
+    pub fn set_col_checksum(&mut self, c: usize, cs: (f32, f32)) {
+        debug_assert!(self.has_col_cs);
+        self.buf[(self.rows, c)] = cs.0;
+        self.buf[(self.rows + 1, c)] = cs.1;
+    }
+
+    /// Overwrite the stored checksums of row `r`.
+    #[inline]
+    pub fn set_row_checksum(&mut self, r: usize, cs: (f32, f32)) {
+        debug_assert!(self.has_row_cs);
+        self.buf[(r, self.cols)] = cs.0;
+        self.buf[(r, self.cols + 1)] = cs.1;
+    }
+
+    /// Logical column `c` copied into a vector (data region only).
+    pub fn logical_col(&self, c: usize) -> Vec<f32> {
+        (0..self.rows).map(|r| self.buf[(r, c)]).collect()
+    }
+
+    /// Logical row `r` as a slice (data region only).
+    pub fn logical_row(&self, r: usize) -> &[f32] {
+        &self.buf.row(r)[..self.cols]
+    }
+
+    /// Fused product `C = A · B` over the augmented buffers.
+    ///
+    /// Checksum flags compose: `A`'s column checksums and `B`'s row
+    /// checksums ride through to `C`. `A` must not carry row checksums and
+    /// `B` must not carry column checksums (those borders would corrupt the
+    /// product's inner dimension).
+    ///
+    /// # Panics
+    /// Panics on invalid checksum layouts or dimension mismatch.
+    pub fn matmul(&self, other: &CheckedMatrix) -> CheckedMatrix {
+        assert!(
+            !self.has_row_cs,
+            "matmul: left operand must not carry row checksums"
+        );
+        assert!(
+            !other.has_col_cs,
+            "matmul: right operand must not carry column checksums"
+        );
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension");
+        let buf = gemm::matmul(&self.buf, &other.buf);
+        CheckedMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: other.has_row_cs,
+            buf,
+        }
+    }
+
+    /// Fused product `C = A · Bᵀ` over the augmented buffers.
+    ///
+    /// `B`'s *column* checksums become `C`'s row checksums under the
+    /// transpose — this is exactly how `AS = Q·Kᵀ` acquires both borders in
+    /// the `S_AS` section from column-encoded `Q` and `K`.
+    ///
+    /// # Panics
+    /// Panics on invalid checksum layouts or dimension mismatch.
+    pub fn matmul_nt(&self, other: &CheckedMatrix) -> CheckedMatrix {
+        assert!(
+            !self.has_row_cs,
+            "matmul_nt: left operand must not carry row checksums"
+        );
+        assert!(
+            !other.has_row_cs,
+            "matmul_nt: right operand must not carry row checksums"
+        );
+        assert_eq!(self.cols, other.cols, "matmul_nt: inner dimension");
+        let buf = gemm::matmul_nt(&self.buf, &other.buf);
+        CheckedMatrix {
+            rows: self.rows,
+            cols: other.rows,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: other.has_col_cs,
+            buf,
+        }
+    }
+
+    /// Separate-pass product (the Fig 8 "Non-OPT" baseline): data and each
+    /// checksum border are produced by independent products, then copied
+    /// into the augmented layout. Mathematically identical to [`Self::matmul`],
+    /// but with the extra kernel launches, temporaries, and memory traffic
+    /// of an unfused implementation.
+    pub fn matmul_separate(&self, other: &CheckedMatrix) -> CheckedMatrix {
+        assert!(!self.has_row_cs && !other.has_col_cs);
+        assert_eq!(self.cols, other.rows, "matmul_separate: inner dimension");
+        let a_data = self.logical();
+        let b_data = other.logical();
+        // Kernel 1: the data product.
+        let c_data = gemm::matmul(&a_data, &b_data);
+        let mut out = CheckedMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: other.has_row_cs,
+            buf: Matrix::zeros(
+                self.rows + if self.has_col_cs { 2 } else { 0 },
+                other.cols + if other.has_row_cs { 2 } else { 0 },
+            ),
+        };
+        for r in 0..c_data.rows() {
+            out.buf.row_mut(r)[..c_data.cols()].copy_from_slice(c_data.row(r));
+        }
+        // Kernel 2: column-checksum update.
+        if self.has_col_cs {
+            let cc = gemm::matmul(&self.stored_col_checksums(), &b_data);
+            for i in 0..2 {
+                out.buf.row_mut(self.rows + i)[..other.cols].copy_from_slice(cc.row(i));
+            }
+        }
+        // Kernel 3: row-checksum update.
+        if other.has_row_cs {
+            let rc = gemm::matmul(&a_data, &other.stored_row_checksums());
+            for r in 0..self.rows {
+                out.buf.row_mut(r)[other.cols..].copy_from_slice(rc.row(r));
+            }
+        }
+        // Kernel 4: the consistency corner.
+        if self.has_col_cs && other.has_row_cs {
+            let corner = gemm::matmul(
+                &self.stored_col_checksums(),
+                &other.stored_row_checksums(),
+            );
+            for i in 0..2 {
+                out.buf.row_mut(self.rows + i)[other.cols..].copy_from_slice(corner.row(i));
+            }
+        }
+        out
+    }
+
+    /// Separate-pass variant of [`Self::matmul_nt`].
+    pub fn matmul_nt_separate(&self, other: &CheckedMatrix) -> CheckedMatrix {
+        assert!(!self.has_row_cs && !other.has_row_cs);
+        assert_eq!(self.cols, other.cols);
+        let a_data = self.logical();
+        let b_data = other.logical();
+        let c_data = gemm::matmul_nt(&a_data, &b_data);
+        let mut out = CheckedMatrix {
+            rows: self.rows,
+            cols: other.rows,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: other.has_col_cs,
+            buf: Matrix::zeros(
+                self.rows + if self.has_col_cs { 2 } else { 0 },
+                other.rows + if other.has_col_cs { 2 } else { 0 },
+            ),
+        };
+        for r in 0..c_data.rows() {
+            out.buf.row_mut(r)[..c_data.cols()].copy_from_slice(c_data.row(r));
+        }
+        if self.has_col_cs {
+            let cc = gemm::matmul_nt(&self.stored_col_checksums(), &b_data);
+            for i in 0..2 {
+                out.buf.row_mut(self.rows + i)[..other.rows].copy_from_slice(cc.row(i));
+            }
+        }
+        if other.has_col_cs {
+            let rc = gemm::matmul_nt(&a_data, &other.stored_col_checksums());
+            for r in 0..self.rows {
+                out.buf.row_mut(r)[other.rows..].copy_from_slice(rc.row(r));
+            }
+        }
+        if self.has_col_cs && other.has_col_cs {
+            let corner = gemm::matmul_nt(
+                &self.stored_col_checksums(),
+                &other.stored_col_checksums(),
+            );
+            for i in 0..2 {
+                out.buf.row_mut(self.rows + i)[other.rows..].copy_from_slice(corner.row(i));
+            }
+        }
+        out
+    }
+
+    /// Scale the entire augmented buffer (data *and* checksums) by `s` —
+    /// checksum linearity makes this exact, so `AS / √d_k` keeps protection.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.buf.scale_inplace(s);
+    }
+
+    /// Add a broadcast bias row to every logical row, adjusting the stored
+    /// checksums so the invariant survives: the bias contributes `m·b` to
+    /// the unweighted column checksum, `Σwᵢ·b` to the weighted one, and
+    /// `(Σb, Σwⱼbⱼ)` to every row checksum.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != self.cols()`.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "add_bias: length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.buf.row_mut(r)[..self.cols].iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+        let m = self.rows;
+        let sum_w: f32 = (0..m).map(weight).sum();
+        if self.has_col_cs {
+            for (c, &b) in bias.iter().enumerate() {
+                self.buf[(m, c)] += m as f32 * b;
+                self.buf[(m + 1, c)] += sum_w * b;
+            }
+        }
+        if self.has_row_cs {
+            let bias_sum: f32 = bias.iter().sum();
+            let bias_wsum: f32 = bias.iter().enumerate().map(|(c, &b)| weight(c) * b).sum();
+            for r in 0..m {
+                self.buf[(r, self.cols)] += bias_sum;
+                self.buf[(r, self.cols + 1)] += bias_wsum;
+            }
+            if self.has_col_cs {
+                // Corner: v_iᵀ·(1·bᵀ)·v_j = (Σv_i)(bᵀv_j).
+                self.buf[(m, self.cols)] += m as f32 * bias_sum;
+                self.buf[(m, self.cols + 1)] += m as f32 * bias_wsum;
+                self.buf[(m + 1, self.cols)] += sum_w * bias_sum;
+                self.buf[(m + 1, self.cols + 1)] += sum_w * bias_wsum;
+            }
+        }
+    }
+
+    /// Rebuild all stored checksums from the (presumed-correct) data region.
+    pub fn recompute_checksums(&mut self) {
+        let data = self.logical();
+        if self.has_row_cs {
+            let rc = row_checksums(&data);
+            for r in 0..self.rows {
+                self.buf[(r, self.cols)] = rc[(r, 0)];
+                self.buf[(r, self.cols + 1)] = rc[(r, 1)];
+            }
+        }
+        if self.has_col_cs {
+            // Cover the row-checksum columns too so the corner stays
+            // consistent.
+            let upper = self
+                .buf
+                .submatrix(0, self.rows, 0, self.buf.cols());
+            let cc = col_checksums(&upper);
+            for c in 0..self.buf.cols() {
+                self.buf[(self.rows, c)] = cc[(0, c)];
+                self.buf[(self.rows + 1, c)] = cc[(1, c)];
+            }
+        }
+    }
+
+    /// Rebuild the stored checksums of a single logical column from data.
+    pub fn recompute_col_checksum(&mut self, c: usize) {
+        debug_assert!(self.has_col_cs);
+        let mut s = 0.0f32;
+        let mut ws = 0.0f32;
+        for r in 0..self.rows {
+            let v = self.buf[(r, c)];
+            s += v;
+            ws += weight(r) * v;
+        }
+        self.buf[(self.rows, c)] = s;
+        self.buf[(self.rows + 1, c)] = ws;
+    }
+
+    /// Rebuild the stored checksums of a single logical row from data.
+    pub fn recompute_row_checksum(&mut self, r: usize) {
+        debug_assert!(self.has_row_cs);
+        let mut s = 0.0f32;
+        let mut ws = 0.0f32;
+        for c in 0..self.cols {
+            let v = self.buf[(r, c)];
+            s += v;
+            ws += weight(c) * v;
+        }
+        self.buf[(r, self.cols)] = s;
+        self.buf[(r, self.cols + 1)] = ws;
+    }
+
+    /// Slice logical columns `[start, end)` keeping column checksums (used
+    /// to split `Q`/`K` into per-head blocks — column checksums restrict to
+    /// column ranges exactly).
+    ///
+    /// # Panics
+    /// Panics when row checksums are present (they do not survive column
+    /// slicing) or the range is invalid.
+    pub fn slice_cols(&self, start: usize, end: usize) -> CheckedMatrix {
+        assert!(!self.has_row_cs, "slice_cols: row checksums cannot be sliced");
+        assert!(start <= end && end <= self.cols);
+        let phys_rows = self.buf.rows();
+        CheckedMatrix {
+            rows: self.rows,
+            cols: end - start,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: false,
+            buf: self.buf.submatrix(0, phys_rows, start, end),
+        }
+    }
+
+    /// Drop row checksums, keeping column checksums (used when the per-head
+    /// `CL` blocks are merged: only column checksums ride into `S_O`).
+    pub fn drop_row_checksums(&self) -> CheckedMatrix {
+        if !self.has_row_cs {
+            return self.clone();
+        }
+        let phys_rows = self.buf.rows();
+        CheckedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            has_col_cs: self.has_col_cs,
+            has_row_cs: false,
+            buf: self.buf.submatrix(0, phys_rows, 0, self.cols),
+        }
+    }
+
+    /// Horizontally concatenate column-checksummed blocks (per-head `CL`
+    /// blocks back into the full context layer).
+    ///
+    /// # Panics
+    /// Panics if blocks disagree on rows/flags or any carries row checksums.
+    pub fn concat_cols(blocks: &[CheckedMatrix]) -> CheckedMatrix {
+        assert!(!blocks.is_empty());
+        let rows = blocks[0].rows;
+        let has_col_cs = blocks[0].has_col_cs;
+        let mut buf = blocks[0].buf.clone();
+        for b in &blocks[1..] {
+            assert_eq!(b.rows, rows, "concat_cols: row mismatch");
+            assert_eq!(b.has_col_cs, has_col_cs, "concat_cols: flag mismatch");
+            assert!(!b.has_row_cs, "concat_cols: row checksums present");
+            buf = buf.hstack(&b.buf);
+        }
+        assert!(!blocks[0].has_row_cs);
+        CheckedMatrix {
+            rows,
+            cols: blocks.iter().map(|b| b.cols).sum(),
+            has_col_cs,
+            has_row_cs: false,
+            buf,
+        }
+    }
+
+    /// Verify every stored checksum against a recomputation; returns the
+    /// maximum absolute discrepancy (0 for a perfectly consistent matrix).
+    /// Intended for tests and invariant assertions, not the hot path.
+    pub fn max_checksum_discrepancy(&self) -> f32 {
+        let mut worst = 0.0f32;
+        if self.has_col_cs {
+            for c in 0..self.cols {
+                let col = self.logical_col(c);
+                let (s, ws, _) = crate::checksum::vector_sums(&col);
+                let (cs, wcs) = self.col_checksum(c);
+                worst = worst.max((cs - s).abs()).max((wcs - ws).abs());
+            }
+        }
+        if self.has_row_cs {
+            for r in 0..self.rows {
+                let (s, ws, _) = crate::checksum::vector_sums(self.logical_row(r));
+                let (cs, wcs) = self.row_checksum(r);
+                worst = worst.max((cs - s).abs()).max((wcs - ws).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_tensor::rng::TensorRng;
+
+    fn rand(rng: &mut TensorRng, r: usize, c: usize) -> Matrix {
+        rng.normal_matrix(r, c, 1.0)
+    }
+
+    #[test]
+    fn encode_cols_layout() {
+        let mut rng = TensorRng::seed_from(1);
+        let a = rand(&mut rng, 5, 4);
+        let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        assert_eq!((ca.rows(), ca.cols()), (5, 4));
+        assert_eq!((ca.buf().rows(), ca.buf().cols()), (7, 4));
+        assert_eq!(ca.logical(), a);
+        assert!(ca.max_checksum_discrepancy() < 1e-4);
+    }
+
+    #[test]
+    fn encode_both_has_consistent_corner() {
+        let mut rng = TensorRng::seed_from(2);
+        let a = rand(&mut rng, 6, 5);
+        let ca = CheckedMatrix::encode_both(&a, Strategy::Fused);
+        assert_eq!((ca.buf().rows(), ca.buf().cols()), (8, 7));
+        assert!(ca.max_checksum_discrepancy() < 1e-4);
+        // Corner (0,0) = total sum of A.
+        let total: f32 = a.data().iter().sum();
+        assert!((ca.buf()[(6, 5)] - total).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fused_matmul_carries_checksums() {
+        let mut rng = TensorRng::seed_from(3);
+        let a = rand(&mut rng, 6, 8);
+        let b = rand(&mut rng, 8, 5);
+        let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        let cb = CheckedMatrix::encode_rows(&b, Strategy::Fused);
+        let cc = ca.matmul(&cb);
+        assert!(cc.has_col_checksums() && cc.has_row_checksums());
+        assert!(cc.logical().approx_eq(&gemm::matmul(&a, &b), 1e-4, 1e-4));
+        assert!(
+            cc.max_checksum_discrepancy() < 1e-2,
+            "discrepancy {}",
+            cc.max_checksum_discrepancy()
+        );
+    }
+
+    #[test]
+    fn fused_matmul_nt_transposes_checksum_side() {
+        let mut rng = TensorRng::seed_from(4);
+        let q = rand(&mut rng, 7, 4);
+        let k = rand(&mut rng, 9, 4);
+        let cq = CheckedMatrix::encode_cols(&q, Strategy::Fused);
+        let ck = CheckedMatrix::encode_cols(&k, Strategy::Fused);
+        let cs = cq.matmul_nt(&ck);
+        assert_eq!((cs.rows(), cs.cols()), (7, 9));
+        assert!(cs.has_col_checksums() && cs.has_row_checksums());
+        assert!(cs.logical().approx_eq(&gemm::matmul_nt(&q, &k), 1e-4, 1e-4));
+        assert!(cs.max_checksum_discrepancy() < 1e-2);
+    }
+
+    #[test]
+    fn separate_matmul_matches_fused() {
+        let mut rng = TensorRng::seed_from(5);
+        let a = rand(&mut rng, 6, 8);
+        let b = rand(&mut rng, 8, 5);
+        let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        let cb = CheckedMatrix::encode_rows(&b, Strategy::Fused);
+        let fused = ca.matmul(&cb);
+        let sep = ca.matmul_separate(&cb);
+        assert!(fused.buf().approx_eq(sep.buf(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn separate_matmul_nt_matches_fused() {
+        let mut rng = TensorRng::seed_from(6);
+        let q = rand(&mut rng, 5, 4);
+        let k = rand(&mut rng, 6, 4);
+        let cq = CheckedMatrix::encode_cols(&q, Strategy::Fused);
+        let ck = CheckedMatrix::encode_cols(&k, Strategy::Fused);
+        assert!(cq
+            .matmul_nt(&ck)
+            .buf()
+            .approx_eq(cq.matmul_nt_separate(&ck).buf(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn scale_preserves_invariant() {
+        let mut rng = TensorRng::seed_from(7);
+        let a = rand(&mut rng, 6, 6);
+        let mut ca = CheckedMatrix::encode_both(&a, Strategy::Fused);
+        ca.scale_inplace(0.125);
+        assert!(ca.max_checksum_discrepancy() < 1e-4);
+        assert!(ca.logical().approx_eq(&a.scaled(0.125), 1e-6, 1e-6));
+    }
+
+    #[test]
+    fn add_bias_preserves_invariant_all_layouts() {
+        let mut rng = TensorRng::seed_from(8);
+        let a = rand(&mut rng, 5, 4);
+        let bias = vec![0.5, -1.0, 2.0, 0.25];
+        for enc in [
+            CheckedMatrix::encode_cols(&a, Strategy::Fused),
+            CheckedMatrix::encode_rows(&a, Strategy::Fused),
+            CheckedMatrix::encode_both(&a, Strategy::Fused),
+        ] {
+            let mut m = enc;
+            m.add_bias(&bias);
+            assert!(
+                m.max_checksum_discrepancy() < 1e-3,
+                "discrepancy {}",
+                m.max_checksum_discrepancy()
+            );
+            for r in 0..5 {
+                for c in 0..4 {
+                    assert!((m.get(r, c) - (a[(r, c)] + bias[c])).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_cols_keeps_per_column_checksums() {
+        let mut rng = TensorRng::seed_from(9);
+        let a = rand(&mut rng, 6, 8);
+        let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        let head = ca.slice_cols(2, 6);
+        assert_eq!((head.rows(), head.cols()), (6, 4));
+        assert!(head.max_checksum_discrepancy() < 1e-4);
+        assert_eq!(head.logical(), a.submatrix(0, 6, 2, 6));
+    }
+
+    #[test]
+    fn concat_cols_rebuilds_full_matrix() {
+        let mut rng = TensorRng::seed_from(10);
+        let a = rand(&mut rng, 4, 6);
+        let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        let left = ca.slice_cols(0, 3);
+        let right = ca.slice_cols(3, 6);
+        let merged = CheckedMatrix::concat_cols(&[left, right]);
+        assert_eq!(merged.buf(), ca.buf());
+    }
+
+    #[test]
+    fn drop_row_checksums_keeps_col_side() {
+        let mut rng = TensorRng::seed_from(11);
+        let a = rand(&mut rng, 4, 4);
+        let both = CheckedMatrix::encode_both(&a, Strategy::Fused);
+        let colonly = both.drop_row_checksums();
+        assert!(colonly.has_col_checksums());
+        assert!(!colonly.has_row_checksums());
+        assert!(colonly.max_checksum_discrepancy() < 1e-4);
+    }
+
+    #[test]
+    fn recompute_checksums_heals_corruption() {
+        let mut rng = TensorRng::seed_from(12);
+        let a = rand(&mut rng, 5, 5);
+        let mut ca = CheckedMatrix::encode_both(&a, Strategy::Fused);
+        // Corrupt a checksum cell directly.
+        let rows = ca.rows();
+        ca.buf_mut()[(rows, 2)] = f32::NAN;
+        ca.recompute_checksums();
+        assert!(ca.max_checksum_discrepancy() < 1e-4);
+    }
+
+    #[test]
+    fn data_fault_breaks_checksum_relation() {
+        let mut rng = TensorRng::seed_from(13);
+        let a = rand(&mut rng, 6, 6);
+        let mut ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+        ca.set(3, 2, f32::INFINITY);
+        let d = ca.max_checksum_discrepancy();
+        assert!(d.is_nan() || d >= 1e-2, "fault must break the invariant");
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_row_checksummed_left() {
+        let a = Matrix::zeros(3, 3);
+        let ca = CheckedMatrix::encode_rows(&a, Strategy::Fused);
+        let cb = CheckedMatrix::from_plain(&a);
+        let _ = ca.matmul(&cb);
+    }
+
+    #[test]
+    fn chained_products_keep_checksums_consistent() {
+        // X(col) · W1 → ·W2 → still consistent: the checksum-passing
+        // mechanism of §4.4 across a whole section.
+        let mut rng = TensorRng::seed_from(14);
+        let x = rand(&mut rng, 6, 8);
+        let w1 = rand(&mut rng, 8, 8);
+        let w2 = rand(&mut rng, 8, 4);
+        let cx = CheckedMatrix::encode_cols(&x, Strategy::Fused);
+        let c1 = cx.matmul(&CheckedMatrix::from_plain(&w1));
+        let c2 = c1.matmul(&CheckedMatrix::from_plain(&w2));
+        assert!(c2.has_col_checksums());
+        assert!(c2.max_checksum_discrepancy() < 5e-2);
+        let expect = gemm::matmul(&gemm::matmul(&x, &w1), &w2);
+        assert!(c2.logical().approx_eq(&expect, 1e-4, 1e-4));
+    }
+}

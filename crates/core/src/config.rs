@@ -1,0 +1,213 @@
+//! Configuration for ABFT detection, correction, and protection scheduling.
+
+/// Thresholds governing EEC-ABFT detection and correction (paper §4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftConfig {
+    /// Finite values with magnitude above this count as near-INF.
+    /// Paper: `T_near-INF = 1e10`.
+    pub near_inf_threshold: f32,
+    /// Corrupted values with magnitude above this are corrected by
+    /// *reconstruction* from the checksum rather than by adding δ1, because
+    /// round-off absorption would otherwise corrupt the recovery.
+    /// Paper: `T_correct = 1e5`.
+    pub correct_threshold: f32,
+    /// Relative round-off tolerance `E` for checksum comparison: a checksum
+    /// discrepancy counts as an error only when
+    /// `|δ1| > detect_tol · (Σ|v| + 1)`.
+    pub detect_tol: f32,
+}
+
+impl Default for AbftConfig {
+    fn default() -> Self {
+        Self {
+            near_inf_threshold: 1e10,
+            correct_threshold: 1e5,
+            detect_tol: 5e-4,
+        }
+    }
+}
+
+impl AbftConfig {
+    /// Round-off detection bound for a vector whose absolute sum is
+    /// `sum_abs`.
+    #[inline]
+    pub fn detection_bound(&self, sum_abs: f32) -> f32 {
+        self.detect_tol * (sum_abs + 1.0)
+    }
+}
+
+/// Checksum update/encoding strategy — the Fig 8 ablation axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Paper §4.6 optimizations: checksums are packed into the operand so
+    /// one GEMM updates data and checksums together; encodings are single
+    /// fused passes; detection is one parallel divergence-free sweep.
+    Fused,
+    /// "Non-OPT" baseline: every checksum is produced by separate passes
+    /// (distinct encode "kernels" with their own allocations and memory
+    /// sweeps), mimicking a cuBLAS-composed implementation.
+    Separate,
+}
+
+/// Which protection sections run, at what frequency, and how.
+///
+/// Frequencies follow paper §4.5: `f = 1.0` checks the section on every
+/// execution, `f = 0.5` every other execution, `f = 0` never. Fractional
+/// frequencies are realised deterministically by an execution counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtectionConfig {
+    /// Detection frequency for the attention-score section
+    /// `S_AS = {X·W_Q, X·W_K, Q·Kᵀ}`.
+    pub f_as: f64,
+    /// Detection frequency for the context-layer section
+    /// `S_CL = {X·W_V, AP·V}`.
+    pub f_cl: f64,
+    /// Detection frequency for the output section `S_O = {CL·W_O}`.
+    pub f_o: f64,
+    /// Encoding/update strategy.
+    pub strategy: Strategy,
+    /// Detection/correction thresholds.
+    pub abft: AbftConfig,
+}
+
+impl ProtectionConfig {
+    /// Full protection: every section checked on every execution with the
+    /// fused strategy (the configuration evaluated in paper §5.2–5.3).
+    pub fn full() -> Self {
+        Self {
+            f_as: 1.0,
+            f_cl: 1.0,
+            f_o: 1.0,
+            strategy: Strategy::Fused,
+            abft: AbftConfig::default(),
+        }
+    }
+
+    /// Protection disabled everywhere — the unprotected baseline.
+    pub fn off() -> Self {
+        Self {
+            f_as: 0.0,
+            f_cl: 0.0,
+            f_o: 0.0,
+            strategy: Strategy::Fused,
+            abft: AbftConfig::default(),
+        }
+    }
+
+    /// Full protection through the deliberately naive separate-pass
+    /// strategy (paper Fig 8 "ATTNChecker(Non-OPT)").
+    pub fn full_unoptimized() -> Self {
+        Self {
+            strategy: Strategy::Separate,
+            ..Self::full()
+        }
+    }
+
+    /// Full protection with custom per-section frequencies (the output of
+    /// the adaptive optimizer, paper §4.5/§5.4).
+    pub fn with_frequencies(f_as: f64, f_cl: f64, f_o: f64) -> Self {
+        Self {
+            f_as: f_as.clamp(0.0, 1.0),
+            f_cl: f_cl.clamp(0.0, 1.0),
+            f_o: f_o.clamp(0.0, 1.0),
+            ..Self::full()
+        }
+    }
+
+    /// True when no section is ever checked.
+    pub fn is_off(&self) -> bool {
+        self.f_as == 0.0 && self.f_cl == 0.0 && self.f_o == 0.0
+    }
+}
+
+/// Deterministic frequency gate: decides whether the `n`-th execution
+/// (0-based) of a section with frequency `f` performs detection.
+///
+/// Uses an error-diffusion accumulator so that over `N` executions exactly
+/// `⌈f·N⌉`-ish detections happen, evenly spread (e.g. `f = 0.5` → every
+/// other execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrequencyGate {
+    acc: f64,
+}
+
+impl FrequencyGate {
+    /// Advance one execution; returns true when detection should run.
+    pub fn tick(&mut self, f: f64) -> bool {
+        self.acc += f.clamp(0.0, 1.0);
+        if self.acc >= 1.0 - 1e-12 {
+            self.acc -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_thresholds() {
+        let c = AbftConfig::default();
+        assert_eq!(c.near_inf_threshold, 1e10);
+        assert_eq!(c.correct_threshold, 1e5);
+    }
+
+    #[test]
+    fn detection_bound_scales_with_magnitude() {
+        let c = AbftConfig::default();
+        assert!(c.detection_bound(1000.0) > c.detection_bound(1.0));
+        assert!(c.detection_bound(0.0) > 0.0);
+    }
+
+    #[test]
+    fn full_and_off_configs() {
+        assert!(!ProtectionConfig::full().is_off());
+        assert!(ProtectionConfig::off().is_off());
+        assert_eq!(
+            ProtectionConfig::full_unoptimized().strategy,
+            Strategy::Separate
+        );
+    }
+
+    #[test]
+    fn with_frequencies_clamps() {
+        let c = ProtectionConfig::with_frequencies(1.5, -0.2, 0.3);
+        assert_eq!(c.f_as, 1.0);
+        assert_eq!(c.f_cl, 0.0);
+        assert_eq!(c.f_o, 0.3);
+    }
+
+    #[test]
+    fn gate_full_frequency_always_fires() {
+        let mut g = FrequencyGate::default();
+        assert!((0..100).all(|_| g.tick(1.0)));
+    }
+
+    #[test]
+    fn gate_zero_never_fires() {
+        let mut g = FrequencyGate::default();
+        assert!((0..100).all(|_| !g.tick(0.0)));
+    }
+
+    #[test]
+    fn gate_half_fires_every_other() {
+        let mut g = FrequencyGate::default();
+        let fired: Vec<bool> = (0..10).map(|_| g.tick(0.5)).collect();
+        assert_eq!(fired.iter().filter(|&&b| b).count(), 5);
+        // Evenly spread: no two consecutive detections.
+        for w in fired.windows(2) {
+            assert!(!(w[0] && w[1]));
+        }
+    }
+
+    #[test]
+    fn gate_fractional_rate_converges() {
+        let mut g = FrequencyGate::default();
+        let n = 1000;
+        let fired = (0..n).filter(|_| g.tick(0.3)).count();
+        assert!((fired as f64 - 300.0).abs() <= 1.0, "fired {fired}");
+    }
+}

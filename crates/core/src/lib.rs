@@ -1,0 +1,61 @@
+//! # attnchecker
+//!
+//! Rust implementation of **ATTNChecker** (PPoPP '25): the first
+//! Algorithm-Based Fault Tolerance (ABFT) scheme for the attention mechanism
+//! of transformer LLMs that detects *and corrects* extreme soft errors —
+//! INF, NaN, and near-INF — in real time, avoiding checkpoint rollbacks.
+//!
+//! ## Layered design (bottom-up)
+//!
+//! * [`checksum`] — dual (unweighted + weighted) checksum encoding for
+//!   matrices, in both a fused single-pass form and a deliberately naive
+//!   multi-pass form (the Fig 8/9 ablation baseline).
+//! * [`checked`] — [`CheckedMatrix`]: a matrix physically augmented with
+//!   checksum rows/columns so checksum *updates* ride along the very same
+//!   GEMM that produces the data (paper §4.6 "Updating").
+//! * [`eec`] — per-vector Extreme-Error-Correcting ABFT with the four-case
+//!   dispatch of paper Fig 3 (finite δ / INF δ / NaN δ / propagation).
+//! * [`detect`] — matrix-level correction passes: deterministic patterns via
+//!   one-sided checksums, nondeterministic patterns via the two-sided
+//!   try-columns-then-rows protocol with checksum rebuild (paper §4.3).
+//! * [`attention`] — the three protection sections `S_AS`, `S_CL`, `S_O`
+//!   with checksum passing across the six attention GEMMs (paper §4.4,
+//!   Fig 5), including fault-injection hooks for campaigns.
+//! * [`adaptive`] — Poisson reliability model, fault coverage (FC), fault
+//!   coverage efficiency (FCE), and the greedy detection-frequency
+//!   optimizer of paper Algorithm 1.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use attn_tensor::rng::TensorRng;
+//! use attnchecker::attention::{AttentionWeights, ProtectedAttention};
+//! use attnchecker::config::ProtectionConfig;
+//! use attnchecker::report::AbftReport;
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let (seq, hidden, heads) = (16, 32, 4);
+//! let weights = AttentionWeights::random(hidden, heads, &mut rng);
+//! let attn = ProtectedAttention::new(weights, ProtectionConfig::full());
+//! let x = rng.normal_matrix(seq, hidden, 0.5);
+//! let mut report = AbftReport::default();
+//! let out = attn.forward_simple(&x, &mut report);
+//! assert_eq!(out.output.rows(), seq);
+//! assert_eq!(out.output.cols(), hidden);
+//! assert!(report.is_quiet()); // fault-free run: nothing detected
+//! ```
+
+pub mod adaptive;
+pub mod attention;
+pub mod batched;
+pub mod checked;
+pub mod checksum;
+pub mod config;
+pub mod detect;
+pub mod eec;
+pub mod report;
+
+pub use checked::CheckedMatrix;
+pub use config::{AbftConfig, ProtectionConfig, Strategy};
+pub use eec::{eec_correct_vector, VectorVerdict};
+pub use report::AbftReport;

@@ -1,0 +1,153 @@
+//! Deterministic parallel campaign runner.
+//!
+//! The paper's Tables 2 and 4 aggregate thousands of single-fault trials
+//! ("we randomly select 10% (~5,000) elements of each output matrix").
+//! [`run_campaign`] executes `trials` independent closures in parallel, each
+//! with a deterministically forked RNG, so results are reproducible and
+//! independent of thread scheduling.
+
+use attn_tensor::rng::TensorRng;
+use rayon::prelude::*;
+
+/// Run `trials` independent trials in parallel.
+///
+/// Each trial receives `(trial_index, its own TensorRng)`; the RNG seed is
+/// derived from `base_seed` and the trial index, so results do not depend on
+/// rayon's scheduling order.
+pub fn run_campaign<T: Send>(
+    base_seed: u64,
+    trials: usize,
+    trial: impl Fn(usize, &mut TensorRng) -> T + Sync,
+) -> Vec<T> {
+    (0..trials)
+        .into_par_iter()
+        .map(|i| {
+            // SplitMix-style per-trial seed derivation keeps streams apart.
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .rotate_left(17);
+            let mut rng = TensorRng::seed_from(seed);
+            trial(i, &mut rng)
+        })
+        .collect()
+}
+
+/// Boolean-outcome campaign statistics with a Wilson confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignStats {
+    /// Number of trials whose predicate held.
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl CampaignStats {
+    /// Aggregate a slice of boolean outcomes.
+    pub fn from_outcomes(outcomes: &[bool]) -> Self {
+        Self {
+            successes: outcomes.iter().filter(|&&b| b).count(),
+            trials: outcomes.len(),
+        }
+    }
+
+    /// Point estimate of the success probability.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// 95% Wilson score interval for the success probability.
+    pub fn wilson_95(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.rate();
+        let z = 1.959_964; // 97.5 percentile of the standard normal
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// Formatted percentage, e.g. `"97.3%"`.
+    pub fn percent(&self) -> String {
+        format!("{:.1}%", 100.0 * self.rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_across_runs() {
+        let a = run_campaign(42, 64, |_, rng| rng.next_u64());
+        let b = run_campaign(42, 64, |_, rng| rng.next_u64());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_trials_have_distinct_streams() {
+        let vals = run_campaign(1, 32, |_, rng| rng.next_u64());
+        let mut uniq = vals.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), vals.len());
+    }
+
+    #[test]
+    fn campaign_indices_cover_range() {
+        let mut idx = run_campaign(5, 100, |i, _| i);
+        idx.sort();
+        assert_eq!(idx, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_rate_and_percent() {
+        let s = CampaignStats::from_outcomes(&[true, true, false, true]);
+        assert_eq!(s.successes, 3);
+        assert!((s.rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.percent(), "75.0%");
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let s = CampaignStats {
+            successes: 90,
+            trials: 100,
+        };
+        let (lo, hi) = s.wilson_95();
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(lo > 0.8 && hi < 0.97);
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let all = CampaignStats {
+            successes: 50,
+            trials: 50,
+        };
+        let (lo, hi) = all.wilson_95();
+        assert!(hi <= 1.0 && lo > 0.9);
+        let none = CampaignStats {
+            successes: 0,
+            trials: 50,
+        };
+        let (lo, hi) = none.wilson_95();
+        assert!(lo >= 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = CampaignStats::from_outcomes(&[]);
+        assert_eq!(s.rate(), 0.0);
+        let (lo, hi) = s.wilson_95();
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Campaign-facing fault injector.
+//!
+//! Reproduces the injection methodology of §3 and §5.1: one fault per trial,
+//! written into the *output* matrix of a GEMM (a 0D origin) at a uniformly
+//! random position, with the value determined by the fault class.
+
+use crate::bitflip::{is_near_inf, near_inf_flip};
+use crate::NEAR_INF_THRESHOLD;
+use attn_tensor::rng::TensorRng;
+use attn_tensor::{Batch3, Matrix};
+use std::fmt;
+
+/// The three extreme-error classes studied by the paper, with INF split by
+/// sign so campaigns can reproduce the `∞*` (mixed-sign) patterns of
+/// Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `+∞` written into the victim element.
+    Inf,
+    /// `-∞` written into the victim element.
+    NegInf,
+    /// Quiet NaN written into the victim element.
+    NaN,
+    /// Exponent-MSB bit flip producing a huge-but-finite magnitude.
+    NearInf,
+}
+
+impl FaultKind {
+    /// The three canonical kinds of the paper (positive INF representative).
+    pub const STUDY_SET: [FaultKind; 3] = [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf];
+
+    /// Produce the faulty value from the victim's original value.
+    ///
+    /// For `NearInf` the bit-flip only yields an extreme value when the
+    /// original magnitude is below 2; otherwise we synthesise a near-INF of
+    /// the same sign (the paper's campaigns resample until the flip lands in
+    /// an extreme-producing element; this is the deterministic equivalent).
+    pub fn apply(self, original: f32) -> f32 {
+        match self {
+            FaultKind::Inf => f32::INFINITY,
+            FaultKind::NegInf => f32::NEG_INFINITY,
+            FaultKind::NaN => f32::NAN,
+            FaultKind::NearInf => {
+                let flipped = near_inf_flip(original);
+                if is_near_inf(flipped, NEAR_INF_THRESHOLD) {
+                    flipped
+                } else {
+                    // |original| >= 2 or zero: bit-flip shrinks instead of
+                    // exploding. Substitute a representative near-INF value.
+                    1.0e31f32.copysign(if original == 0.0 { 1.0 } else { original })
+                }
+            }
+        }
+    }
+
+    /// Short label used in report tables (matches the paper's glyphs).
+    pub fn glyph(self) -> &'static str {
+        match self {
+            FaultKind::Inf => "INF",
+            FaultKind::NegInf => "-INF",
+            FaultKind::NaN => "NaN",
+            FaultKind::NearInf => "nINF",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+/// Everything needed to reproduce or undo a single injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionRecord {
+    /// Batch slot (0 for plain matrices).
+    pub slot: usize,
+    /// Victim row within the matrix.
+    pub row: usize,
+    /// Victim column within the matrix.
+    pub col: usize,
+    /// Value before injection.
+    pub original: f32,
+    /// Value after injection.
+    pub injected: f32,
+    /// Fault class injected.
+    pub kind: FaultKind,
+}
+
+/// Deterministic fault injector.
+///
+/// Holds its own RNG stream so campaign trials stay independent of model
+/// RNG consumption.
+pub struct FaultInjector {
+    rng: TensorRng,
+}
+
+impl FaultInjector {
+    /// Create an injector with its own seeded stream.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: TensorRng::seed_from(seed),
+        }
+    }
+
+    /// Inject `kind` at a uniformly random element of `m`.
+    pub fn inject_random(&mut self, m: &mut Matrix, kind: FaultKind) -> InjectionRecord {
+        let row = self.rng.index(m.rows());
+        let col = self.rng.index(m.cols());
+        self.inject_at(m, kind, row, col)
+    }
+
+    /// Inject `kind` at a specific `(row, col)`.
+    pub fn inject_at(
+        &mut self,
+        m: &mut Matrix,
+        kind: FaultKind,
+        row: usize,
+        col: usize,
+    ) -> InjectionRecord {
+        let original = m[(row, col)];
+        let injected = kind.apply(original);
+        m[(row, col)] = injected;
+        InjectionRecord {
+            slot: 0,
+            row,
+            col,
+            original,
+            injected,
+            kind,
+        }
+    }
+
+    /// Inject `kind` at a uniformly random element of a random slot of `b`.
+    pub fn inject_random_batch(&mut self, b: &mut Batch3, kind: FaultKind) -> InjectionRecord {
+        let slot = self.rng.index(b.n());
+        let row = self.rng.index(b.rows());
+        let col = self.rng.index(b.cols());
+        self.inject_batch_at(b, kind, slot, row, col)
+    }
+
+    /// Inject `kind` at a specific `(slot, row, col)` of a batch.
+    pub fn inject_batch_at(
+        &mut self,
+        b: &mut Batch3,
+        kind: FaultKind,
+        slot: usize,
+        row: usize,
+        col: usize,
+    ) -> InjectionRecord {
+        let mut view = b.slot_mut(slot);
+        let original = view.at(row, col);
+        let injected = kind.apply(original);
+        view.set(row, col, injected);
+        InjectionRecord {
+            slot,
+            row,
+            col,
+            original,
+            injected,
+            kind,
+        }
+    }
+
+    /// Pick a random ±INF with equal probability (for `∞*` campaigns).
+    pub fn random_signed_inf(&mut self) -> FaultKind {
+        if self.rng.bernoulli(0.5) {
+            FaultKind::Inf
+        } else {
+            FaultKind::NegInf
+        }
+    }
+
+    /// Access the internal RNG (for trial forking).
+    pub fn rng_mut(&mut self) -> &mut TensorRng {
+        &mut self.rng
+    }
+}
+
+/// Undo an injection (restores the recorded original value).
+pub fn revert(m: &mut Matrix, rec: &InjectionRecord) {
+    m[(rec.row, rec.col)] = rec.original;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_produces_expected_class() {
+        assert_eq!(FaultKind::Inf.apply(0.3), f32::INFINITY);
+        assert_eq!(FaultKind::NegInf.apply(0.3), f32::NEG_INFINITY);
+        assert!(FaultKind::NaN.apply(0.3).is_nan());
+        let n = FaultKind::NearInf.apply(0.3);
+        assert!(n.is_finite() && n.abs() > NEAR_INF_THRESHOLD);
+    }
+
+    #[test]
+    fn near_inf_fallback_for_large_and_zero_originals() {
+        for &x in &[5.0f32, -8.0, 0.0, 100.0] {
+            let n = FaultKind::NearInf.apply(x);
+            assert!(n.is_finite() && n.abs() > NEAR_INF_THRESHOLD, "x={x}");
+        }
+        // Sign preserved for nonzero.
+        assert!(FaultKind::NearInf.apply(-5.0) < 0.0);
+    }
+
+    #[test]
+    fn inject_random_is_reproducible() {
+        let base = Matrix::full(8, 8, 0.5);
+        let mut m1 = base.clone();
+        let mut m2 = base.clone();
+        let r1 = FaultInjector::new(99).inject_random(&mut m1, FaultKind::Inf);
+        let r2 = FaultInjector::new(99).inject_random(&mut m2, FaultKind::Inf);
+        assert_eq!(r1, r2);
+        assert_eq!(m1.data(), m2.data());
+    }
+
+    #[test]
+    fn inject_and_revert_roundtrip() {
+        let mut m = Matrix::full(4, 4, 1.25);
+        let before = m.clone();
+        let mut inj = FaultInjector::new(7);
+        let rec = inj.inject_random(&mut m, FaultKind::NaN);
+        assert!(!m.all_finite());
+        revert(&mut m, &rec);
+        assert_eq!(m.data(), before.data());
+    }
+
+    #[test]
+    fn batch_injection_hits_exactly_one_slot() {
+        let mut b = Batch3::zeros(4, 3, 3);
+        let mut inj = FaultInjector::new(3);
+        let rec = inj.inject_random_batch(&mut b, FaultKind::Inf);
+        let mut dirty = 0;
+        for i in 0..4 {
+            if !b.slot_matrix(i).all_finite() {
+                dirty += 1;
+                assert_eq!(i, rec.slot);
+            }
+        }
+        assert_eq!(dirty, 1);
+    }
+
+    #[test]
+    fn random_signed_inf_mixes_signs() {
+        let mut inj = FaultInjector::new(1);
+        let kinds: Vec<FaultKind> = (0..64).map(|_| inj.random_signed_inf()).collect();
+        assert!(kinds.contains(&FaultKind::Inf));
+        assert!(kinds.contains(&FaultKind::NegInf));
+    }
+
+    #[test]
+    fn display_glyphs() {
+        assert_eq!(FaultKind::Inf.to_string(), "INF");
+        assert_eq!(FaultKind::NaN.to_string(), "NaN");
+        assert_eq!(FaultKind::NearInf.to_string(), "nINF");
+    }
+}

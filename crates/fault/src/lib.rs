@@ -1,0 +1,32 @@
+//! # attn-fault
+//!
+//! Soft-error injection and error-propagation analysis, reproducing the
+//! methodology of the paper's §3 (fault injection and error propagation
+//! study) and §5.1 (evaluation-time injection).
+//!
+//! The paper injects three classes of extreme value into GEMM outputs:
+//!
+//! * **INF** — written directly (`±∞` assignment),
+//! * **NaN** — written directly,
+//! * **near-INF** — produced by flipping the most-significant *exponent* bit
+//!   of the victim element, the dominant hardware mechanism for magnitude
+//!   explosions (§2.2).
+//!
+//! [`bitflip`] implements the raw IEEE-754 manipulation, [`inject`] the
+//! campaign-facing injector, [`pattern`] the 0D/1R/1C/2D propagation
+//! classifier behind Table 2, and [`campaign`] a deterministic parallel
+//! trial runner used by the Table 4 and §5.2 reproductions.
+
+pub mod bitflip;
+pub mod campaign;
+pub mod inject;
+pub mod pattern;
+
+pub use bitflip::{flip_bit, near_inf_flip};
+pub use campaign::{run_campaign, CampaignStats};
+pub use inject::{FaultInjector, FaultKind, InjectionRecord};
+pub use pattern::{classify, ErrorTypeCensus, PatternClass, PropagationReport, ValueClass};
+
+/// Default magnitude threshold above which a finite value counts as
+/// near-INF. Matches the paper's empirical `T_near-INF = 1e10` (§4.2).
+pub const NEAR_INF_THRESHOLD: f32 = 1e10;

@@ -1,0 +1,236 @@
+//! Transformer block: attention + FFN with residuals, in post-LN
+//! (BERT/RoBERTa) or pre-LN (GPT-2/GPT-Neo) arrangement.
+
+use crate::attn_layer::AttentionLayer;
+use crate::ffn::FeedForward;
+use crate::layernorm::LayerNorm;
+use crate::param::{HasParams, Param};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use attnchecker::attention::ForwardOptions;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::report::AbftReport;
+use std::time::{Duration, Instant};
+
+/// Residual/normalisation arrangement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockArch {
+    /// `LN(x + Attn(x))` then `LN(h + FFN(h))` — original transformer,
+    /// used by BERT and RoBERTa.
+    PostLn,
+    /// `x + Attn(LN(x))` then `h + FFN(LN(h))` — GPT-2 family.
+    PreLn,
+}
+
+/// One transformer block.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    /// Self-attention sub-layer.
+    pub attn: AttentionLayer,
+    /// Feed-forward sub-layer.
+    pub ffn: FeedForward,
+    /// Norm attached to the attention sub-layer.
+    pub ln1: LayerNorm,
+    /// Norm attached to the FFN sub-layer.
+    pub ln2: LayerNorm,
+    /// Residual arrangement.
+    pub arch: BlockArch,
+    /// Wall time of the attention sub-layer in the most recent forward —
+    /// the model sums these into its Fig 7 "attention mechanism" timer.
+    pub attn_time_of_last_forward: Duration,
+}
+
+impl TransformerBlock {
+    /// Build a block.
+    pub fn new(
+        name: &str,
+        hidden: usize,
+        heads: usize,
+        ffn_inner: usize,
+        arch: BlockArch,
+        protection: ProtectionConfig,
+        rng: &mut TensorRng,
+    ) -> Self {
+        Self {
+            attn: AttentionLayer::new(&format!("{name}.attn"), hidden, heads, protection, rng),
+            ffn: FeedForward::new(&format!("{name}.ffn"), hidden, ffn_inner, rng),
+            ln1: LayerNorm::new(&format!("{name}.ln1"), hidden, 1e-5),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), hidden, 1e-5),
+            arch,
+            attn_time_of_last_forward: Duration::ZERO,
+        }
+    }
+
+    /// Forward pass; `opts` flows to the attention sub-layer.
+    pub fn forward(
+        &mut self,
+        x: &Matrix,
+        opts: ForwardOptions<'_>,
+        report: &mut AbftReport,
+    ) -> Matrix {
+        match self.arch {
+            BlockArch::PostLn => {
+                let t0 = Instant::now();
+                let a = self.attn.forward(x, opts, report);
+                self.attn_time_of_last_forward = t0.elapsed();
+                let h = self.ln1.forward(&x.add(&a));
+                let f = self.ffn.forward(&h);
+                self.ln2.forward(&h.add(&f))
+            }
+            BlockArch::PreLn => {
+                let n1 = self.ln1.forward(x);
+                let t0 = Instant::now();
+                let a = self.attn.forward(&n1, opts, report);
+                self.attn_time_of_last_forward = t0.elapsed();
+                let h = x.add(&a);
+                let n2 = self.ln2.forward(&h);
+                let f = self.ffn.forward(&n2);
+                h.add(&f)
+            }
+        }
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        match self.arch {
+            BlockArch::PostLn => {
+                // y = LN2(h + FFN(h)), h = LN1(x + Attn(x))
+                let dsum2 = self.ln2.backward(dy);
+                let dh_f = self.ffn.backward(&dsum2);
+                let dh = dsum2.add(&dh_f);
+                let dsum1 = self.ln1.backward(&dh);
+                let dx_a = self.attn.backward(&dsum1);
+                dsum1.add(&dx_a)
+            }
+            BlockArch::PreLn => {
+                // y = h + FFN(LN2(h)), h = x + Attn(LN1(x))
+                let dn2 = self.ffn.backward(dy);
+                let dh_ln = self.ln2.backward(&dn2);
+                let dh = dy.add(&dh_ln);
+                let dn1 = self.attn.backward(&dh);
+                let dx_ln = self.ln1.backward(&dn1);
+                dh.add(&dx_ln)
+            }
+        }
+    }
+}
+
+impl HasParams for TransformerBlock {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.attn.visit_params(f);
+        self.ffn.visit_params(f);
+        self.ln1.visit_params(f);
+        self.ln2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attnchecker::attention::SectionToggles;
+
+    fn block(arch: BlockArch, rng: &mut TensorRng) -> TransformerBlock {
+        TransformerBlock::new("b", 8, 2, 16, arch, ProtectionConfig::off(), rng)
+    }
+
+    fn run_loss(b: &TransformerBlock, x: &Matrix, dy: &Matrix) -> f32 {
+        // Clone so caches do not leak between finite-difference probes.
+        let mut c = b.clone();
+        let mut report = AbftReport::default();
+        let y = c.forward(
+            x,
+            ForwardOptions {
+                toggles: SectionToggles::none(),
+                ..Default::default()
+            },
+            &mut report,
+        );
+        y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
+    }
+
+    fn grad_check(arch: BlockArch) {
+        let mut rng = TensorRng::seed_from(7);
+        let mut b = block(arch, &mut rng);
+        let x = rng.normal_matrix(4, 8, 0.6);
+        let dy = rng.normal_matrix(4, 8, 1.0);
+        let mut report = AbftReport::default();
+        let _ = b.forward(
+            &x,
+            ForwardOptions {
+                toggles: SectionToggles::none(),
+                ..Default::default()
+            },
+            &mut report,
+        );
+        let dx = b.backward(&dy);
+
+        let eps = 1e-2;
+        for r in 0..4 {
+            for c in 0..8 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let fd = (run_loss(&b, &xp, &dy) - run_loss(&b, &xm, &dy)) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 8e-2,
+                    "{arch:?} dx ({r},{c}): fd {fd} vs {}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn post_ln_gradient_check() {
+        grad_check(BlockArch::PostLn);
+    }
+
+    #[test]
+    fn pre_ln_gradient_check() {
+        grad_check(BlockArch::PreLn);
+    }
+
+    #[test]
+    fn shapes_preserved() {
+        let mut rng = TensorRng::seed_from(8);
+        for arch in [BlockArch::PostLn, BlockArch::PreLn] {
+            let mut b = block(arch, &mut rng);
+            let x = rng.normal_matrix(5, 8, 1.0);
+            let mut report = AbftReport::default();
+            let y = b.forward(
+                &x,
+                ForwardOptions {
+                    toggles: SectionToggles::none(),
+                    ..Default::default()
+                },
+                &mut report,
+            );
+            assert_eq!((y.rows(), y.cols()), (5, 8));
+        }
+    }
+
+    #[test]
+    fn pre_ln_residual_passes_identity_at_zero_weights() {
+        // With all weights zeroed the block must reduce to the identity:
+        // attention and FFN contribute 0, residuals pass x through.
+        let mut rng = TensorRng::seed_from(9);
+        let mut b = block(BlockArch::PreLn, &mut rng);
+        b.visit_params(&mut |p| {
+            if !p.name.contains("gamma") {
+                p.value.data_mut().fill(0.0);
+            }
+        });
+        let x = rng.normal_matrix(3, 8, 1.0);
+        let mut report = AbftReport::default();
+        let y = b.forward(
+            &x,
+            ForwardOptions {
+                toggles: SectionToggles::none(),
+                ..Default::default()
+            },
+            &mut report,
+        );
+        assert!(y.approx_eq(&x, 1e-5, 1e-5));
+    }
+}

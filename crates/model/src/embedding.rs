@@ -1,0 +1,152 @@
+//! Token + learned positional embeddings.
+
+use crate::param::{HasParams, Param};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+
+/// Token and position embedding table (the transformer input layer).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Token table, `vocab × hidden`.
+    pub tok: Param,
+    /// Position table, `max_seq × hidden`.
+    pub pos: Param,
+    /// Positions start at this offset (RoBERTa reserves low position ids
+    /// for padding; BERT/GPT start at 0).
+    pub pos_offset: usize,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl Embedding {
+    /// Truncated-normal initialised tables (std 0.02, transformer
+    /// convention).
+    pub fn new(
+        name: &str,
+        vocab: usize,
+        max_seq: usize,
+        hidden: usize,
+        pos_offset: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        Self {
+            tok: Param::new(
+                format!("{name}.tok"),
+                rng.trunc_normal_matrix(vocab, hidden, 0.02),
+            ),
+            pos: Param::new(
+                format!("{name}.pos"),
+                rng.trunc_normal_matrix(max_seq + pos_offset, hidden, 0.02),
+            ),
+            pos_offset,
+            cache_tokens: None,
+        }
+    }
+
+    /// Embed a token sequence into a `seq × hidden` matrix.
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary ids or sequences longer than the
+    /// position table.
+    pub fn forward(&mut self, tokens: &[usize]) -> Matrix {
+        let hidden = self.tok.value.cols();
+        let mut out = Matrix::zeros(tokens.len(), hidden);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.tok.value.rows(), "token id {t} out of vocab");
+            let p = i + self.pos_offset;
+            assert!(p < self.pos.value.rows(), "sequence too long");
+            let dst = out.row_mut(i);
+            for (d, (&tv, &pv)) in dst
+                .iter_mut()
+                .zip(self.tok.value.row(t).iter().zip(self.pos.value.row(p)))
+            {
+                *d = tv + pv;
+            }
+        }
+        self.cache_tokens = Some(tokens.to_vec());
+        out
+    }
+
+    /// Backward: scatter-add `dy` rows into the token and position tables.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) {
+        let tokens = self
+            .cache_tokens
+            .take()
+            .expect("Embedding::backward before forward");
+        assert_eq!(dy.rows(), tokens.len());
+        for (i, &t) in tokens.iter().enumerate() {
+            let src = dy.row(i);
+            for (g, &d) in self.tok.grad.row_mut(t).iter_mut().zip(src) {
+                *g += d;
+            }
+            let p = i + self.pos_offset;
+            for (g, &d) in self.pos.grad.row_mut(p).iter_mut().zip(src) {
+                *g += d;
+            }
+        }
+    }
+}
+
+impl HasParams for Embedding {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.tok);
+        f(&mut self.pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_adds_token_and_position() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut emb = Embedding::new("e", 10, 8, 4, 0, &mut rng);
+        let x = emb.forward(&[3, 7]);
+        for d in 0..4 {
+            assert!(
+                (x[(0, d)] - emb.tok.value[(3, d)] - emb.pos.value[(0, d)]).abs() < 1e-6
+            );
+            assert!(
+                (x[(1, d)] - emb.tok.value[(7, d)] - emb.pos.value[(1, d)]).abs() < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn position_offset_shifts_rows() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut emb = Embedding::new("e", 10, 8, 4, 2, &mut rng);
+        let x = emb.forward(&[0]);
+        for d in 0..4 {
+            assert!((x[(0, d)] - emb.tok.value[(0, d)] - emb.pos.value[(2, d)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_scatters_including_repeats() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut emb = Embedding::new("e", 10, 8, 4, 0, &mut rng);
+        let _ = emb.forward(&[5, 5, 2]);
+        let dy = Matrix::full(3, 4, 1.0);
+        emb.backward(&dy);
+        // Token 5 appears twice → gradient 2, token 2 once → 1.
+        assert!(emb.tok.grad.row(5).iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(emb.tok.grad.row(2).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(emb.tok.grad.row(0).iter().all(|&g| g == 0.0));
+        // Each position appears once.
+        for p in 0..3 {
+            assert!(emb.pos.grad.row(p).iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn oov_token_panics() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut emb = Embedding::new("e", 10, 8, 4, 0, &mut rng);
+        let _ = emb.forward(&[11]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Position-wise feed-forward network: `Linear → GELU → Linear`.
+
+use crate::linear::Linear;
+use crate::param::{HasParams, Param};
+use attn_tensor::ops::{gelu_backward, gelu_matrix};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+
+/// Transformer FFN block (expansion factor configurable, 4× by default).
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    /// Expansion projection.
+    pub lin1: Linear,
+    /// Contraction projection.
+    pub lin2: Linear,
+    cache_pre: Option<Matrix>,
+}
+
+impl FeedForward {
+    /// Build with the given inner width.
+    pub fn new(name: &str, hidden: usize, inner: usize, rng: &mut TensorRng) -> Self {
+        Self {
+            lin1: Linear::new(&format!("{name}.lin1"), hidden, inner, rng),
+            lin2: Linear::new(&format!("{name}.lin2"), inner, hidden, rng),
+            cache_pre: None,
+        }
+    }
+
+    /// Forward pass with caching.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let pre = self.lin1.forward(x);
+        let act = gelu_matrix(&pre);
+        self.cache_pre = Some(pre);
+        self.lin2.forward(&act)
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let pre = self.lin1.forward_inference(x);
+        self.lin2.forward_inference(&gelu_matrix(&pre))
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let pre = self.cache_pre.take().expect("FeedForward::backward before forward");
+        let dact = self.lin2.backward(dy);
+        let dpre = gelu_backward(&pre, &dact);
+        self.lin1.backward(&dpre)
+    }
+}
+
+impl HasParams for FeedForward {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut ffn = FeedForward::new("f", 8, 32, &mut rng);
+        let x = rng.normal_matrix(5, 8, 1.0);
+        let y = ffn.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 8));
+    }
+
+    #[test]
+    fn gradient_check_dx() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut ffn = FeedForward::new("f", 4, 8, &mut rng);
+        let x = rng.normal_matrix(2, 4, 1.0);
+        let dy = rng.normal_matrix(2, 4, 1.0);
+        let _ = ffn.forward(&x);
+        let dx = ffn.backward(&dy);
+
+        let loss = |f: &FeedForward, xx: &Matrix| -> f32 {
+            let y = f.forward_inference(xx);
+            y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let fd = (loss(&ffn, &xp) - loss(&ffn, &xm)) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 3e-2,
+                    "dx ({r},{c}): fd {fd} vs {}",
+                    dx[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut ffn = FeedForward::new("f", 3, 6, &mut rng);
+        let x = rng.normal_matrix(2, 3, 1.0);
+        let dy = rng.normal_matrix(2, 3, 1.0);
+        let _ = ffn.forward(&x);
+        let _ = ffn.backward(&dy);
+
+        let loss = |f: &FeedForward, xx: &Matrix| -> f32 {
+            let y = f.forward_inference(xx);
+            y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        for r in 0..3 {
+            for c in 0..6 {
+                let mut fp = ffn.clone();
+                fp.lin1.w.value[(r, c)] += eps;
+                let mut fm = ffn.clone();
+                fm.lin1.w.value[(r, c)] -= eps;
+                let fd = (loss(&fp, &x) - loss(&fm, &x)) / (2.0 * eps);
+                assert!(
+                    (fd - ffn.lin1.w.grad[(r, c)]).abs() < 3e-2,
+                    "dW1 ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut ffn = FeedForward::new("f", 4, 16, &mut rng);
+        // 4×16 + 16 + 16×4 + 4 = 148
+        assert_eq!(ffn.param_count(), 148);
+    }
+}

@@ -1,0 +1,120 @@
+//! Layer normalisation with learnable scale/shift.
+
+use crate::param::{HasParams, Param};
+use attn_tensor::ops::{layer_norm, layer_norm_backward, LayerNormCache};
+use attn_tensor::Matrix;
+
+/// LayerNorm over the hidden dimension.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale, `1 × hidden`, initialised to ones.
+    pub gamma: Param,
+    /// Shift, `1 × hidden`, initialised to zeros.
+    pub beta: Param,
+    /// Variance epsilon.
+    pub eps: f32,
+    cache: Option<LayerNormCache>,
+}
+
+impl LayerNorm {
+    /// Standard initialisation (γ = 1, β = 0).
+    pub fn new(name: &str, hidden: usize, eps: f32) -> Self {
+        Self {
+            gamma: Param::new(format!("{name}.gamma"), Matrix::full(1, hidden, 1.0)),
+            beta: Param::zeros(format!("{name}.beta"), 1, hidden),
+            eps,
+            cache: None,
+        }
+    }
+
+    /// Forward pass, caching statistics for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (y, cache) = layer_norm(x, self.gamma.bias(), self.beta.bias(), self.eps);
+        self.cache = Some(cache);
+        y
+    }
+
+    /// Forward without caching.
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        layer_norm(x, self.gamma.bias(), self.beta.bias(), self.eps).0
+    }
+
+    /// Backward pass; returns `dx` and accumulates γ/β gradients.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self.cache.take().expect("LayerNorm::backward before forward");
+        let (dx, dgamma, dbeta) = layer_norm_backward(dy, &cache, self.gamma.bias());
+        self.gamma
+            .accumulate(&Matrix::from_vec(1, dgamma.len(), dgamma));
+        self.beta
+            .accumulate(&Matrix::from_vec(1, dbeta.len(), dbeta));
+        dx
+    }
+}
+
+impl HasParams for LayerNorm {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_tensor::rng::TensorRng;
+
+    #[test]
+    fn normalises_rows() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut ln = LayerNorm::new("ln", 16, 1e-5);
+        let x = rng.normal_matrix(4, 16, 5.0);
+        let y = ln.forward(&x);
+        for r in 0..4 {
+            let mu: f32 = y.row(r).iter().sum::<f32>() / 16.0;
+            assert!(mu.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut ln = LayerNorm::new("ln", 6, 1e-5);
+        ln.gamma.value = rng.uniform_matrix(1, 6, 0.5, 1.5);
+        ln.beta.value = rng.uniform_matrix(1, 6, -0.5, 0.5);
+        let x = rng.normal_matrix(3, 6, 2.0);
+        let dy = rng.normal_matrix(3, 6, 1.0);
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&dy);
+
+        let loss = |l: &LayerNorm, xx: &Matrix| -> f32 {
+            let y = l.forward_inference(xx);
+            y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-2;
+        for r in 0..3 {
+            for c in 0..6 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let fd = (loss(&ln, &xp) - loss(&ln, &xm)) / (2.0 * eps);
+                assert!(
+                    (fd - dx[(r, c)]).abs() < 3e-2,
+                    "dx ({r},{c}): fd {fd} vs {}",
+                    dx[(r, c)]
+                );
+            }
+        }
+        for c in 0..6 {
+            let mut lp = ln.clone();
+            lp.gamma.value[(0, c)] += eps;
+            let mut lm = ln.clone();
+            lm.gamma.value[(0, c)] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((fd - ln.gamma.grad[(0, c)]).abs() < 3e-2, "dgamma {c}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # attn-model
+//!
+//! Miniature transformer LLM training stack: the substrate standing in for
+//! the paper's PyTorch + HuggingFace setup (§5.1).
+//!
+//! * [`param`] / [`optim`] — parameters with gradients and AdamW.
+//! * [`linear`], [`embedding`], [`layernorm`], [`ffn`] — layers with
+//!   hand-written backprop, each finite-difference-tested.
+//! * [`attn_layer`] — multi-head attention wrapping the ATTNChecker
+//!   protected forward, plus its backward pass.
+//! * [`block`] — pre-LN / post-LN transformer blocks.
+//! * [`model`] — the four studied architectures (BERT, RoBERTa, GPT-2,
+//!   GPT-Neo) as sequence classifiers, with fault-injection plumbing.
+//! * [`data`] — a synthetic MRPC-style paraphrase corpus.
+//! * [`trainer`] — fine-tuning loop with non-trainable-state detection and
+//!   attention/step timing (Figs 6, 7, 11).
+//! * [`flops`] — paper-scale flop accounting behind Table 3.
+
+pub mod attn_layer;
+pub mod block;
+pub mod data;
+pub mod embedding;
+pub mod ffn;
+pub mod flops;
+pub mod layernorm;
+pub mod linear;
+pub mod model;
+pub mod optim;
+pub mod param;
+pub mod trainer;
+
+pub use data::{Example, SyntheticMrpc};
+pub use model::{cross_entropy, InjectionSpec, ModelArch, ModelConfig, TransformerModel};
+pub use optim::AdamW;
+pub use param::{HasParams, Param};
+pub use trainer::{StepOutcome, Trainer};

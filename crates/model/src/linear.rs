@@ -1,0 +1,169 @@
+//! Affine layer `y = x·W + b` with manual backprop.
+
+use crate::param::{HasParams, Param};
+use attn_tensor::gemm::{matmul, matmul_nt, matmul_tn};
+use attn_tensor::ops::{add_bias_inplace, col_sums};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+
+/// Dense affine layer.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight, `in_dim × out_dim`.
+    pub w: Param,
+    /// Bias, `1 × out_dim`.
+    pub b: Param,
+    cache_x: Option<Matrix>,
+}
+
+impl Linear {
+    /// Xavier-initialised layer.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+        Self {
+            w: Param::new(format!("{name}.w"), rng.xavier_matrix(in_dim, out_dim)),
+            b: Param::zeros(format!("{name}.b"), 1, out_dim),
+            cache_x: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Forward pass, caching the input for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = matmul(x, &self.w.value);
+        add_bias_inplace(&mut y, self.b.bias());
+        self.cache_x = Some(x.clone());
+        y
+    }
+
+    /// Forward without caching (inference / timing runs).
+    pub fn forward_inference(&self, x: &Matrix) -> Matrix {
+        let mut y = matmul(x, &self.w.value);
+        add_bias_inplace(&mut y, self.b.bias());
+        y
+    }
+
+    /// Backward pass: accumulates `dW = xᵀ·dy`, `db = Σrows(dy)`, returns
+    /// `dx = dy·Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let x = self
+            .cache_x
+            .take()
+            .expect("Linear::backward before forward");
+        self.w.accumulate(&matmul_tn(&x, dy));
+        self.b
+            .accumulate(&Matrix::from_vec(1, dy.cols(), col_sums(dy)));
+        matmul_nt(dy, &self.w.value)
+    }
+}
+
+impl HasParams for Linear {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.w);
+        f(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check against a scalar loss `Σ(y ⊙ dy)`.
+    #[test]
+    fn gradients_match_finite_difference() {
+        let mut rng = TensorRng::seed_from(1);
+        let mut lin = Linear::new("t", 5, 4, &mut rng);
+        let x = rng.normal_matrix(3, 5, 1.0);
+        let dy = rng.normal_matrix(3, 4, 1.0);
+
+        let _y = lin.forward(&x);
+        let dx = lin.backward(&dy);
+
+        let loss = |l: &Linear, xx: &Matrix| -> f32 {
+            let y = l.forward_inference(xx);
+            y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
+        };
+
+        let eps = 1e-3;
+        // dX
+        for r in 0..3 {
+            for c in 0..5 {
+                let mut xp = x.clone();
+                xp[(r, c)] += eps;
+                let mut xm = x.clone();
+                xm[(r, c)] -= eps;
+                let fd = (loss(&lin, &xp) - loss(&lin, &xm)) / (2.0 * eps);
+                assert!((fd - dx[(r, c)]).abs() < 2e-2, "dx ({r},{c})");
+            }
+        }
+        // dW
+        for r in 0..5 {
+            for c in 0..4 {
+                let mut lp = lin.clone();
+                lp.w.value[(r, c)] += eps;
+                let mut lm = lin.clone();
+                lm.w.value[(r, c)] -= eps;
+                let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                assert!(
+                    (fd - lin.w.grad[(r, c)]).abs() < 2e-2,
+                    "dW ({r},{c}): fd {fd} vs {}",
+                    lin.w.grad[(r, c)]
+                );
+            }
+        }
+        // db
+        for c in 0..4 {
+            let mut lp = lin.clone();
+            lp.b.value[(0, c)] += eps;
+            let mut lm = lin.clone();
+            lm.b.value[(0, c)] -= eps;
+            let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+            assert!((fd - lin.b.grad[(0, c)]).abs() < 2e-2, "db {c}");
+        }
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = TensorRng::seed_from(2);
+        let mut lin = Linear::new("t", 3, 2, &mut rng);
+        lin.b.value[(0, 0)] = 10.0;
+        let x = Matrix::zeros(4, 3);
+        let y = lin.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        assert!((y[(0, 0)] - 10.0).abs() < 1e-6);
+        assert!((y[(0, 1)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_calls() {
+        let mut rng = TensorRng::seed_from(3);
+        let mut lin = Linear::new("t", 3, 3, &mut rng);
+        let x = rng.normal_matrix(2, 3, 1.0);
+        let dy = rng.normal_matrix(2, 3, 1.0);
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        let g1 = lin.w.grad.clone();
+        let _ = lin.forward(&x);
+        let _ = lin.backward(&dy);
+        assert!(lin.w.grad.approx_eq(&g1.scaled(2.0), 1e-5, 1e-5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_panics() {
+        let mut rng = TensorRng::seed_from(4);
+        let mut lin = Linear::new("t", 2, 2, &mut rng);
+        let _ = lin.backward(&Matrix::zeros(1, 2));
+    }
+}

@@ -1,0 +1,606 @@
+//! Miniature transformer classifiers: BERT, RoBERTa, GPT-2, GPT-Neo.
+//!
+//! These are architecture-faithful, CPU-scale stand-ins for the HuggingFace
+//! models the paper fine-tunes on MRPC (§5.1):
+//!
+//! * **BERT / RoBERTa** — bidirectional post-LN encoder, embedding LN,
+//!   `[CLS]`-pooled tanh head (RoBERTa differs in its padding-reserved
+//!   position offset);
+//! * **GPT-2** — causal pre-LN decoder with a final LN, last-token head;
+//! * **GPT-Neo** — GPT-2 plus alternating global/local (banded) attention.
+//!
+//! Error-propagation behaviour (Table 2) and loss-NaN vulnerability
+//! (Table 4) depend on the attention dataflow, softmax semantics, pooling
+//! path, and optimizer dynamics — all preserved here — not on scale.
+
+use crate::block::{BlockArch, TransformerBlock};
+use crate::embedding::Embedding;
+use crate::layernorm::LayerNorm;
+use crate::linear::Linear;
+use crate::param::{HasParams, Param};
+use attn_fault::FaultKind;
+use attn_tensor::ops::{causal_mask, local_causal_mask, softmax_rows};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use attnchecker::attention::{
+    AttnOp, FaultSite, ForwardOptions, SectionToggles,
+};
+use attnchecker::checked::CheckedMatrix;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::report::AbftReport;
+use std::time::Duration;
+
+/// Which of the four studied architectures a model instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelArch {
+    /// Bidirectional post-LN encoder with `[CLS]` pooling.
+    Bert,
+    /// BERT architecture with RoBERTa's position-offset convention.
+    Roberta,
+    /// Causal pre-LN decoder, last-token head.
+    Gpt2,
+    /// GPT-2 with alternating global/local attention layers.
+    GptNeo,
+}
+
+/// Hyper-parameters of one model instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Display name (matches the paper's figures).
+    pub name: String,
+    /// Architecture family.
+    pub arch: ModelArch,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Model width.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks.
+    pub layers: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+    /// FFN expansion factor.
+    pub ffn_mult: usize,
+    /// Local-attention window (GPT-Neo odd layers).
+    pub local_window: usize,
+    /// Output classes (2 for MRPC-style paraphrase detection).
+    pub num_classes: usize,
+}
+
+impl ModelConfig {
+    /// Smallest BERT (the paper's Bert-small bar in Fig 7).
+    pub fn bert_small() -> Self {
+        Self {
+            name: "Bert-small".into(),
+            arch: ModelArch::Bert,
+            vocab: 256,
+            hidden: 32,
+            heads: 2,
+            layers: 2,
+            max_seq: 32,
+            ffn_mult: 4,
+            local_window: 8,
+            num_classes: 2,
+        }
+    }
+
+    /// Mid-size BERT (the paper's default Bert).
+    pub fn bert_base() -> Self {
+        Self {
+            name: "Bert-base".into(),
+            hidden: 64,
+            heads: 4,
+            ..Self::bert_small()
+        }
+    }
+
+    /// Largest BERT variant.
+    pub fn bert_large() -> Self {
+        Self {
+            name: "Bert-large".into(),
+            hidden: 96,
+            heads: 6,
+            layers: 3,
+            ..Self::bert_small()
+        }
+    }
+
+    /// GPT-2-style causal decoder.
+    pub fn gpt2() -> Self {
+        Self {
+            name: "GPT-2".into(),
+            arch: ModelArch::Gpt2,
+            hidden: 64,
+            heads: 4,
+            ..Self::bert_small()
+        }
+    }
+
+    /// GPT-Neo-style decoder with alternating local attention.
+    pub fn gpt_neo() -> Self {
+        Self {
+            name: "GPT-Neo".into(),
+            arch: ModelArch::GptNeo,
+            hidden: 64,
+            heads: 4,
+            ..Self::bert_small()
+        }
+    }
+
+    /// RoBERTa-style encoder.
+    pub fn roberta() -> Self {
+        Self {
+            name: "Roberta".into(),
+            arch: ModelArch::Roberta,
+            hidden: 64,
+            heads: 4,
+            ..Self::bert_small()
+        }
+    }
+
+    /// The four models of the paper's main evaluation.
+    pub fn paper_four() -> Vec<ModelConfig> {
+        vec![
+            Self::bert_base(),
+            Self::gpt2(),
+            Self::gpt_neo(),
+            Self::roberta(),
+        ]
+    }
+
+    /// The six models of Fig 7.
+    pub fn paper_six() -> Vec<ModelConfig> {
+        vec![
+            Self::bert_small(),
+            Self::bert_base(),
+            Self::bert_large(),
+            Self::gpt2(),
+            Self::gpt_neo(),
+            Self::roberta(),
+        ]
+    }
+
+    /// Scale the configuration up for timing experiments: doubled width and
+    /// sequence length so fixed ABFT costs amortise the way they do at the
+    /// paper's model sizes (the campaign-sized configs above keep
+    /// fault-injection runs fast instead).
+    pub fn scaled_for_timing(mut self) -> Self {
+        self.hidden *= 2;
+        self.max_seq = 64;
+        self.local_window = 16;
+        self
+    }
+}
+
+/// One planned fault injection inside a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionSpec {
+    /// Transformer block index to strike.
+    pub layer: usize,
+    /// Which GEMM output to strike.
+    pub op: AttnOp,
+    /// Head for per-head sites (`AS`, `CL`, `V`); ignored for `Q`/`K`/`O`.
+    pub head: usize,
+    /// Victim row (reduced modulo the matrix height).
+    pub row: usize,
+    /// Victim column (reduced modulo the matrix width).
+    pub col: usize,
+    /// Fault class.
+    pub kind: FaultKind,
+}
+
+/// Head-path cache for the classification backward pass.
+#[derive(Debug, Clone)]
+struct HeadCache {
+    seq: usize,
+    select_row: usize,
+    /// Post-tanh pooled vector (BERT family only).
+    pooled: Option<Matrix>,
+}
+
+/// A full transformer classifier.
+#[derive(Debug, Clone)]
+pub struct TransformerModel {
+    /// Hyper-parameters.
+    pub config: ModelConfig,
+    /// Input embeddings.
+    pub embedding: Embedding,
+    /// Embedding LayerNorm (BERT family).
+    pub emb_ln: Option<LayerNorm>,
+    /// Transformer blocks.
+    pub blocks: Vec<TransformerBlock>,
+    /// Final LayerNorm (GPT family).
+    pub final_ln: Option<LayerNorm>,
+    /// `[CLS]` pooler (BERT family).
+    pub pooler: Option<Linear>,
+    /// Classification head.
+    pub classifier: Linear,
+    /// Attention-forward wall time accumulated since the last reset
+    /// (feeds the Fig 7 "attention mechanism" timing).
+    pub attn_elapsed: Duration,
+    head_cache: Option<HeadCache>,
+}
+
+impl TransformerModel {
+    /// Build a model with the given protection policy on every attention
+    /// layer.
+    pub fn new(config: ModelConfig, protection: ProtectionConfig, rng: &mut TensorRng) -> Self {
+        let is_bert = matches!(config.arch, ModelArch::Bert | ModelArch::Roberta);
+        let arch = if is_bert {
+            BlockArch::PostLn
+        } else {
+            BlockArch::PreLn
+        };
+        let pos_offset = if config.arch == ModelArch::Roberta { 2 } else { 0 };
+        let embedding = Embedding::new(
+            "emb",
+            config.vocab,
+            config.max_seq,
+            config.hidden,
+            pos_offset,
+            rng,
+        );
+        let blocks = (0..config.layers)
+            .map(|i| {
+                TransformerBlock::new(
+                    &format!("block{i}"),
+                    config.hidden,
+                    config.heads,
+                    config.hidden * config.ffn_mult,
+                    arch,
+                    protection,
+                    rng,
+                )
+            })
+            .collect();
+        let emb_ln = is_bert.then(|| LayerNorm::new("emb.ln", config.hidden, 1e-5));
+        let final_ln = (!is_bert).then(|| LayerNorm::new("final.ln", config.hidden, 1e-5));
+        let pooler = is_bert.then(|| Linear::new("pooler", config.hidden, config.hidden, rng));
+        let classifier = Linear::new("classifier", config.hidden, config.num_classes, rng);
+        Self {
+            config,
+            embedding,
+            emb_ln,
+            blocks,
+            final_ln,
+            pooler,
+            classifier,
+            attn_elapsed: Duration::ZERO,
+            head_cache: None,
+        }
+    }
+
+    /// Change the protection policy on every attention layer.
+    pub fn set_protection(&mut self, protection: ProtectionConfig) {
+        for b in &mut self.blocks {
+            b.attn.protection = protection;
+        }
+    }
+
+    /// Attention mask for block `layer` at sequence length `seq`.
+    pub fn mask_for_layer(&self, layer: usize, seq: usize) -> Option<Matrix> {
+        match self.config.arch {
+            ModelArch::Bert | ModelArch::Roberta => None,
+            ModelArch::Gpt2 => Some(causal_mask(seq)),
+            ModelArch::GptNeo => {
+                if layer.is_multiple_of(2) {
+                    Some(causal_mask(seq))
+                } else {
+                    Some(local_causal_mask(seq, self.config.local_window))
+                }
+            }
+        }
+    }
+
+    /// Forward one example; returns the `1 × num_classes` logits.
+    ///
+    /// `toggles` selects which protection sections run this pass;
+    /// `inject` optionally plants one fault at a specific pipeline site.
+    pub fn forward_example(
+        &mut self,
+        tokens: &[usize],
+        toggles: SectionToggles,
+        inject: Option<&InjectionSpec>,
+        report: &mut AbftReport,
+    ) -> Matrix {
+        let seq = tokens.len();
+        let masks: Vec<Option<Matrix>> = (0..self.blocks.len())
+            .map(|i| self.mask_for_layer(i, seq))
+            .collect();
+
+        let mut h = self.embedding.forward(tokens);
+        if let Some(ln) = &mut self.emb_ln {
+            h = ln.forward(&h);
+        }
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            let spec = inject.filter(|s| s.layer == i).copied();
+            let mut fired = false;
+            let mut hook_fn = move |site: FaultSite, m: &mut CheckedMatrix| {
+                let Some(s) = spec else { return };
+                if fired || site.op != s.op {
+                    return;
+                }
+                if let Some(h) = site.head {
+                    if h != s.head {
+                        return;
+                    }
+                }
+                fired = true;
+                let r = s.row % m.rows();
+                let c = s.col % m.cols();
+                let old = m.get(r, c);
+                m.set(r, c, s.kind.apply(old));
+            };
+            let opts = ForwardOptions {
+                mask: masks[i].as_ref(),
+                toggles,
+                hook: spec.is_some().then_some(&mut hook_fn as _),
+            };
+            h = block.forward(&h, opts, report);
+            self.attn_elapsed += block.attn_time_of_last_forward;
+        }
+        if let Some(ln) = &mut self.final_ln {
+            h = ln.forward(&h);
+        }
+
+        let select_row = match self.config.arch {
+            ModelArch::Bert | ModelArch::Roberta => 0,
+            ModelArch::Gpt2 | ModelArch::GptNeo => seq - 1,
+        };
+        let hrow = h.submatrix(select_row, select_row + 1, 0, self.config.hidden);
+
+        let (head_in, pooled) = if let Some(pooler) = &mut self.pooler {
+            let lin = pooler.forward(&hrow);
+            let tanh = lin.map(|x| x.tanh());
+            (tanh.clone(), Some(tanh))
+        } else {
+            (hrow, None)
+        };
+        let logits = self.classifier.forward(&head_in);
+        self.head_cache = Some(HeadCache {
+            seq,
+            select_row,
+            pooled,
+        });
+        logits
+    }
+
+    /// Backward one example from the logits gradient. Must directly follow
+    /// the matching [`Self::forward_example`].
+    ///
+    /// # Panics
+    /// Panics if no forward cache is pending.
+    pub fn backward_example(&mut self, dlogits: &Matrix) {
+        let cache = self
+            .head_cache
+            .take()
+            .expect("backward_example before forward_example");
+        let mut d = self.classifier.backward(dlogits);
+        if let Some(pooler) = &mut self.pooler {
+            let pooled = cache.pooled.as_ref().expect("pooler cache");
+            // d(tanh(u)) = (1 - tanh²(u)) du
+            d = d.zip(pooled, |g, t| g * (1.0 - t * t));
+            d = pooler.backward(&d);
+        }
+        let mut dh = Matrix::zeros(cache.seq, self.config.hidden);
+        dh.row_mut(cache.select_row).copy_from_slice(d.row(0));
+
+        if let Some(ln) = &mut self.final_ln {
+            dh = ln.backward(&dh);
+        }
+        for block in self.blocks.iter_mut().rev() {
+            dh = block.backward(&dh);
+        }
+        if let Some(ln) = &mut self.emb_ln {
+            dh = ln.backward(&dh);
+        }
+        self.embedding.backward(&dh);
+    }
+
+    /// Reset the attention-time accumulator (trainer calls this per step).
+    pub fn reset_attn_timer(&mut self) {
+        self.attn_elapsed = Duration::ZERO;
+    }
+}
+
+impl HasParams for TransformerModel {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.embedding.visit_params(f);
+        if let Some(ln) = &mut self.emb_ln {
+            ln.visit_params(f);
+        }
+        for b in &mut self.blocks {
+            b.visit_params(f);
+        }
+        if let Some(ln) = &mut self.final_ln {
+            ln.visit_params(f);
+        }
+        if let Some(p) = &mut self.pooler {
+            p.visit_params(f);
+        }
+        self.classifier.visit_params(f);
+    }
+}
+
+/// Softmax cross-entropy for a `1 × C` logits row.
+///
+/// Returns `(loss, dlogits)`. NaN/INF logits produce a NaN loss — the
+/// non-trainable-state signal of the paper's study.
+pub fn cross_entropy(logits: &Matrix, label: usize) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), 1);
+    assert!(label < logits.cols());
+    let p = softmax_rows(logits);
+    let loss = -(p[(0, label)].max(f32::MIN_POSITIVE)).ln();
+    // If the row went NaN, surface NaN instead of the clamped value.
+    let loss = if p.row(0).iter().any(|x| x.is_nan()) {
+        f32::NAN
+    } else {
+        loss
+    };
+    let mut d = p;
+    d[(0, label)] -= 1.0;
+    (loss, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(config: ModelConfig) -> (TransformerModel, TensorRng) {
+        let mut rng = TensorRng::seed_from(11);
+        let m = TransformerModel::new(config, ProtectionConfig::off(), &mut rng);
+        (m, rng)
+    }
+
+    #[test]
+    fn forward_shapes_all_archs() {
+        for cfg in ModelConfig::paper_six() {
+            let (mut m, _) = tiny(cfg.clone());
+            let tokens: Vec<usize> = (0..16).map(|i| i % cfg.vocab).collect();
+            let mut report = AbftReport::default();
+            let logits =
+                m.forward_example(&tokens, SectionToggles::none(), None, &mut report);
+            assert_eq!((logits.rows(), logits.cols()), (1, 2), "{}", cfg.name);
+            assert!(logits.all_finite(), "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_math() {
+        let logits = Matrix::from_vec(1, 2, vec![2.0, 0.0]);
+        let (loss, d) = cross_entropy(&logits, 0);
+        let p0 = (2.0f32).exp() / ((2.0f32).exp() + 1.0);
+        assert!((loss + p0.ln()).abs() < 1e-5);
+        assert!((d[(0, 0)] - (p0 - 1.0)).abs() < 1e-5);
+        assert!((d[(0, 1)] - (1.0 - p0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_nan_logits_flag_non_trainable() {
+        let logits = Matrix::from_vec(1, 2, vec![f32::NAN, 0.0]);
+        let (loss, _) = cross_entropy(&logits, 0);
+        assert!(loss.is_nan());
+    }
+
+    #[test]
+    fn full_model_gradient_check_bert() {
+        let mut cfg = ModelConfig::bert_small();
+        cfg.hidden = 16;
+        cfg.heads = 2;
+        cfg.layers = 1;
+        let (mut m, _) = tiny(cfg);
+        let tokens = vec![1usize, 5, 9, 3];
+        let label = 1usize;
+        let mut report = AbftReport::default();
+        let logits = m.forward_example(&tokens, SectionToggles::none(), None, &mut report);
+        let (_, dlogits) = cross_entropy(&logits, label);
+        m.backward_example(&dlogits);
+
+        // FD check on a handful of parameters spread across the model.
+        let loss_fn = |mm: &TransformerModel| -> f32 {
+            let mut c = mm.clone();
+            let mut r = AbftReport::default();
+            let lg = c.forward_example(&tokens, SectionToggles::none(), None, &mut r);
+            cross_entropy(&lg, label).0
+        };
+        let eps = 1e-2;
+        // Spot-check gradients on parameters spread across the model depth.
+        let spots = [
+            ("classifier.w", 0usize),
+            ("block0.attn.wq", 1),
+            ("pooler.w", 2),
+        ];
+        for (name, _) in spots {
+            let mut grad_val = None;
+            let mut pos = (0usize, 0usize);
+            m.visit_params(&mut |p| {
+                if p.name == name {
+                    pos = (p.value.rows() / 2, p.value.cols() / 2);
+                    grad_val = Some(p.grad[pos]);
+                }
+            });
+            let analytic = grad_val.unwrap_or_else(|| panic!("param {name} not found"));
+            let mut mp = m.clone();
+            mp.visit_params(&mut |p| {
+                if p.name == name {
+                    p.value[pos] += eps;
+                }
+            });
+            let mut mm = m.clone();
+            mm.visit_params(&mut |p| {
+                if p.name == name {
+                    p.value[pos] -= eps;
+                }
+            });
+            let fd = (loss_fn(&mp) - loss_fn(&mm)) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 5e-2,
+                "{name}: fd {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpt_neo_alternates_masks() {
+        let (m, _) = tiny(ModelConfig::gpt_neo());
+        let m0 = m.mask_for_layer(0, 16).unwrap();
+        let m1 = m.mask_for_layer(1, 16).unwrap();
+        assert_ne!(m0.data(), m1.data());
+        // Layer 1 is local: position 15 cannot attend to position 0.
+        assert!(m1[(15, 0)] < -1e8);
+        assert_eq!(m0[(15, 0)], 0.0);
+    }
+
+    #[test]
+    fn injection_spec_reaches_forward() {
+        let (mut m, _) = tiny(ModelConfig::bert_base());
+        let tokens: Vec<usize> = (0..16).collect();
+        let spec = InjectionSpec {
+            layer: 0,
+            op: AttnOp::Q,
+            head: 0,
+            row: 3,
+            col: 5,
+            kind: FaultKind::NaN,
+        };
+        let mut report = AbftReport::default();
+        let logits =
+            m.forward_example(&tokens, SectionToggles::none(), Some(&spec), &mut report);
+        // Unprotected NaN in Q propagates through two layers into the CLS
+        // path and the logits.
+        assert!(!logits.all_finite());
+    }
+
+    #[test]
+    fn injection_with_protection_is_corrected() {
+        let mut rng = TensorRng::seed_from(12);
+        let mut m = TransformerModel::new(
+            ModelConfig::bert_base(),
+            ProtectionConfig::full(),
+            &mut rng,
+        );
+        let tokens: Vec<usize> = (0..16).collect();
+        let spec = InjectionSpec {
+            layer: 1,
+            op: AttnOp::AS,
+            head: 1,
+            row: 2,
+            col: 7,
+            kind: FaultKind::Inf,
+        };
+        let mut report = AbftReport::default();
+        let logits = m.forward_example(&tokens, SectionToggles::all(), Some(&spec), &mut report);
+        assert!(logits.all_finite());
+        assert!(report.correction_count() > 0);
+        assert_eq!(report.unrecovered, 0);
+    }
+
+    #[test]
+    fn roberta_uses_position_offset() {
+        let (m, _) = tiny(ModelConfig::roberta());
+        assert_eq!(m.embedding.pos_offset, 2);
+        let (mb, _) = tiny(ModelConfig::bert_base());
+        assert_eq!(mb.embedding.pos_offset, 0);
+    }
+}

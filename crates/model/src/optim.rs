@@ -1,0 +1,147 @@
+//! AdamW optimizer.
+
+use crate::param::{HasParams, Param};
+
+/// AdamW with decoupled weight decay (the fine-tuning default of the
+/// paper's HuggingFace setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamW {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Step counter (for bias correction).
+    pub t: u64,
+}
+
+impl AdamW {
+    /// Standard fine-tuning hyper-parameters.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            t: 0,
+        }
+    }
+
+    /// Apply one optimizer step over every parameter of `model`, then zero
+    /// the gradients.
+    pub fn step(&mut self, model: &mut dyn HasParams) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        model.visit_params(&mut |p: &mut Param| {
+            let n = p.value.len();
+            let value = p.value.data_mut();
+            let grad = p.grad.data_mut();
+            let m = p.m.data_mut();
+            let v = p.v.data_mut();
+            for i in 0..n {
+                let g = grad[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                value[i] -= lr * (mhat / (vhat.sqrt() + eps) + wd * value[i]);
+                grad[i] = 0.0;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_tensor::Matrix;
+
+    struct One {
+        p: Param,
+    }
+    impl HasParams for One {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.p);
+        }
+    }
+
+    #[test]
+    fn step_moves_against_gradient() {
+        let mut m = One {
+            p: Param::new("w", Matrix::full(1, 1, 1.0)),
+        };
+        m.p.grad = Matrix::full(1, 1, 1.0);
+        let mut opt = AdamW::new(0.1);
+        opt.weight_decay = 0.0;
+        opt.step(&mut m);
+        assert!(m.p.value[(0, 0)] < 1.0);
+        // Gradient zeroed after the step.
+        assert_eq!(m.p.grad[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn first_step_size_is_about_lr() {
+        // With bias correction, |Δ| ≈ lr on the first step regardless of
+        // gradient scale.
+        for &g in &[1e-3f32, 1.0, 1e3] {
+            let mut m = One {
+                p: Param::new("w", Matrix::full(1, 1, 0.0)),
+            };
+            m.p.grad = Matrix::full(1, 1, g);
+            let mut opt = AdamW::new(0.01);
+            opt.weight_decay = 0.0;
+            opt.step(&mut m);
+            let delta = m.p.value[(0, 0)].abs();
+            assert!((delta - 0.01).abs() < 1e-3, "g={g}: delta {delta}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut m = One {
+            p: Param::new("w", Matrix::full(1, 1, 2.0)),
+        };
+        let mut opt = AdamW::new(0.1);
+        opt.weight_decay = 0.1;
+        opt.step(&mut m);
+        assert!(m.p.value[(0, 0)] < 2.0);
+    }
+
+    #[test]
+    fn inf_gradient_poisons_parameters() {
+        // This is the mechanism behind the paper's non-trainable states: an
+        // INF gradient drives Adam's moments to INF and the update to NaN.
+        let mut m = One {
+            p: Param::new("w", Matrix::full(1, 1, 1.0)),
+        };
+        m.p.grad = Matrix::full(1, 1, f32::INFINITY);
+        let mut opt = AdamW::new(0.01);
+        opt.step(&mut m);
+        assert!(!m.p.value[(0, 0)].is_finite() || m.p.value[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn quadratic_convergence() {
+        // Minimise (w - 3)²: AdamW should approach 3.
+        let mut m = One {
+            p: Param::new("w", Matrix::full(1, 1, 0.0)),
+        };
+        let mut opt = AdamW::new(0.05);
+        opt.weight_decay = 0.0;
+        for _ in 0..500 {
+            let w = m.p.value[(0, 0)];
+            m.p.grad = Matrix::full(1, 1, 2.0 * (w - 3.0));
+            opt.step(&mut m);
+        }
+        assert!((m.p.value[(0, 0)] - 3.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Learnable parameters with gradient and Adam-state storage.
+
+use attn_tensor::Matrix;
+
+/// A learnable tensor: value, accumulated gradient, and AdamW moments.
+///
+/// Biases are stored as `1 × n` matrices so every parameter flows through
+/// the same optimizer and checkpoint paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Stable name used by checkpoints and debugging (e.g.
+    /// `"block0.attn.wq"`).
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Accumulated gradient (zeroed by the optimizer after each step).
+    pub grad: Matrix,
+    /// AdamW first moment.
+    pub m: Matrix,
+    /// AdamW second moment.
+    pub v: Matrix,
+}
+
+impl Param {
+    /// Create a parameter from an initial value with zeroed grad/moments.
+    pub fn new(name: impl Into<String>, value: Matrix) -> Self {
+        let (r, c) = (value.rows(), value.cols());
+        Self {
+            name: name.into(),
+            value,
+            grad: Matrix::zeros(r, c),
+            m: Matrix::zeros(r, c),
+            v: Matrix::zeros(r, c),
+        }
+    }
+
+    /// Zero-initialised parameter of the given shape (bias convention).
+    pub fn zeros(name: impl Into<String>, rows: usize, cols: usize) -> Self {
+        Self::new(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Clear the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// True when every value element is finite — the trainer scans this
+    /// after each optimizer step to recognise non-trainable states.
+    pub fn is_finite(&self) -> bool {
+        self.value.all_finite()
+    }
+
+    /// Accumulate `g` into the gradient.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn accumulate(&mut self, g: &Matrix) {
+        self.grad.axpy(1.0, g);
+    }
+
+    /// Bias view: the first row of a `1 × n` parameter as a slice.
+    pub fn bias(&self) -> &[f32] {
+        self.value.row(0)
+    }
+}
+
+/// Anything that owns parameters and can expose them to the optimizer and
+/// checkpointer.
+pub trait HasParams {
+    /// Visit every parameter mutably, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total scalar parameter count.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zero all gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// True when all parameter values are finite.
+    fn params_finite(&mut self) -> bool {
+        let mut ok = true;
+        self.visit_params(&mut |p| ok &= p.is_finite());
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_zeroed_state() {
+        let p = Param::new("w", Matrix::full(2, 3, 1.5));
+        assert_eq!(p.len(), 6);
+        assert!(p.grad.data().iter().all(|&x| x == 0.0));
+        assert!(p.m.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::zeros("b", 1, 4);
+        p.accumulate(&Matrix::full(1, 4, 2.0));
+        p.accumulate(&Matrix::full(1, 4, 3.0));
+        assert!(p.grad.data().iter().all(|&x| x == 5.0));
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn finite_scan() {
+        let mut p = Param::new("w", Matrix::full(2, 2, 1.0));
+        assert!(p.is_finite());
+        p.value[(0, 1)] = f32::NAN;
+        assert!(!p.is_finite());
+    }
+
+    struct Two {
+        a: Param,
+        b: Param,
+    }
+
+    impl HasParams for Two {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    #[test]
+    fn has_params_helpers() {
+        let mut t = Two {
+            a: Param::zeros("a", 2, 2),
+            b: Param::zeros("b", 1, 3),
+        };
+        assert_eq!(t.param_count(), 7);
+        t.a.accumulate(&Matrix::full(2, 2, 1.0));
+        t.zero_grads();
+        assert!(t.a.grad.data().iter().all(|&x| x == 0.0));
+        assert!(t.params_finite());
+        t.b.value[(0, 0)] = f32::INFINITY;
+        assert!(!t.params_finite());
+    }
+}

@@ -1,0 +1,273 @@
+//! Training loop with non-trainable-state detection and ABFT bookkeeping.
+
+use crate::data::{Example, SyntheticMrpc};
+use crate::model::{cross_entropy, InjectionSpec, TransformerModel};
+use crate::optim::AdamW;
+use crate::param::HasParams;
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::SectionToggles;
+use attnchecker::config::FrequencyGate;
+use attnchecker::report::AbftReport;
+use std::time::{Duration, Instant};
+
+/// Result of one training step.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Mean cross-entropy loss over the batch (NaN signals corruption).
+    pub loss: f32,
+    /// Aggregated ABFT activity during the step.
+    pub report: AbftReport,
+    /// True when this step put the model into a non-trainable state: the
+    /// loss is NaN or a parameter became non-finite after the update
+    /// (the paper's §3 criterion).
+    pub non_trainable: bool,
+    /// Wall time of the whole step (forward + backward + optimizer).
+    pub step_time: Duration,
+    /// Wall time spent inside attention forward passes.
+    pub attention_time: Duration,
+}
+
+/// Fine-tuning driver for one model.
+pub struct Trainer {
+    /// The model being trained.
+    pub model: TransformerModel,
+    /// Optimizer.
+    pub optim: AdamW,
+    gate_as: FrequencyGate,
+    gate_cl: FrequencyGate,
+    gate_o: FrequencyGate,
+}
+
+impl Trainer {
+    /// Build a trainer with the given learning rate.
+    pub fn new(model: TransformerModel, lr: f32) -> Self {
+        Self {
+            model,
+            optim: AdamW::new(lr),
+            gate_as: FrequencyGate::default(),
+            gate_cl: FrequencyGate::default(),
+            gate_o: FrequencyGate::default(),
+        }
+    }
+
+    /// Advance the per-section frequency gates one step and return the
+    /// sections to protect this step (paper §4.5 frequencies, realised
+    /// deterministically).
+    fn next_toggles(&mut self) -> SectionToggles {
+        let cfg = self.model.blocks[0].attn.protection;
+        SectionToggles {
+            s_as: self.gate_as.tick(cfg.f_as),
+            s_cl: self.gate_cl.tick(cfg.f_cl),
+            s_o: self.gate_o.tick(cfg.f_o),
+        }
+    }
+
+    /// One clean training step over `batch`.
+    pub fn train_step(&mut self, batch: &[&Example]) -> StepOutcome {
+        self.train_step_injected(batch, None)
+    }
+
+    /// One training step, optionally injecting a fault into the forward
+    /// pass of batch item `inject.0`.
+    pub fn train_step_injected(
+        &mut self,
+        batch: &[&Example],
+        inject: Option<(usize, InjectionSpec)>,
+    ) -> StepOutcome {
+        assert!(!batch.is_empty());
+        let toggles = self.next_toggles();
+        let t0 = Instant::now();
+        self.model.reset_attn_timer();
+
+        let mut report = AbftReport::default();
+        let mut loss_sum = 0.0f32;
+        let inv = 1.0 / batch.len() as f32;
+        for (bi, ex) in batch.iter().enumerate() {
+            let spec = match &inject {
+                Some((target, spec)) if *target == bi => Some(spec),
+                _ => None,
+            };
+            let logits = self
+                .model
+                .forward_example(&ex.tokens, toggles, spec, &mut report);
+            let (loss, dlogits) = cross_entropy(&logits, ex.label);
+            loss_sum += loss;
+            self.model.backward_example(&dlogits.scaled(inv));
+        }
+        self.optim.step(&mut self.model);
+
+        let loss = loss_sum * inv;
+        let params_ok = self.model.params_finite();
+        StepOutcome {
+            loss,
+            report,
+            non_trainable: loss.is_nan() || !params_ok,
+            step_time: t0.elapsed(),
+            attention_time: self.model.attn_elapsed,
+        }
+    }
+
+    /// Train one epoch; returns the mean loss across batches.
+    pub fn train_epoch(
+        &mut self,
+        dataset: &SyntheticMrpc,
+        batch_size: usize,
+        rng: &mut TensorRng,
+    ) -> f32 {
+        let batches = dataset.batches(batch_size, rng);
+        let mut sum = 0.0f32;
+        let mut n = 0usize;
+        for batch in &batches {
+            let out = self.train_step(batch);
+            sum += out.loss;
+            n += 1;
+        }
+        sum / n.max(1) as f32
+    }
+
+    /// Forward-only evaluation: `(mean loss, accuracy)`.
+    pub fn evaluate(&mut self, dataset: &SyntheticMrpc) -> (f32, f32) {
+        let mut loss_sum = 0.0f32;
+        let mut correct = 0usize;
+        let mut report = AbftReport::default();
+        for ex in &dataset.examples {
+            let logits =
+                self.model
+                    .forward_example(&ex.tokens, SectionToggles::none(), None, &mut report);
+            let (loss, _) = cross_entropy(&logits, ex.label);
+            loss_sum += loss;
+            let pred = if logits[(0, 1)] > logits[(0, 0)] { 1 } else { 0 };
+            if pred == ex.label {
+                correct += 1;
+            }
+        }
+        (
+            loss_sum / dataset.len() as f32,
+            correct as f32 / dataset.len() as f32,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use attn_fault::FaultKind;
+    use attnchecker::attention::AttnOp;
+    use attnchecker::config::ProtectionConfig;
+
+    fn tiny_trainer(protection: ProtectionConfig) -> (Trainer, SyntheticMrpc, TensorRng) {
+        let mut rng = TensorRng::seed_from(21);
+        let mut cfg = ModelConfig::bert_small();
+        cfg.hidden = 16;
+        cfg.heads = 2;
+        cfg.layers = 2;
+        let model = TransformerModel::new(cfg, protection, &mut rng);
+        let ds = SyntheticMrpc::generate(16, 256, 16, 3);
+        (Trainer::new(model, 1e-3), ds, rng)
+    }
+
+    #[test]
+    fn clean_step_is_trainable() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::off());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let out = tr.train_step(&batch);
+        assert!(!out.non_trainable);
+        assert!(out.loss.is_finite());
+        assert!(out.report.is_quiet());
+    }
+
+    #[test]
+    fn loss_decreases_over_training() {
+        let (mut tr, ds, mut rng) = tiny_trainer(ProtectionConfig::off());
+        let first = tr.train_epoch(&ds, 4, &mut rng);
+        for _ in 0..4 {
+            let _ = tr.train_epoch(&ds, 4, &mut rng);
+        }
+        let last = tr.train_epoch(&ds, 4, &mut rng);
+        assert!(
+            last < first,
+            "training must reduce loss: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn unprotected_nan_injection_is_non_trainable() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::off());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let spec = InjectionSpec {
+            layer: 0,
+            op: AttnOp::Q,
+            head: 0,
+            row: 2,
+            col: 3,
+            kind: FaultKind::NaN,
+        };
+        let out = tr.train_step_injected(&batch, Some((1, spec)));
+        assert!(out.non_trainable, "NaN in Q must break training");
+    }
+
+    #[test]
+    fn protected_nan_injection_stays_trainable() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let spec = InjectionSpec {
+            layer: 1,
+            op: AttnOp::K,
+            head: 0,
+            row: 1,
+            col: 7,
+            kind: FaultKind::NaN,
+        };
+        let out = tr.train_step_injected(&batch, Some((2, spec)));
+        assert!(!out.non_trainable, "ATTNChecker must absorb the fault");
+        assert!(out.report.correction_count() > 0);
+        assert_eq!(out.report.unrecovered, 0);
+    }
+
+    #[test]
+    fn protected_and_unprotected_losses_match_when_clean() {
+        let (mut a, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let (mut b, _, _) = tiny_trainer(ProtectionConfig::off());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let oa = a.train_step(&batch);
+        let ob = b.train_step(&batch);
+        assert!(
+            (oa.loss - ob.loss).abs() < 1e-4,
+            "protection must not change fault-free training: {} vs {}",
+            oa.loss,
+            ob.loss
+        );
+    }
+
+    #[test]
+    fn frequency_half_checks_every_other_step() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::with_frequencies(0.5, 0.5, 0.5));
+        let batch: Vec<&Example> = ds.examples.iter().take(2).collect();
+        let o1 = tr.train_step(&batch);
+        let o2 = tr.train_step(&batch);
+        let checked: Vec<usize> = vec![o1.report.sections_checked, o2.report.sections_checked];
+        // One step checks all sections, the other none (2 layers × 3
+        // sections × batch 2 = 12 section executions when on).
+        assert!(checked.contains(&0), "{checked:?}");
+        assert!(checked.iter().any(|&c| c > 0), "{checked:?}");
+    }
+
+    #[test]
+    fn evaluate_reports_loss_and_accuracy() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::off());
+        let (loss, acc) = tr.evaluate(&ds);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn timers_are_populated() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let batch: Vec<&Example> = ds.examples.iter().take(2).collect();
+        let out = tr.train_step(&batch);
+        assert!(out.step_time > Duration::ZERO);
+        assert!(out.attention_time > Duration::ZERO);
+        assert!(out.attention_time <= out.step_time);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for shape mismatches.
+
+use std::fmt;
+
+/// Returned when matrix/tensor dimensions do not line up for an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Name of the operation that failed, e.g. `"matmul"`.
+    pub op: &'static str,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl ShapeError {
+    /// Construct a new shape error for `op` with a formatted detail message.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error in `{}`: {}", self.op, self.detail)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_op_and_detail() {
+        let e = ShapeError::new("matmul", "2x3 * 4x5");
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3 * 4x5"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&ShapeError::new("t", "d"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Blocked, parallel GEMM kernels.
+//!
+//! These kernels stand in for cuBLAS in the paper's setup. Three layout
+//! variants cover everything attention and backprop need:
+//!
+//! * [`matmul`]      — `C = A · B`      (e.g. `X · W_Q`)
+//! * [`matmul_nt`]   — `C = A · Bᵀ`     (e.g. `Q · Kᵀ`, `dY · Wᵀ`)
+//! * [`matmul_tn`]   — `C = Aᵀ · B`     (e.g. `Xᵀ · dY` for weight grads)
+//!
+//! The `*_into` forms write into caller-provided views so batched tensors
+//! ([`crate::Batch3`]) can run one GEMM per slot without allocation. All
+//! kernels parallelise over output rows with rayon once the flop count
+//! crosses [`PAR_FLOP_THRESHOLD`].
+//!
+//! IEEE-754 special values (INF/NaN) propagate through these kernels exactly
+//! as they would through cuBLAS — multiplication and addition are performed
+//! in the natural order — which is what the fault-propagation study relies
+//! on.
+
+use crate::matrix::Matrix;
+use crate::view::{MatMut, MatRef};
+use rayon::prelude::*;
+
+/// Minimum `m*n*k` before the kernels split work across threads.
+///
+/// Deliberately high: on the few-core hosts this reproduction targets,
+/// splitting sub-millisecond GEMMs across rayon workers produces bimodal
+/// timings (thread park/unpark latency rivals the arithmetic) that swamp
+/// the ABFT overheads being measured. Parallelism is instead applied at
+/// the batch/campaign level, where tasks are tens of milliseconds.
+pub const PAR_FLOP_THRESHOLD: usize = 256 * 256 * 256;
+
+/// Cache-block edge for the k dimension.
+const KC: usize = 128;
+
+/// `C = A · B` into a fresh matrix.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a.view(), b.view(), c.view_mut());
+    c
+}
+
+/// `C = A · Bᵀ` into a fresh matrix.
+///
+/// # Panics
+/// Panics if `A.cols() != B.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_into(a.view(), b.view(), c.view_mut());
+    c
+}
+
+/// `C = Aᵀ · B` into a fresh matrix.
+///
+/// # Panics
+/// Panics if `A.rows() != B.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_into(a.view(), b.view(), c.view_mut());
+    c
+}
+
+/// `C = A · B` writing into `c` (overwritten, not accumulated).
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul: inner dims {} vs {}", k, b.rows());
+    assert_eq!(m, c.rows(), "matmul: output rows");
+    assert_eq!(n, c.cols(), "matmul: output cols");
+
+    c.fill(0.0);
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_kernel = |i: usize, c_row: &mut [f32]| {
+        // ikj ordering: stream B rows, accumulate into the C row.
+        // Vectorises well and keeps B traffic sequential.
+        for kb in (0..k).step_by(KC) {
+            let kend = (kb + KC).min(k);
+            for kk in kb..kend {
+                let aik = a_data[i * k + kk];
+                if aik == 0.0 {
+                    // Skipping zero contributions would be a throughput win
+                    // but would *mask* NaN propagation (0 * NaN = NaN), so we
+                    // only skip when the B row is also finite-irrelevant.
+                    // Fault-tolerance studies need faithful IEEE semantics:
+                    // do not skip.
+                }
+                let b_row = &b_data[kk * n..kk * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    };
+
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.data()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    } else {
+        for (i, c_row) in c.data().chunks_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    }
+}
+
+/// `C = A · Bᵀ` writing into `c`.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_nt_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.rows();
+    assert_eq!(k, b.cols(), "matmul_nt: inner dims {} vs {}", k, b.cols());
+    assert_eq!(m, c.rows(), "matmul_nt: output rows");
+    assert_eq!(n, c.cols(), "matmul_nt: output cols");
+
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let row_kernel = |i: usize, c_row: &mut [f32]| {
+        let a_row = &a_data[i * k..i * k + k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..j * k + k];
+            *cv = dot(a_row, b_row);
+        }
+    };
+
+    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.data()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| row_kernel(i, c_row));
+    } else {
+        for (i, c_row) in c.data().chunks_mut(n).enumerate() {
+            row_kernel(i, c_row);
+        }
+    }
+}
+
+/// `C = Aᵀ · B` writing into `c`.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_tn_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (r, m) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(r, b.rows(), "matmul_tn: inner dims {} vs {}", r, b.rows());
+    assert_eq!(m, c.rows(), "matmul_tn: output rows");
+    assert_eq!(n, c.cols(), "matmul_tn: output cols");
+
+    c.fill(0.0);
+    let a_data = a.data();
+    let b_data = b.data();
+
+    if m * n * r >= PAR_FLOP_THRESHOLD && m > 1 {
+        c.data()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, c_row)| {
+                // C[i, :] = sum_t A[t, i] * B[t, :]
+                for t in 0..r {
+                    let ati = a_data[t * m + i];
+                    let b_row = &b_data[t * n..t * n + n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += ati * bv;
+                    }
+                }
+            });
+    } else {
+        // Sequential: outer-product accumulation keeps both A and B streams
+        // sequential (better than per-output-row gather for small m).
+        let c_data = c.data();
+        for t in 0..r {
+            let a_row = &a_data[t * m..t * m + m];
+            let b_row = &b_data[t * n..t * n + n];
+            for (i, &ati) in a_row.iter().enumerate() {
+                let c_row = &mut c_data[i * n..i * n + n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += ati * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Dense dot product with 4-lane unrolling.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let p = i * 4;
+        s0 += a[p] * b[p];
+        s1 += a[p + 1] * b[p + 1];
+        s2 += a[p + 2] * b[p + 2];
+        s3 += a[p + 3] * b[p + 3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Triple-loop reference GEMM used to validate the blocked kernels.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut s = 0.0;
+            for t in 0..a.cols() {
+                s += a[(i, t)] * b[(t, j)];
+            }
+            c[(i, j)] = s;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::TensorRng;
+
+    fn rand_mat(rng: &mut TensorRng, r: usize, c: usize) -> Matrix {
+        rng.uniform_matrix(r, c, -1.0, 1.0)
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let mut rng = TensorRng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 3, 9)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let c = matmul(&a, &b);
+            let r = matmul_naive(&a, &b);
+            assert!(c.approx_eq(&r, 1e-5, 1e-6), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_medium() {
+        let mut rng = TensorRng::seed_from(11);
+        let a = rand_mat(&mut rng, 96, 80);
+        let b = rand_mat(&mut rng, 80, 72);
+        let c = matmul(&a, &b);
+        let r = matmul_naive(&a, &b);
+        assert!(c.approx_eq(&r, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn matmul_matches_naive_parallel_path() {
+        let mut rng = TensorRng::seed_from(12);
+        // 288·256·256 exceeds PAR_FLOP_THRESHOLD so the rayon path runs.
+        let a = rand_mat(&mut rng, 288, 256);
+        let b = rand_mat(&mut rng, 256, 256);
+        let c = matmul(&a, &b);
+        let r = matmul_naive(&a, &b);
+        assert!(c.approx_eq(&r, 1e-3, 1e-3));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(13);
+        let a = rand_mat(&mut rng, 6, 10);
+        let b = rand_mat(&mut rng, 8, 10);
+        let c = matmul_nt(&a, &b);
+        let r = matmul(&a, &b.transpose());
+        assert!(c.approx_eq(&r, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = TensorRng::seed_from(17);
+        let a = rand_mat(&mut rng, 10, 6);
+        let b = rand_mat(&mut rng, 10, 8);
+        let c = matmul_tn(&a, &b);
+        let r = matmul(&a.transpose(), &b);
+        assert!(c.approx_eq(&r, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn matmul_tn_medium() {
+        let mut rng = TensorRng::seed_from(19);
+        let a = rand_mat(&mut rng, 90, 70);
+        let b = rand_mat(&mut rng, 90, 66);
+        let c = matmul_tn(&a, &b);
+        let r = matmul(&a.transpose(), &b);
+        assert!(c.approx_eq(&r, 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TensorRng::seed_from(23);
+        let a = rand_mat(&mut rng, 9, 9);
+        let i = Matrix::identity(9);
+        assert!(matmul(&a, &i).approx_eq(&a, 1e-6, 1e-7));
+        assert!(matmul(&i, &a).approx_eq(&a, 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn nan_propagates_through_gemm() {
+        // The fault study depends on IEEE semantics: a NaN in A poisons the
+        // whole corresponding output row.
+        let mut a = Matrix::full(3, 3, 1.0);
+        a[(1, 1)] = f32::NAN;
+        let b = Matrix::full(3, 3, 1.0);
+        let c = matmul(&a, &b);
+        for j in 0..3 {
+            assert!(c[(1, j)].is_nan(), "row 1 must be NaN-poisoned");
+            assert!(c[(0, j)].is_finite());
+            assert!(c[(2, j)].is_finite());
+        }
+    }
+
+    #[test]
+    fn inf_propagates_through_gemm() {
+        let mut a = Matrix::full(3, 3, 1.0);
+        a[(0, 2)] = f32::INFINITY;
+        let b = Matrix::full(3, 3, 2.0);
+        let c = matmul(&a, &b);
+        for j in 0..3 {
+            assert_eq!(c[(0, j)], f32::INFINITY);
+        }
+    }
+
+    #[test]
+    fn inf_times_negative_gives_neg_inf() {
+        let mut a = Matrix::full(1, 2, 1.0);
+        a[(0, 0)] = f32::INFINITY;
+        let b = Matrix::from_vec(2, 1, vec![-1.0, 0.5]);
+        let c = matmul(&a, &b);
+        assert_eq!(c[(0, 0)], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn dot_handles_remainder_lengths() {
+        for n in 0..10 {
+            let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i + 1) as f32).collect();
+            let expect: f32 = (0..n).map(|i| (i * (i + 1)) as f32).sum();
+            assert_eq!(dot(&a, &b), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,40 @@
+//! # attn-tensor
+//!
+//! Dense `f32` linear-algebra substrate for the ATTNChecker reproduction.
+//!
+//! The paper's artifact runs its attention GEMMs on NVIDIA A100 GPUs through
+//! cuBLAS; this crate is the CPU stand-in. It provides:
+//!
+//! * [`Matrix`] — an owned, row-major dense matrix.
+//! * [`MatRef`] / [`MatMut`] — borrowed views over contiguous row-major
+//!   storage, used by every kernel so that batched tensors can share one
+//!   allocation.
+//! * [`Batch3`] — a contiguous `[n, rows, cols]` batch of matrices (one slot
+//!   per `batch × head` in attention).
+//! * Blocked, [rayon]-parallel GEMM kernels in [`gemm`], including the
+//!   transposed variants needed by attention (`Q·Kᵀ`) and backprop
+//!   (`Aᵀ·B`).
+//! * Neural-network primitive ops in [`ops`] (numerically-stable softmax,
+//!   layer norm, GELU, bias, masking).
+//! * Deterministic RNG helpers in [`rng`] (Box–Muller normal sampling,
+//!   Xavier/He initialisation).
+//!
+//! Everything is deterministic given a seed, which the fault-injection
+//! campaigns rely on for reproducibility.
+
+pub mod batch;
+pub mod error;
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod view;
+
+pub use batch::Batch3;
+pub use error::ShapeError;
+pub use matrix::Matrix;
+pub use view::{MatMut, MatRef};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ShapeError>;

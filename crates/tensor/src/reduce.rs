@@ -1,0 +1,159 @@
+//! Scans and reductions used by detection kernels and the fault study.
+
+use crate::matrix::Matrix;
+
+/// Index and value of the maximum-magnitude element of a slice.
+///
+/// NaN elements are treated as +INF magnitude (a NaN is always "the largest
+/// suspect" when hunting for a corrupted element — matches the EEC-ABFT
+/// locate-by-scan fallback).
+pub fn argmax_abs(v: &[f32]) -> Option<(usize, f32)> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        let mag = if x.is_nan() { f32::INFINITY } else { x.abs() };
+        match best {
+            Some((_, bm)) if mag <= bm => {}
+            _ => best = Some((i, mag)),
+        }
+    }
+    best
+}
+
+/// First index whose value is NaN.
+pub fn find_nan(v: &[f32]) -> Option<usize> {
+    v.iter().position(|x| x.is_nan())
+}
+
+/// First index whose value is ±INF.
+pub fn find_inf(v: &[f32]) -> Option<usize> {
+    v.iter().position(|x| x.is_infinite())
+}
+
+/// Count elements that are NaN.
+pub fn count_nan(v: &[f32]) -> usize {
+    v.iter().filter(|x| x.is_nan()).count()
+}
+
+/// Count elements that are ±INF.
+pub fn count_inf(v: &[f32]) -> usize {
+    v.iter().filter(|x| x.is_infinite()).count()
+}
+
+/// Count finite elements whose magnitude exceeds `threshold` (the paper's
+/// near-INF census).
+pub fn count_above(v: &[f32], threshold: f32) -> usize {
+    v.iter()
+        .filter(|x| x.is_finite() && x.abs() > threshold)
+        .count()
+}
+
+/// Kahan-compensated sum — used when validating checksum arithmetic against
+/// the plain accumulation the kernels use.
+pub fn kahan_sum(v: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    let mut c = 0.0f32;
+    for &x in v {
+        let y = x - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Mean of all matrix elements.
+pub fn mean(m: &Matrix) -> f32 {
+    if m.is_empty() {
+        return 0.0;
+    }
+    m.data().iter().sum::<f32>() / m.len() as f32
+}
+
+/// Count of non-finite (INF or NaN) elements in a matrix.
+pub fn count_nonfinite(m: &Matrix) -> usize {
+    m.data().iter().filter(|x| !x.is_finite()).count()
+}
+
+/// Positions `(row, col)` of every element failing the predicate-of-health:
+/// non-finite or (finite and `|x| > near_inf_threshold`).
+pub fn extreme_positions(m: &Matrix, near_inf_threshold: f32) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for r in 0..m.rows() {
+        for (c, &x) in m.row(r).iter().enumerate() {
+            if !x.is_finite() || x.abs() > near_inf_threshold {
+                out.push((r, c));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_abs_basic() {
+        assert_eq!(argmax_abs(&[1.0, -5.0, 3.0]), Some((1, 5.0)));
+        assert_eq!(argmax_abs(&[]), None);
+    }
+
+    #[test]
+    fn argmax_abs_prefers_nan() {
+        let (i, _) = argmax_abs(&[1e30, f32::NAN, 2.0]).unwrap();
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn argmax_abs_inf_beats_finite() {
+        let (i, m) = argmax_abs(&[1e38, f32::NEG_INFINITY, 2.0]).unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(m, f32::INFINITY);
+    }
+
+    #[test]
+    fn finders_and_counters() {
+        let v = [1.0, f32::NAN, f32::INFINITY, -2.0, f32::NEG_INFINITY];
+        assert_eq!(find_nan(&v), Some(1));
+        assert_eq!(find_inf(&v), Some(2));
+        assert_eq!(count_nan(&v), 1);
+        assert_eq!(count_inf(&v), 2);
+    }
+
+    #[test]
+    fn count_above_excludes_nonfinite() {
+        let v = [1e12, f32::INFINITY, f32::NAN, 5.0];
+        assert_eq!(count_above(&v, 1e10), 1);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_drift() {
+        // 10_000 + 1000 × 0.01: naive f32 accumulation drifts by rounding at
+        // each add; Kahan compensation keeps the result near-exact.
+        let mut v = vec![10_000.0f32];
+        v.extend(std::iter::repeat_n(0.01f32, 1000));
+        let exact = 10_010.0f32;
+        let naive: f32 = v.iter().sum();
+        let kahan = kahan_sum(&v);
+        assert!((kahan - exact).abs() <= (naive - exact).abs());
+        assert!((kahan - exact).abs() < 5e-3, "kahan={kahan}");
+    }
+
+    #[test]
+    fn extreme_positions_finds_all() {
+        let mut m = Matrix::zeros(3, 3);
+        m[(0, 1)] = f32::NAN;
+        m[(2, 2)] = 1e12;
+        m[(1, 0)] = f32::NEG_INFINITY;
+        let mut pos = extreme_positions(&m, 1e10);
+        pos.sort();
+        assert_eq!(pos, vec![(0, 1), (1, 0), (2, 2)]);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&Matrix::zeros(0, 5)), 0.0);
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(mean(&m), 2.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! Project ATTNChecker's overhead onto large-scale training runs with the
+//! analytic A100 cluster model (the paper's Fig 12 methodology), sweeping
+//! cluster size and model size.
+//!
+//! Run: `cargo run --release --example scale_projection`
+
+use attn_gpusim::scale::{simulate_step, BigModel, ClusterConfig};
+use attn_gpusim::GpuModel;
+
+fn main() {
+    let gpu = GpuModel::a100_80gb();
+    println!("per-step ABFT overhead projections ({})\n", gpu.name);
+
+    println!("model size sweep at 1,024 GPUs:");
+    let cluster = ClusterConfig::paper_1024();
+    for m in BigModel::fig12_sizes() {
+        let b = simulate_step(&gpu, &m, &cluster);
+        println!(
+            "  {:>4}: step {:6.2} s   attention-fwd share {:4.1}%   ABFT overhead {:.2}%",
+            m.label,
+            b.base_step,
+            100.0 * b.attention_fwd / b.base_step,
+            100.0 * b.abft_overhead()
+        );
+    }
+
+    println!("\ncluster size sweep for the 30B model:");
+    for gpus in [64usize, 256, 1024, 4096] {
+        let cluster = ClusterConfig {
+            gpus,
+            ..ClusterConfig::paper_1024()
+        };
+        let b = simulate_step(&gpu, &BigModel::b30(), &cluster);
+        println!(
+            "  {gpus:>5} GPUs: step {:6.2} s  (allreduce {:5.2} s)   ABFT overhead {:.2}%",
+            b.base_step,
+            b.allreduce,
+            100.0 * b.abft_overhead()
+        );
+    }
+
+    println!("\nThe ratio barely moves in either sweep: ABFT work scales with the");
+    println!("attention GEMMs it protects, which is the paper's Fig 12 conclusion.");
+}

@@ -1,0 +1,73 @@
+//! Fine-tune a miniature BERT on the synthetic MRPC task while a fault
+//! injector strikes the attention GEMMs every step — the end-to-end
+//! scenario behind the paper's Fig 6.
+//!
+//! Run: `cargo run --release --example train_with_protection`
+
+use attn_bench_free::build; // see helper module below
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
+use attn_model::{SyntheticMrpc, Trainer};
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+
+/// Minimal local stand-ins so the example depends only on library crates.
+mod attn_bench_free {
+    use super::*;
+
+    pub fn build(config: &ModelConfig, protection: ProtectionConfig, seed: u64) -> Trainer {
+        let mut rng = TensorRng::seed_from(seed);
+        Trainer::new(TransformerModel::new(config.clone(), protection, &mut rng), 1e-3)
+    }
+}
+
+fn main() {
+    let config = ModelConfig::bert_base();
+    let ds = SyntheticMrpc::generate(48, config.vocab, 32, 5);
+    println!(
+        "fine-tuning {} ({} examples, batch 8, 3 epochs) with one fault per step…\n",
+        config.name,
+        ds.len()
+    );
+
+    let mut clean = build(&config, ProtectionConfig::off(), 99);
+    let mut protected = build(&config, ProtectionConfig::full(), 99);
+
+    let sites = [AttnOp::Q, AttnOp::K, AttnOp::V, AttnOp::AS, AttnOp::CL];
+    let kinds = [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf];
+    let mut fault_rng = TensorRng::seed_from(31337);
+    let mut shuffle_a = TensorRng::seed_from(7);
+    let mut shuffle_b = TensorRng::seed_from(7);
+
+    println!("epoch  fault-free  protected+faults  corrections");
+    for epoch in 1..=3 {
+        let clean_loss = clean.train_epoch(&ds, 8, &mut shuffle_a);
+
+        let mut sum = 0.0;
+        let mut n = 0;
+        let mut corrections = 0;
+        for batch in ds.batches(8, &mut shuffle_b) {
+            let spec = InjectionSpec {
+                layer: fault_rng.index(config.layers),
+                op: sites[fault_rng.index(sites.len())],
+                head: fault_rng.index(config.heads),
+                row: fault_rng.index(1 << 16),
+                col: fault_rng.index(1 << 16),
+                kind: kinds[fault_rng.index(kinds.len())],
+            };
+            let out =
+                protected.train_step_injected(&batch, Some((fault_rng.index(batch.len()), spec)));
+            assert!(!out.non_trainable, "protection must hold");
+            sum += out.loss;
+            n += 1;
+            corrections += out.report.correction_count();
+        }
+        println!(
+            "{epoch}      {clean_loss:.4}      {:.4}            {corrections}",
+            sum / n as f32
+        );
+    }
+    println!("\nLoss curves coincide: every injected extreme value was corrected");
+    println!("before it could reach the loss (the paper's Fig 6 property).");
+}

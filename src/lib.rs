@@ -1,0 +1,12 @@
+//! Workspace-level façade for the ATTNChecker reproduction.
+//!
+//! Re-exports the member crates so the `examples/` binaries and the
+//! cross-crate integration tests in `tests/` have one import root. See
+//! `README.md` for the tour and `DESIGN.md` for the paper → module map.
+
+pub use attn_ckpt as ckpt;
+pub use attn_fault as fault;
+pub use attn_gpusim as gpusim;
+pub use attn_model as model;
+pub use attn_tensor as tensor;
+pub use attnchecker as abft;

@@ -1,0 +1,129 @@
+//! End-to-end detection/correction campaign (the paper's §5.2 claim:
+//! "all errors can be detected and successfully corrected").
+//!
+//! Every fault kind × attention site × model architecture, injected during
+//! protected training steps, must be corrected with no unrecovered errors
+//! and no non-trainable state.
+
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
+use attn_model::Trainer;
+use attn_model::SyntheticMrpc;
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+
+fn trainer_for(config: &ModelConfig, seed: u64) -> Trainer {
+    let mut rng = TensorRng::seed_from(seed);
+    Trainer::new(
+        TransformerModel::new(config.clone(), ProtectionConfig::full(), &mut rng),
+        1e-3,
+    )
+}
+
+fn small_config(mut config: ModelConfig) -> ModelConfig {
+    config.hidden = 32;
+    config.heads = 2;
+    config.layers = 2;
+    config
+}
+
+#[test]
+fn every_site_and_kind_is_corrected_across_architectures() {
+    for base in ModelConfig::paper_four() {
+        let config = small_config(base);
+        let ds = SyntheticMrpc::generate(8, config.vocab, 16, 3);
+        let batch: Vec<_> = ds.examples.iter().take(4).collect();
+        let mut rng = TensorRng::seed_from(0xC0FFEE);
+        for op in AttnOp::STUDY {
+            for kind in [
+                FaultKind::Inf,
+                FaultKind::NegInf,
+                FaultKind::NaN,
+                FaultKind::NearInf,
+            ] {
+                let mut trainer = trainer_for(&config, 17);
+                let spec = InjectionSpec {
+                    layer: rng.index(config.layers),
+                    op,
+                    head: rng.index(config.heads),
+                    row: rng.index(1 << 12),
+                    col: rng.index(1 << 12),
+                    kind,
+                };
+                let out = trainer.train_step_injected(&batch, Some((0, spec)));
+                assert!(
+                    !out.non_trainable,
+                    "{} / {op:?} / {kind:?}: became non-trainable",
+                    config.name
+                );
+                assert!(
+                    out.report.correction_count() > 0,
+                    "{} / {op:?} / {kind:?}: fault was never corrected ({})",
+                    config.name,
+                    out.report
+                );
+                assert_eq!(
+                    out.report.unrecovered, 0,
+                    "{} / {op:?} / {kind:?}: unrecovered errors ({})",
+                    config.name, out.report
+                );
+                assert!(out.loss.is_finite());
+            }
+        }
+    }
+}
+
+#[test]
+fn output_injection_is_corrected_too() {
+    // AttnOp::O is outside the paper's Table 4 study set but inside S_O.
+    let config = small_config(ModelConfig::bert_base());
+    let ds = SyntheticMrpc::generate(8, config.vocab, 16, 3);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+    let mut trainer = trainer_for(&config, 5);
+    let spec = InjectionSpec {
+        layer: 1,
+        op: AttnOp::O,
+        head: 0,
+        row: 7,
+        col: 13,
+        kind: FaultKind::NaN,
+    };
+    let out = trainer.train_step_injected(&batch, Some((1, spec)));
+    assert!(!out.non_trainable);
+    assert!(out.report.correction_count() > 0);
+    assert_eq!(out.report.unrecovered, 0);
+}
+
+#[test]
+fn repeated_faults_over_many_steps_never_break_training() {
+    let config = small_config(ModelConfig::gpt2());
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 9);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+    let mut trainer = trainer_for(&config, 23);
+    let mut rng = TensorRng::seed_from(555);
+    let sites = AttnOp::STUDY;
+    let kinds = [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf];
+    let mut first_loss = None;
+    let mut last_loss = 0.0;
+    for step in 0..30 {
+        let spec = InjectionSpec {
+            layer: rng.index(config.layers),
+            op: sites[rng.index(sites.len())],
+            head: rng.index(config.heads),
+            row: rng.index(1 << 12),
+            col: rng.index(1 << 12),
+            kind: kinds[rng.index(kinds.len())],
+        };
+        let out = trainer.train_step_injected(&batch, Some((step % 4, spec)));
+        assert!(!out.non_trainable, "step {step} became non-trainable");
+        first_loss.get_or_insert(out.loss);
+        last_loss = out.loss;
+    }
+    // Training must actually make progress despite one fault per step.
+    assert!(
+        last_loss < first_loss.unwrap(),
+        "no learning under faults: {} -> {last_loss}",
+        first_loss.unwrap()
+    );
+}

@@ -1,0 +1,111 @@
+//! The Fig 6 invariant as an executable test: training under per-step
+//! fault injection with ATTNChecker produces the *same* parameter
+//! trajectory as fault-free training, because every extreme value is
+//! corrected back to its original bits (up to reconstruction round-off).
+
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
+use attn_model::{HasParams, SyntheticMrpc, Trainer};
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+
+fn build(config: &ModelConfig, protection: ProtectionConfig, seed: u64) -> Trainer {
+    let mut rng = TensorRng::seed_from(seed);
+    Trainer::new(
+        TransformerModel::new(config.clone(), protection, &mut rng),
+        1e-3,
+    )
+}
+
+fn tiny() -> ModelConfig {
+    let mut c = ModelConfig::bert_base();
+    c.hidden = 32;
+    c.heads = 2;
+    c.layers = 2;
+    c
+}
+
+#[test]
+fn faulty_protected_trajectory_matches_fault_free() {
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 1);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+
+    let mut clean = build(&config, ProtectionConfig::off(), 77);
+    let mut protected = build(&config, ProtectionConfig::full(), 77);
+
+    let mut rng = TensorRng::seed_from(888);
+    let sites = AttnOp::STUDY;
+    let kinds = [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf];
+    for step in 0..10 {
+        let co = clean.train_step(&batch);
+        let spec = InjectionSpec {
+            layer: rng.index(config.layers),
+            op: sites[rng.index(sites.len())],
+            head: rng.index(config.heads),
+            row: rng.index(1 << 12),
+            col: rng.index(1 << 12),
+            kind: kinds[rng.index(kinds.len())],
+        };
+        let po = protected.train_step_injected(&batch, Some((step % 4, spec)));
+        assert!(!po.non_trainable);
+        assert!(
+            (co.loss - po.loss).abs() < 5e-3,
+            "step {step}: loss diverged {} vs {}",
+            co.loss,
+            po.loss
+        );
+    }
+
+    // Parameter trajectories stay together.
+    let mut clean_params = Vec::new();
+    clean.model.visit_params(&mut |p| clean_params.push(p.value.clone()));
+    let mut prot_params = Vec::new();
+    protected
+        .model
+        .visit_params(&mut |p| prot_params.push(p.value.clone()));
+    for (a, b) in clean_params.iter().zip(&prot_params) {
+        assert!(
+            a.approx_eq(b, 1e-2, 1e-3),
+            "parameters diverged after 10 faulty-but-protected steps"
+        );
+    }
+}
+
+#[test]
+fn unprotected_run_with_the_same_faults_diverges() {
+    // Control experiment: the same fault schedule without protection must
+    // produce a different (usually broken) trajectory — otherwise the
+    // parity test above would be vacuous.
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 1);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+    let mut unprotected = build(&config, ProtectionConfig::off(), 77);
+    let spec = InjectionSpec {
+        layer: 0,
+        op: AttnOp::Q,
+        head: 0,
+        row: 3,
+        col: 5,
+        kind: FaultKind::NaN,
+    };
+    let out = unprotected.train_step_injected(&batch, Some((1, spec)));
+    assert!(out.non_trainable, "NaN without protection must break training");
+}
+
+#[test]
+fn frequency_gated_protection_still_converges_cleanly() {
+    // At f = 0.5 the unchecked executions carry no faults here, so training
+    // must be identical to fault-free training (gates only skip detection).
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 2);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+    let mut clean = build(&config, ProtectionConfig::off(), 31);
+    let mut gated = build(&config, ProtectionConfig::with_frequencies(0.5, 0.5, 0.5), 31);
+    for _ in 0..6 {
+        let a = clean.train_step(&batch);
+        let b = gated.train_step(&batch);
+        assert!((a.loss - b.loss).abs() < 1e-4);
+    }
+}
