@@ -2,7 +2,9 @@
 //! (the kernel-level view of Fig 7).
 
 use attn_tensor::rng::TensorRng;
-use attnchecker::attention::{AttentionWeights, ForwardOptions, ProtectedAttention, SectionToggles};
+use attnchecker::attention::{
+    AttentionWeights, ForwardOptions, ProtectedAttention, SectionToggles,
+};
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -70,11 +70,7 @@ fn main() {
                 }
             }
         }
-        t.row(&[
-            format!("{tol:.0e}"),
-            fps.to_string(),
-            format!("{hi:.2e}"),
-        ]);
+        t.row(&[format!("{tol:.0e}"), fps.to_string(), format!("{hi:.2e}")]);
     }
     println!("{}", t.render());
     println!("The default 5e-4 sits at zero false positives while still catching");

@@ -18,8 +18,7 @@
 
 use attn_bench::TextTable;
 use attnchecker::adaptive::{
-    attention_sections, optimize_frequencies, section_deficit, ErrorRates,
-    VulnerabilityProfile,
+    attention_sections, optimize_frequencies, section_deficit, ErrorRates, VulnerabilityProfile,
 };
 
 /// Non-adaptive ATTNChecker per-step overhead (the Fig 7 average).
@@ -45,11 +44,8 @@ fn main() {
         NON_ADAPTIVE_OVERHEAD * SECTION_SHARE[1],
         NON_ADAPTIVE_OVERHEAD * SECTION_SHARE[2],
     ];
-    let mut sections = attention_sections(
-        gemm_flops,
-        &VulnerabilityProfile::bert_table4(),
-        abft_times,
-    );
+    let mut sections =
+        attention_sections(gemm_flops, &VulnerabilityProfile::bert_table4(), abft_times);
     let fc_target = 1.0 - 1e-11;
 
     // Self-calibration: scale the flop exposure so the unprotected failure

@@ -57,7 +57,9 @@ fn main() {
         // Warmup each path once.
         let _ = base.train_step(&batch);
         let _ = prot.train_step(&batch);
-        let _ = mgr.recover_and_replay(&mut base, &batch).expect("warmup CR");
+        let _ = mgr
+            .recover_and_replay(&mut base, &batch)
+            .expect("warmup CR");
 
         let mut clean_ms = Vec::with_capacity(ROUNDS);
         let mut cr_ms = Vec::with_capacity(ROUNDS);

@@ -82,9 +82,7 @@ fn main() {
         }
         println!("-- {} --", config.name);
         println!("{}", t.render());
-        println!(
-            "corrections applied: {corrections}; unrecovered: {unrecovered}\n"
-        );
+        println!("corrections applied: {corrections}; unrecovered: {unrecovered}\n");
     }
     println!("Paper reference (appendix, Bert): 0.5349/0.3071/0.1285 with ATTNChecker");
     println!("vs 0.5635/0.3362/0.1312 baseline — curves overlap; ours must too.");

@@ -40,8 +40,7 @@ fn main() {
         let mut off = build_trainer(&config, ProtectionConfig::off(), 42);
         let mut sep = build_trainer(&config, ProtectionConfig::full_unoptimized(), 42);
         let mut fus = build_trainer(&config, ProtectionConfig::full(), 42);
-        let times =
-            measure_interleaved(&mut [&mut off, &mut sep, &mut fus], &batch, WARMUP, STEPS);
+        let times = measure_interleaved(&mut [&mut off, &mut sep, &mut fus], &batch, WARMUP, STEPS);
         let (base, non_opt, opt) = (times[0], times[1], times[2]);
 
         let a_sep = non_opt.attn_overhead_vs(&base);
@@ -61,8 +60,14 @@ fn main() {
             format!("{:.1}x", (s_sep / s_fus.max(1e-6)).max(0.0)),
         ]);
     }
-    println!("-- Attention mechanism (measured, CPU substrate) --\n{}", attn_table.render());
-    println!("-- Per-step training (measured, CPU substrate) --\n{}", step_table.render());
+    println!(
+        "-- Attention mechanism (measured, CPU substrate) --\n{}",
+        attn_table.render()
+    );
+    println!(
+        "-- Per-step training (measured, CPU substrate) --\n{}",
+        step_table.render()
+    );
 
     // GPU-side projection: on the A100 the gap additionally includes the
     // kernel-launch storm and the tall-skinny cuBLAS traffic of the

@@ -25,7 +25,13 @@ fn main() {
         "-- A100 model (peak memory bandwidth: {:.0} GB/s) --",
         gpu.mem_bw_gbs
     );
-    let mut t = TextTable::new(&["batch", "cuBLAS TB/s", "ATTNChecker TB/s", "speedup", "BW util"]);
+    let mut t = TextTable::new(&[
+        "batch",
+        "cuBLAS TB/s",
+        "ATTNChecker TB/s",
+        "speedup",
+        "BW util",
+    ]);
     for p in encoding_throughput_curve(&gpu, &FIG9_BATCHES) {
         t.row(&[
             p.batch.to_string(),

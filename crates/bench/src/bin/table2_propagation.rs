@@ -16,7 +16,7 @@ use attn_fault::FaultKind;
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::attention::{
-    AttnOp, AttentionWeights, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
+    AttentionWeights, AttnOp, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
 };
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
@@ -44,7 +44,9 @@ fn run_once(
 ) -> Snapshot {
     let mut fired = false;
     let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
-        let Some((op, kind, r, c)) = inject else { return };
+        let Some((op, kind, r, c)) = inject else {
+            return;
+        };
         if fired || site.op != op {
             return;
         }

@@ -147,7 +147,9 @@ pub fn restore_model(model: &mut dyn HasParams, data: &[u8]) -> Result<u64, Snap
             return;
         }
         let Some((name, val, m, v)) = decoded.get(idx) else {
-            err = Some(SnapshotError::Mismatch("too few params in checkpoint".into()));
+            err = Some(SnapshotError::Mismatch(
+                "too few params in checkpoint".into(),
+            ));
             return;
         };
         if *name != p.name {
@@ -158,7 +160,9 @@ pub fn restore_model(model: &mut dyn HasParams, data: &[u8]) -> Result<u64, Snap
             return;
         }
         if (val.rows(), val.cols()) != (p.value.rows(), p.value.cols()) {
-            err = Some(SnapshotError::Mismatch(format!("shape mismatch for `{name}`")));
+            err = Some(SnapshotError::Mismatch(format!(
+                "shape mismatch for `{name}`"
+            )));
             return;
         }
         p.value = val.clone();

@@ -233,10 +233,7 @@ pub fn optimize_frequencies(
 ) -> FrequencyPlan {
     let n = sections.len();
     let mut freqs = vec![0.0f64; n];
-    let deficits: Vec<f64> = sections
-        .iter()
-        .map(|s| section_deficit(s, rates))
-        .collect();
+    let deficits: Vec<f64> = sections.iter().map(|s| section_deficit(s, rates)).collect();
     let target_residual = (1.0 - fc_target).max(0.0);
     let mut residual: f64 = deficits.iter().sum();
 
@@ -470,11 +467,7 @@ mod tests {
         let target = 1.0 - 1e-14;
         let mut last_time = -1.0;
         for rate in [13.0, 15.0, 17.0, 20.0] {
-            let plan = optimize_frequencies(
-                &sections,
-                &ErrorRates::uniform_per_1e25(rate),
-                target,
-            );
+            let plan = optimize_frequencies(&sections, &ErrorRates::uniform_per_1e25(rate), target);
             assert!(
                 plan.expected_time >= last_time - 1e-12,
                 "time must not decrease with error rate"

@@ -26,8 +26,11 @@
 
 use crate::checked::CheckedMatrix;
 use crate::config::{ProtectionConfig, Strategy};
-use crate::detect::{correct_columns, correct_rows, full_correct, CorrectionSummary};
+use crate::detect::{
+    correct_columns, correct_rows, full_correct, CorrectionSummary, ElementFix, PassOutcome,
+};
 use crate::report::{AbftReport, CorrectionRecord, SectionId};
+use attn_tensor::gemm;
 use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
@@ -159,7 +162,10 @@ impl AttentionWeights {
     /// # Panics
     /// Panics when `heads` does not divide `hidden`.
     pub fn random(hidden: usize, heads: usize, rng: &mut TensorRng) -> Self {
-        assert!(heads > 0 && hidden.is_multiple_of(heads), "heads must divide hidden");
+        assert!(
+            heads > 0 && hidden.is_multiple_of(heads),
+            "heads must divide hidden"
+        );
         Self {
             hidden,
             heads,
@@ -301,15 +307,20 @@ impl ProtectedAttention {
         fire(&mut opts.hook, AttnOp::Q, None, &mut q);
         fire(&mut opts.hook, AttnOp::K, None, &mut k);
         if as_on && immediate {
-            let qfix = correct_columns(&mut q, cfg);
-            let kfix = correct_columns(&mut k, cfg);
+            let qfix = heal_projection(&mut q, cfg, x, &w.wq, &w.bq);
+            let kfix = heal_projection(&mut k, cfg, x, &w.wk, &w.bk);
             record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
             record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
         }
 
         let mut scores_cache = Vec::with_capacity(heads);
         let mut ap_checked: Vec<CheckedMatrix> = Vec::with_capacity(heads);
-        let mut qk_detected = false;
+        // Heal the source operands lazily at the first delayed detection: Q
+        // and K are cached for backward, where an uncorrected 0D extreme
+        // value would re-poison the gradients — and the exact refinement of
+        // AS below needs clean operands to replay against. Under immediate
+        // (Separate) verification they were already healed above.
+        let mut qk_healed = immediate;
         for h in 0..heads {
             let qh = q.slice_cols(h * d, (h + 1) * d);
             let kh = k.slice_cols(h * d, (h + 1) * d);
@@ -321,9 +332,20 @@ impl ProtectedAttention {
             as_h.scale_inplace(scale);
             fire(&mut opts.hook, AttnOp::AS, Some(h), &mut as_h);
             if as_on {
-                let summary = full_correct(&mut as_h, cfg);
+                let mut summary = full_correct(&mut as_h, cfg);
                 if summary.total_detections() > 0 {
-                    qk_detected = true;
+                    if !qk_healed {
+                        qk_healed = true;
+                        let qfix = heal_projection(&mut q, cfg, x, &w.wq, &w.bq);
+                        let kfix = heal_projection(&mut k, cfg, x, &w.wk, &w.bk);
+                        record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
+                        record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
+                    }
+                    let lo = h * d;
+                    apply_exact_fixes(&mut as_h, cfg, summary_fixes_mut(&mut summary), |r, c| {
+                        gemm::dot(&q.logical_row(r)[lo..lo + d], &k.logical_row(c)[lo..lo + d])
+                            * scale
+                    });
                 }
                 absorb(report, &summary, SectionId::AttentionScore, h);
             }
@@ -341,16 +363,6 @@ impl ProtectedAttention {
                 CheckedMatrix::from_plain(&as_mat)
             };
             ap_checked.push(ap_c);
-        }
-
-        // Heal the source operands when the delayed detection fired: Q and K
-        // are cached for backward, where an uncorrected 0D extreme value
-        // would re-poison the gradients.
-        if as_on && qk_detected {
-            let qfix = correct_columns(&mut q, cfg);
-            let kfix = correct_columns(&mut k, cfg);
-            record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
-            record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
         }
 
         // ------------------------------------------------ section S_CL
@@ -372,7 +384,7 @@ impl ProtectedAttention {
             };
             fire(&mut opts.hook, AttnOp::V, Some(h), &mut v_h);
             if cl_on && immediate && v_h.has_row_checksums() {
-                let vfix = correct_rows(&mut v_h, cfg);
+                let vfix = heal_value_head(&mut v_h, cfg, x, &wv_h, bv_h);
                 record_fixes(report, &vfix, SectionId::ContextLayer, h);
             }
 
@@ -383,14 +395,19 @@ impl ProtectedAttention {
             };
             fire(&mut opts.hook, AttnOp::CL, Some(h), &mut cl_h);
             if cl_on {
-                let summary = full_correct(&mut cl_h, cfg);
-                let detected = summary.total_detections() > 0;
-                absorb(report, &summary, SectionId::ContextLayer, h);
-                if detected && v_h.has_row_checksums() {
-                    // Heal the cached V the same way Q/K are healed.
-                    let vfix = correct_rows(&mut v_h, cfg);
-                    record_fixes(report, &vfix, SectionId::ContextLayer, h);
+                let mut summary = full_correct(&mut cl_h, cfg);
+                if summary.total_detections() > 0 {
+                    if v_h.has_row_checksums() {
+                        // Heal the cached V the same way Q/K are healed.
+                        let vfix = heal_value_head(&mut v_h, cfg, x, &wv_h, bv_h);
+                        record_fixes(report, &vfix, SectionId::ContextLayer, h);
+                    }
+                    let ap = &ap_checked[h];
+                    apply_exact_fixes(&mut cl_h, cfg, summary_fixes_mut(&mut summary), |r, c| {
+                        replay_nn(ap.logical_row(r), |kk| v_h.get(kk, c))
+                    });
                 }
+                absorb(report, &summary, SectionId::ContextLayer, h);
             }
             v_cols.push(v_h.logical());
             cl_blocks.push(cl_h.drop_row_checksums());
@@ -413,7 +430,12 @@ impl ProtectedAttention {
         o.add_bias(&w.bo);
         fire(&mut opts.hook, AttnOp::O, None, &mut o);
         if o_on {
-            let summary = full_correct(&mut o, cfg);
+            let mut summary = full_correct(&mut o, cfg);
+            if summary.total_fixes() > 0 {
+                apply_exact_fixes(&mut o, cfg, summary_fixes_mut(&mut summary), |r, c| {
+                    replay_nn(cl_for_o.logical_row(r), |kk| w.wo[(kk, c)]) + w.bo[c]
+                });
+            }
             absorb(report, &summary, SectionId::Output, usize::MAX);
         }
 
@@ -443,6 +465,114 @@ impl ProtectedAttention {
     }
 }
 
+/// Exact replay of one element of a row-major `A·B` product: the same
+/// `kk`-ordered f32 accumulation as `gemm::matmul_into`, so the result is
+/// bit-identical to what the original GEMM produced for that cell.
+fn replay_nn(a_row: &[f32], b_col: impl Fn(usize) -> f32) -> f32 {
+    let mut acc = 0.0f32;
+    for (kk, &av) in a_row.iter().enumerate() {
+        acc += av * b_col(kk);
+    }
+    acc
+}
+
+/// Restore corrected elements to their exact original bits by replaying the
+/// dot product that produced each one.
+///
+/// Checksum reconstruction is only accurate to the ride-along checksums'
+/// round-off (~1e-6 relative here); Adam's normalised updates amplify even
+/// that into visible trajectory divergence within a few steps. Replaying
+/// the single producing dot is O(k) per corrected element, keeps recovery
+/// rollback-free, and makes a corrected step bit-identical to the
+/// fault-free step — the Fig 6 parity property.
+///
+/// A replay is trusted only when it lands within detection-bound noise of
+/// the checksum reconstruction: the reconstruction's own error is orders of
+/// magnitude below that bound, while a replay against a still-corrupt
+/// operand (non-finite, or a sub-threshold corruption that escaped operand
+/// healing) differs by at least a detectable delta — in both cases the
+/// reconstructed value is kept.
+fn apply_exact_fixes<'a>(
+    m: &mut CheckedMatrix,
+    cfg: &crate::config::AbftConfig,
+    fixes: impl Iterator<Item = &'a mut ElementFix>,
+    exact: impl Fn(usize, usize) -> f32,
+) {
+    let mut rows: Vec<usize> = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for fix in fixes {
+        let v = exact(fix.row, fix.col);
+        let row_abs: f32 = m.logical_row(fix.row).iter().map(|x| x.abs()).sum();
+        let col_abs: f32 = (0..m.rows()).map(|r| m.get(r, fix.col).abs()).sum();
+        let tol = cfg.detection_bound(row_abs.max(col_abs));
+        // NaN fails the comparison, so non-finite replays are rejected too.
+        if (v - fix.new_value).abs() <= tol {
+            m.set(fix.row, fix.col, v);
+            // Keep the record truthful: `new_value` must be what is actually
+            // left in the matrix, not the intermediate reconstruction.
+            fix.new_value = v;
+            rows.push(fix.row);
+            cols.push(fix.col);
+        }
+    }
+    // Refreshed values shift the data away from whatever borders the
+    // correction pass rebuilt; re-derive the touched borders from data.
+    rows.sort_unstable();
+    rows.dedup();
+    cols.sort_unstable();
+    cols.dedup();
+    if m.has_row_checksums() {
+        for &r in &rows {
+            m.recompute_row_checksum(r);
+        }
+    }
+    if m.has_col_checksums() {
+        for &c in &cols {
+            m.recompute_col_checksum(c);
+        }
+    }
+}
+
+/// Mutable fix records of a two-sided correction, both passes.
+fn summary_fixes_mut(s: &mut CorrectionSummary) -> impl Iterator<Item = &mut ElementFix> {
+    s.col_pass
+        .fixes
+        .iter_mut()
+        .chain(s.row_pass.iter_mut().flat_map(|p| p.fixes.iter_mut()))
+}
+
+/// Heal a `X·W + b` projection output (`Q`, `K`) through its column
+/// checksums, then refine the fixes to exact bits from the clean operands.
+fn heal_projection(
+    m: &mut CheckedMatrix,
+    cfg: &crate::config::AbftConfig,
+    x: &Matrix,
+    w: &Matrix,
+    bias: &[f32],
+) -> PassOutcome {
+    let mut fix = correct_columns(m, cfg);
+    apply_exact_fixes(m, cfg, fix.fixes.iter_mut(), |r, c| {
+        replay_nn(x.row(r), |kk| w[(kk, c)]) + bias[c]
+    });
+    fix
+}
+
+/// Heal a per-head `V = X·W_V[h] + b_V[h]` block through its row checksums,
+/// then refine the fixes to exact bits from the clean operands.
+fn heal_value_head(
+    m: &mut CheckedMatrix,
+    cfg: &crate::config::AbftConfig,
+    x: &Matrix,
+    wv_h: &Matrix,
+    bv_h: &[f32],
+) -> PassOutcome {
+    let mut fix = correct_rows(m, cfg);
+    apply_exact_fixes(m, cfg, fix.fixes.iter_mut(), |r, c| {
+        replay_nn(x.row(r), |kk| wv_h[(kk, c)]) + bv_h[c]
+    });
+    fix
+}
+
 /// Strategy dispatch for `A · B`.
 fn mul(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatrix {
     match strat {
@@ -460,12 +590,7 @@ fn mul_nt(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatri
 }
 
 /// Fire the fault hook, if any.
-fn fire(
-    hook: &mut Option<FaultHook<'_>>,
-    op: AttnOp,
-    head: Option<usize>,
-    m: &mut CheckedMatrix,
-) {
+fn fire(hook: &mut Option<FaultHook<'_>>, op: AttnOp, head: Option<usize>, m: &mut CheckedMatrix) {
     if let Some(h) = hook.as_mut() {
         h(FaultSite { op, head }, m);
     }
@@ -569,10 +694,8 @@ mod tests {
     #[test]
     fn separate_strategy_matches_fused_results() {
         let (x, attn) = setup(10, 24, 3);
-        let sep = ProtectedAttention::new(
-            attn.weights.clone(),
-            ProtectionConfig::full_unoptimized(),
-        );
+        let sep =
+            ProtectedAttention::new(attn.weights.clone(), ProtectionConfig::full_unoptimized());
         let mut r1 = AbftReport::default();
         let mut r2 = AbftReport::default();
         let a = attn.forward_simple(&x, &mut r1);
@@ -637,7 +760,10 @@ mod tests {
             "{op:?}/{kind:?}: output diverged after correction; report {report}"
         );
         assert!(out.output.all_finite());
-        assert!(report.correction_count() > 0, "{op:?}/{kind:?}: no corrections");
+        assert!(
+            report.correction_count() > 0,
+            "{op:?}/{kind:?}: no corrections"
+        );
         assert_eq!(report.unrecovered, 0);
     }
 
@@ -688,7 +814,10 @@ mod tests {
             },
             &mut report,
         );
-        assert!(!out.output.all_finite(), "NaN must reach the output unprotected");
+        assert!(
+            !out.output.all_finite(),
+            "NaN must reach the output unprotected"
+        );
         assert_eq!(report.correction_count(), 0);
     }
 

@@ -71,7 +71,10 @@ mod tests {
         let mut rng = TensorRng::seed_from(99);
         let weights = AttentionWeights::random(32, 4, &mut rng);
         let xs = (0..batch).map(|_| rng.normal_matrix(12, 32, 0.5)).collect();
-        (xs, ProtectedAttention::new(weights, ProtectionConfig::full()))
+        (
+            xs,
+            ProtectedAttention::new(weights, ProtectionConfig::full()),
+        )
     }
 
     #[test]
@@ -89,6 +92,27 @@ mod tests {
         }
         assert!(batch.report.is_quiet());
         assert_eq!(batch.report.sections_checked, 6 * 3);
+    }
+
+    #[test]
+    fn batched_output_is_bitwise_equal_to_sequential() {
+        // The fan-out must be pure parallelism: with a fixed seed, every
+        // batch item's forward — output and every cached activation — is
+        // bit-for-bit the result of the sequential per-item API.
+        let (xs, attn) = setup(8);
+        let batch = attn.forward_batch(&xs, None, SectionToggles::all());
+        for (i, x) in xs.iter().enumerate() {
+            let mut r = AbftReport::default();
+            let solo = attn.forward_simple(x, &mut r);
+            let b = &batch.items[i];
+            assert_eq!(b.output, solo.output, "item {i}: output bits differ");
+            assert_eq!(b.cache.q, solo.cache.q, "item {i}: Q cache differs");
+            assert_eq!(b.cache.k, solo.cache.k, "item {i}: K cache differs");
+            assert_eq!(b.cache.v, solo.cache.v, "item {i}: V cache differs");
+            assert_eq!(b.cache.cl, solo.cache.cl, "item {i}: CL cache differs");
+            assert_eq!(b.cache.scores, solo.cache.scores, "item {i}: scores differ");
+            assert_eq!(b.cache.ap, solo.cache.ap, "item {i}: AP cache differs");
+        }
     }
 
     #[test]

@@ -316,10 +316,7 @@ impl CheckedMatrix {
         }
         // Kernel 4: the consistency corner.
         if self.has_col_cs && other.has_row_cs {
-            let corner = gemm::matmul(
-                &self.stored_col_checksums(),
-                &other.stored_row_checksums(),
-            );
+            let corner = gemm::matmul(&self.stored_col_checksums(), &other.stored_row_checksums());
             for i in 0..2 {
                 out.buf.row_mut(self.rows + i)[other.cols..].copy_from_slice(corner.row(i));
             }
@@ -360,10 +357,8 @@ impl CheckedMatrix {
             }
         }
         if self.has_col_cs && other.has_col_cs {
-            let corner = gemm::matmul_nt(
-                &self.stored_col_checksums(),
-                &other.stored_col_checksums(),
-            );
+            let corner =
+                gemm::matmul_nt(&self.stored_col_checksums(), &other.stored_col_checksums());
             for i in 0..2 {
                 out.buf.row_mut(self.rows + i)[other.rows..].copy_from_slice(corner.row(i));
             }
@@ -429,9 +424,7 @@ impl CheckedMatrix {
         if self.has_col_cs {
             // Cover the row-checksum columns too so the corner stays
             // consistent.
-            let upper = self
-                .buf
-                .submatrix(0, self.rows, 0, self.buf.cols());
+            let upper = self.buf.submatrix(0, self.rows, 0, self.buf.cols());
             let cc = col_checksums(&upper);
             for c in 0..self.buf.cols() {
                 self.buf[(self.rows, c)] = cc[(0, c)];
@@ -476,7 +469,10 @@ impl CheckedMatrix {
     /// Panics when row checksums are present (they do not survive column
     /// slicing) or the range is invalid.
     pub fn slice_cols(&self, start: usize, end: usize) -> CheckedMatrix {
-        assert!(!self.has_row_cs, "slice_cols: row checksums cannot be sliced");
+        assert!(
+            !self.has_row_cs,
+            "slice_cols: row checksums cannot be sliced"
+        );
         assert!(start <= end && end <= self.cols);
         let phys_rows = self.buf.rows();
         CheckedMatrix {

@@ -271,8 +271,14 @@ mod tests {
         let naive = col_checksums_batch_naive(&batch);
         for (i, m) in mats.iter().enumerate() {
             let expect = col_checksums(m);
-            assert!(fused.slot_matrix(i).approx_eq(&expect, 1e-5, 1e-5), "fused slot {i}");
-            assert!(naive.slot_matrix(i).approx_eq(&expect, 1e-5, 1e-5), "naive slot {i}");
+            assert!(
+                fused.slot_matrix(i).approx_eq(&expect, 1e-5, 1e-5),
+                "fused slot {i}"
+            );
+            assert!(
+                naive.slot_matrix(i).approx_eq(&expect, 1e-5, 1e-5),
+                "naive slot {i}"
+            );
         }
     }
 }

@@ -86,7 +86,10 @@ fn delta_suspicious(d1: f32, d2: f32, sum_abs: f32, n: usize, cfg: &AbftConfig) 
 /// # Panics
 /// Panics when the matrix has no column checksums.
 pub fn correct_columns(m: &mut CheckedMatrix, cfg: &AbftConfig) -> PassOutcome {
-    assert!(m.has_col_checksums(), "correct_columns: no column checksums");
+    assert!(
+        m.has_col_checksums(),
+        "correct_columns: no column checksums"
+    );
     let (rows, cols) = (m.rows(), m.cols());
 
     // Streaming prepass: per-column (Σv, Σw·v, Σ|v|) in one sweep.
@@ -201,12 +204,7 @@ pub struct CorrectionSummary {
 impl CorrectionSummary {
     /// Total corrected elements across both passes.
     pub fn total_fixes(&self) -> usize {
-        self.col_pass.fixes.len()
-            + self
-                .row_pass
-                .as_ref()
-                .map(|p| p.fixes.len())
-                .unwrap_or(0)
+        self.col_pass.fixes.len() + self.row_pass.as_ref().map(|p| p.fixes.len()).unwrap_or(0)
     }
 
     /// Total detections of any kind.

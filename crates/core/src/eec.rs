@@ -126,7 +126,9 @@ fn reconstruct(v: &[f32], i: usize, csum: f32) -> Option<f32> {
     if !csum.is_finite() {
         return None;
     }
-    let mut rest = 0.0f32;
+    // f64 accumulation: the restored value should be limited by the stored
+    // checksum's own round-off, not by re-summing in f32.
+    let mut rest = 0.0f64;
     for (j, &x) in v.iter().enumerate() {
         if j == i {
             continue;
@@ -134,9 +136,9 @@ fn reconstruct(v: &[f32], i: usize, csum: f32) -> Option<f32> {
         if !x.is_finite() {
             return None;
         }
-        rest += x;
+        rest += x as f64;
     }
-    let rec = csum - rest;
+    let rec = (csum as f64 - rest) as f32;
     rec.is_finite().then_some(rec)
 }
 
@@ -147,12 +149,7 @@ fn reconstruct(v: &[f32], i: usize, csum: f32) -> Option<f32> {
 /// recoverable error the element is corrected **in place** and the verdict
 /// reports the restored index; on propagation or double corruption `v` is
 /// left untouched.
-pub fn eec_correct_vector(
-    v: &mut [f32],
-    csum: f32,
-    wsum: f32,
-    cfg: &AbftConfig,
-) -> VectorVerdict {
+pub fn eec_correct_vector(v: &mut [f32], csum: f32, wsum: f32, cfg: &AbftConfig) -> VectorVerdict {
     let n = v.len();
     if n == 0 {
         return VectorVerdict::Clean;
@@ -338,7 +335,10 @@ mod tests {
     #[test]
     fn clean_vector_passes() {
         let (mut v, s, ws) = make_vector(32);
-        assert_eq!(eec_correct_vector(&mut v, s, ws, &cfg()), VectorVerdict::Clean);
+        assert_eq!(
+            eec_correct_vector(&mut v, s, ws, &cfg()),
+            VectorVerdict::Clean
+        );
     }
 
     #[test]
@@ -349,7 +349,12 @@ mod tests {
             v[pos] = f32::INFINITY;
             let verdict = eec_correct_vector(&mut v, s, ws, &cfg());
             match verdict {
-                VectorVerdict::Corrected { index, case, method, .. } => {
+                VectorVerdict::Corrected {
+                    index,
+                    case,
+                    method,
+                    ..
+                } => {
                     assert_eq!(index, pos);
                     assert_eq!(case, EecCase::InfDelta);
                     assert_eq!(method, CorrectionMethod::Reconstruct);
@@ -425,7 +430,12 @@ mod tests {
         v[5] += 42.0;
         let verdict = eec_correct_vector(&mut v, s, ws, &cfg());
         match verdict {
-            VectorVerdict::Corrected { index, method, new_value, .. } => {
+            VectorVerdict::Corrected {
+                index,
+                method,
+                new_value,
+                ..
+            } => {
                 assert_eq!(index, 5);
                 assert_eq!(method, CorrectionMethod::DeltaAdd);
                 assert!((new_value - truth).abs() < 1e-3);

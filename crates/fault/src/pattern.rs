@@ -337,10 +337,7 @@ mod tests {
     #[test]
     fn shape_of_single_covers_both_row_and_col() {
         // A single element is 0D, not 1R or 1C.
-        assert_eq!(
-            shape_of(&[(3, 4)]),
-            PatternClass::ZeroD { row: 3, col: 4 }
-        );
+        assert_eq!(shape_of(&[(3, 4)]), PatternClass::ZeroD { row: 3, col: 4 });
     }
 
     #[test]

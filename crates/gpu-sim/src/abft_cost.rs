@@ -69,7 +69,8 @@ pub fn attention_block_time(gpu: &GpuModel, w: &AbftWorkload) -> f64 {
 /// Cost (seconds) of one layer's ABFT work under the fused strategy.
 pub fn opt_abft_time(gpu: &GpuModel, w: &AbftWorkload) -> f64 {
     // Fused checksum rows inside the GEMMs: +2/s of the GEMM flops.
-    let update = w.attention_flops() * 2.0 / w.seq as f64
+    let update = w.attention_flops() * 2.0
+        / w.seq as f64
         / (gpu.tensor_tflops * 1e12 * ATTN_GEMM_EFFICIENCY);
     // Fused encode+detect sweeps share passes over the protected matrices
     // (only AS needs both sides), at the custom kernel's high utilization.

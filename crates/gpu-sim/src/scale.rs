@@ -211,10 +211,7 @@ mod tests {
         for &o in &overheads {
             assert!(o > 0.001 && o < 0.15, "overhead {o}");
         }
-        let spread = overheads
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
+        let spread = overheads.iter().cloned().fold(f64::MIN, f64::max)
             - overheads.iter().cloned().fold(f64::MAX, f64::min);
         assert!(
             spread < 0.01,

@@ -12,7 +12,7 @@ use attn_tensor::ops::{col_sums, softmax_rows_backward};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::attention::{
-    AttnCache, AttentionWeights, ForwardOptions, ProtectedAttention, SectionToggles,
+    AttentionWeights, AttnCache, ForwardOptions, ProtectedAttention, SectionToggles,
 };
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
@@ -127,7 +127,10 @@ impl AttentionLayer {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("AttentionLayer::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("AttentionLayer::backward before forward");
         let hidden = self.hidden();
         let heads = self.heads;
         let d = hidden / heads;
@@ -240,8 +243,8 @@ mod tests {
                 xp[(r, c)] += eps;
                 let mut xm = x.clone();
                 xm[(r, c)] -= eps;
-                let fd =
-                    (loss_of(&layer, &xp, &dy, None) - loss_of(&layer, &xm, &dy, None)) / (2.0 * eps);
+                let fd = (loss_of(&layer, &xp, &dy, None) - loss_of(&layer, &xm, &dy, None))
+                    / (2.0 * eps);
                 assert!(
                     (fd - dx[(r, c)]).abs() < 5e-2,
                     "dx ({r},{c}): fd {fd} vs {}",
@@ -277,8 +280,8 @@ mod tests {
                             lm.wo.value[(r, c)] -= eps;
                         }
                     }
-                    let fd = (loss_of(&lp, &x, &dy, None) - loss_of(&lm, &x, &dy, None))
-                        / (2.0 * eps);
+                    let fd =
+                        (loss_of(&lp, &x, &dy, None) - loss_of(&lm, &x, &dy, None)) / (2.0 * eps);
                     assert!(
                         (fd - grad[(r, c)]).abs() < 6e-2,
                         "param {pick} ({r},{c}): fd {fd} vs {}",

@@ -104,7 +104,9 @@ impl SyntheticMrpc {
 }
 
 fn random_sentence(rng: &mut TensorRng, vocab: usize, len: usize) -> Vec<usize> {
-    (0..len).map(|_| WORD_BASE + rng.index(vocab - WORD_BASE)).collect()
+    (0..len)
+        .map(|_| WORD_BASE + rng.index(vocab - WORD_BASE))
+        .collect()
 }
 
 /// Build a paraphrase: synonym-substitute ~25% of words (a fixed id shift,

@@ -106,12 +106,8 @@ mod tests {
         let mut emb = Embedding::new("e", 10, 8, 4, 0, &mut rng);
         let x = emb.forward(&[3, 7]);
         for d in 0..4 {
-            assert!(
-                (x[(0, d)] - emb.tok.value[(3, d)] - emb.pos.value[(0, d)]).abs() < 1e-6
-            );
-            assert!(
-                (x[(1, d)] - emb.tok.value[(7, d)] - emb.pos.value[(1, d)]).abs() < 1e-6
-            );
+            assert!((x[(0, d)] - emb.tok.value[(3, d)] - emb.pos.value[(0, d)]).abs() < 1e-6);
+            assert!((x[(1, d)] - emb.tok.value[(7, d)] - emb.pos.value[(1, d)]).abs() < 1e-6);
         }
     }
 

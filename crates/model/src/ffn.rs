@@ -45,7 +45,10 @@ impl FeedForward {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let pre = self.cache_pre.take().expect("FeedForward::backward before forward");
+        let pre = self
+            .cache_pre
+            .take()
+            .expect("FeedForward::backward before forward");
         let dact = self.lin2.backward(dy);
         let dpre = gelu_backward(&pre, &dact);
         self.lin1.backward(&dpre)
@@ -123,10 +126,7 @@ mod tests {
                 let mut fm = ffn.clone();
                 fm.lin1.w.value[(r, c)] -= eps;
                 let fd = (loss(&fp, &x) - loss(&fm, &x)) / (2.0 * eps);
-                assert!(
-                    (fd - ffn.lin1.w.grad[(r, c)]).abs() < 3e-2,
-                    "dW1 ({r},{c})"
-                );
+                assert!((fd - ffn.lin1.w.grad[(r, c)]).abs() < 3e-2, "dW1 ({r},{c})");
             }
         }
     }

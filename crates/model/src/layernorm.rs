@@ -44,7 +44,10 @@ impl LayerNorm {
     /// # Panics
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self.cache.take().expect("LayerNorm::backward before forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("LayerNorm::backward before forward");
         let (dx, dgamma, dbeta) = layer_norm_backward(dy, &cache, self.gamma.bias());
         self.gamma
             .accumulate(&Matrix::from_vec(1, dgamma.len(), dgamma));

@@ -22,9 +22,7 @@ use attn_fault::FaultKind;
 use attn_tensor::ops::{causal_mask, local_causal_mask, softmax_rows};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
-use attnchecker::attention::{
-    AttnOp, FaultSite, ForwardOptions, SectionToggles,
-};
+use attnchecker::attention::{AttnOp, FaultSite, ForwardOptions, SectionToggles};
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
@@ -232,7 +230,11 @@ impl TransformerModel {
         } else {
             BlockArch::PreLn
         };
-        let pos_offset = if config.arch == ModelArch::Roberta { 2 } else { 0 };
+        let pos_offset = if config.arch == ModelArch::Roberta {
+            2
+        } else {
+            0
+        };
         let embedding = Embedding::new(
             "emb",
             config.vocab,
@@ -459,8 +461,7 @@ mod tests {
             let (mut m, _) = tiny(cfg.clone());
             let tokens: Vec<usize> = (0..16).map(|i| i % cfg.vocab).collect();
             let mut report = AbftReport::default();
-            let logits =
-                m.forward_example(&tokens, SectionToggles::none(), None, &mut report);
+            let logits = m.forward_example(&tokens, SectionToggles::none(), None, &mut report);
             assert_eq!((logits.rows(), logits.cols()), (1, 2), "{}", cfg.name);
             assert!(logits.all_finite(), "{}", cfg.name);
         }
@@ -565,8 +566,7 @@ mod tests {
             kind: FaultKind::NaN,
         };
         let mut report = AbftReport::default();
-        let logits =
-            m.forward_example(&tokens, SectionToggles::none(), Some(&spec), &mut report);
+        let logits = m.forward_example(&tokens, SectionToggles::none(), Some(&spec), &mut report);
         // Unprotected NaN in Q propagates through two layers into the CLS
         // path and the logits.
         assert!(!logits.all_finite());
@@ -575,11 +575,8 @@ mod tests {
     #[test]
     fn injection_with_protection_is_corrected() {
         let mut rng = TensorRng::seed_from(12);
-        let mut m = TransformerModel::new(
-            ModelConfig::bert_base(),
-            ProtectionConfig::full(),
-            &mut rng,
-        );
+        let mut m =
+            TransformerModel::new(ModelConfig::bert_base(), ProtectionConfig::full(), &mut rng);
         let tokens: Vec<usize> = (0..16).collect();
         let spec = InjectionSpec {
             layer: 1,

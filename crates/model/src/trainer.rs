@@ -136,7 +136,11 @@ impl Trainer {
                     .forward_example(&ex.tokens, SectionToggles::none(), None, &mut report);
             let (loss, _) = cross_entropy(&logits, ex.label);
             loss_sum += loss;
-            let pred = if logits[(0, 1)] > logits[(0, 0)] { 1 } else { 0 };
+            let pred = if logits[(0, 1)] > logits[(0, 0)] {
+                1
+            } else {
+                0
+            };
             if pred == ex.label {
                 correct += 1;
             }

@@ -225,13 +225,17 @@ pub fn causal_mask(n: usize) -> Matrix {
 /// Local banded causal mask with attention window `w` (GPT-Neo local layers):
 /// position `i` may attend to `j` iff `i - w < j <= i`.
 pub fn local_causal_mask(n: usize, w: usize) -> Matrix {
-    Matrix::from_fn(n, n, |r, c| {
-        if c > r || r >= c + w {
-            MASK_NEG
-        } else {
-            0.0
-        }
-    })
+    Matrix::from_fn(
+        n,
+        n,
+        |r, c| {
+            if c > r || r >= c + w {
+                MASK_NEG
+            } else {
+                0.0
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -50,7 +50,10 @@ fn main() {
     let protection =
         ProtectionConfig::with_frequencies(plan.freqs[0], plan.freqs[1], plan.freqs[2]);
     let mut rng = TensorRng::seed_from(1);
-    let mut trainer = Trainer::new(TransformerModel::new(config.clone(), protection, &mut rng), 1e-3);
+    let mut trainer = Trainer::new(
+        TransformerModel::new(config.clone(), protection, &mut rng),
+        1e-3,
+    );
     let ds = SyntheticMrpc::generate(16, config.vocab, 32, 2);
     let batch: Vec<_> = ds.examples.iter().take(8).collect();
     let mut checked = 0;

@@ -9,7 +9,7 @@ use attn_fault::FaultKind;
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::attention::{
-    AttnOp, AttentionWeights, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
+    AttentionWeights, AttnOp, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
 };
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
@@ -37,7 +37,11 @@ fn forward(
         },
         &mut report,
     );
-    (out.cache.scores[0].clone(), out.cache.cl.clone(), out.output)
+    (
+        out.cache.scores[0].clone(),
+        out.cache.cl.clone(),
+        out.output,
+    )
 }
 
 fn main() {
@@ -49,7 +53,10 @@ fn main() {
 
     println!("error propagation in an unprotected attention block");
     println!("(single fault at element (2,3) of the named matrix)\n");
-    println!("{:<10} {:<8} {:>8} {:>8} {:>8}", "inject at", "kind", "AS", "CL", "O");
+    println!(
+        "{:<10} {:<8} {:>8} {:>8} {:>8}",
+        "inject at", "kind", "AS", "CL", "O"
+    );
     println!("{}", "-".repeat(48));
     for op in [AttnOp::Q, AttnOp::K, AttnOp::V, AttnOp::AS, AttnOp::CL] {
         for kind in [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf] {

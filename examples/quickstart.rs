@@ -5,7 +5,7 @@
 
 use attn_tensor::rng::TensorRng;
 use attnchecker::attention::{
-    AttnOp, AttentionWeights, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
+    AttentionWeights, AttnOp, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
 };
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
@@ -53,10 +53,7 @@ fn main() {
     assert!(recovered.output.approx_eq(&clean.output, 1e-3, 1e-3));
     assert!(report.correction_count() > 0);
     assert_eq!(report.unrecovered, 0);
-    let max_diff = recovered
-        .output
-        .sub(&clean.output)
-        .max_abs();
+    let max_diff = recovered.output.sub(&clean.output).max_abs();
     println!(
         "recovered output matches clean output (max |Δ| = {max_diff:.2e}) \
          after {} corrections",

@@ -18,7 +18,10 @@ mod attn_bench_free {
 
     pub fn build(config: &ModelConfig, protection: ProtectionConfig, seed: u64) -> Trainer {
         let mut rng = TensorRng::seed_from(seed);
-        Trainer::new(TransformerModel::new(config.clone(), protection, &mut rng), 1e-3)
+        Trainer::new(
+            TransformerModel::new(config.clone(), protection, &mut rng),
+            1e-3,
+        )
     }
 }
 

@@ -7,8 +7,8 @@
 
 use attn_fault::FaultKind;
 use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
-use attn_model::Trainer;
 use attn_model::SyntheticMrpc;
+use attn_model::Trainer;
 use attn_tensor::rng::TensorRng;
 use attnchecker::attention::AttnOp;
 use attnchecker::config::ProtectionConfig;

@@ -1,0 +1,37 @@
+//! Smoke coverage for every `examples/` binary, so they cannot silently
+//! rot: each one must build, run to completion, and print something.
+//!
+//! The examples are run in release mode — the tier-1 pipeline builds
+//! release artifacts first, so these are cheap re-invocations; from a cold
+//! cache the first spawn pays one compile.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "adaptive_tuning",
+    "fault_injection_study",
+    "scale_projection",
+    "train_with_protection",
+];
+
+#[test]
+fn all_examples_run_cleanly() {
+    for name in EXAMPLES {
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--release", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{name}` exited with {}:\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "example `{name}` ran but printed nothing"
+        );
+    }
+}

@@ -16,7 +16,10 @@ fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-10.0f32..10.0, len)
 }
 
-fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
         prop::collection::vec(-5.0f32..5.0, r * c)
             .prop_map(move |data| Matrix::from_vec(r, c, data))

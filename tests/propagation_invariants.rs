@@ -7,7 +7,7 @@ use attn_fault::FaultKind;
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::attention::{
-    AttnOp, AttentionWeights, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
+    AttentionWeights, AttnOp, FaultSite, ForwardOptions, ProtectedAttention, SectionToggles,
 };
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
@@ -26,7 +26,9 @@ fn run(
     inject: Option<(AttnOp, FaultKind, usize, usize)>,
 ) -> Traces {
     let mut hook = move |site: FaultSite, m: &mut CheckedMatrix| {
-        let Some((op, kind, r, c)) = inject else { return };
+        let Some((op, kind, r, c)) = inject else {
+            return;
+        };
         if site.op == op && site.head.unwrap_or(0) == 0 {
             let (r, c) = (r % m.rows(), c % m.cols());
             let old = m.get(r, c);
@@ -95,7 +97,10 @@ fn inf_turns_to_nan_through_softmax() {
     let (x, attn, clean) = setup();
     let faulty = run(&attn, &x, Some((AttnOp::Q, FaultKind::Inf, 4, 1)));
     let rep_as = classify(&clean.scores, &faulty.scores, 1e-3);
-    assert!(rep_as.census.pos_inf + rep_as.census.neg_inf > 0, "{rep_as:?}");
+    assert!(
+        rep_as.census.pos_inf + rep_as.census.neg_inf > 0,
+        "{rep_as:?}"
+    );
     let rep_ap = classify(&clean.ap, &faulty.ap, 1e-3);
     assert!(rep_ap.census.nan > 0, "{rep_ap:?}");
     assert_eq!(rep_ap.census.pos_inf + rep_ap.census.neg_inf, 0);
@@ -109,7 +114,10 @@ fn near_inf_stays_finite_through_softmax() {
     let faulty = run(&attn, &x, Some((AttnOp::AS, FaultKind::NearInf, 3, 6)));
     assert!(faulty.ap.all_finite());
     let rep_ap = classify(&clean.ap, &faulty.ap, 1e-3);
-    assert!(matches!(rep_ap.pattern, PatternClass::OneRow { row: 3 }), "{rep_ap:?}");
+    assert!(
+        matches!(rep_ap.pattern, PatternClass::OneRow { row: 3 }),
+        "{rep_ap:?}"
+    );
     assert_eq!(rep_ap.census.extreme(), 0, "AP stays moderate: {rep_ap:?}");
 }
 

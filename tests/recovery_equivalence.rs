@@ -56,7 +56,10 @@ fn abft_correction_and_cr_replay_reach_the_same_state() {
     // restore, replay cleanly.
     let snap = snapshot_model(&mut cr_trainer.model, cr_trainer.optim.t);
     let broken = cr_trainer.train_step_injected(&batch, Some((2, spec)));
-    assert!(broken.non_trainable, "unprotected fault must break the step");
+    assert!(
+        broken.non_trainable,
+        "unprotected fault must break the step"
+    );
     let t = restore_model(&mut cr_trainer.model, &snap).expect("restore");
     cr_trainer.optim.t = t;
     let replay = cr_trainer.train_step(&batch);

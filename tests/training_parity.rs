@@ -60,7 +60,9 @@ fn faulty_protected_trajectory_matches_fault_free() {
 
     // Parameter trajectories stay together.
     let mut clean_params = Vec::new();
-    clean.model.visit_params(&mut |p| clean_params.push(p.value.clone()));
+    clean
+        .model
+        .visit_params(&mut |p| clean_params.push(p.value.clone()));
     let mut prot_params = Vec::new();
     protected
         .model
@@ -91,7 +93,10 @@ fn unprotected_run_with_the_same_faults_diverges() {
         kind: FaultKind::NaN,
     };
     let out = unprotected.train_step_injected(&batch, Some((1, spec)));
-    assert!(out.non_trainable, "NaN without protection must break training");
+    assert!(
+        out.non_trainable,
+        "NaN without protection must break training"
+    );
 }
 
 #[test]
@@ -102,7 +107,11 @@ fn frequency_gated_protection_still_converges_cleanly() {
     let ds = SyntheticMrpc::generate(16, config.vocab, 16, 2);
     let batch: Vec<_> = ds.examples.iter().take(4).collect();
     let mut clean = build(&config, ProtectionConfig::off(), 31);
-    let mut gated = build(&config, ProtectionConfig::with_frequencies(0.5, 0.5, 0.5), 31);
+    let mut gated = build(
+        &config,
+        ProtectionConfig::with_frequencies(0.5, 0.5, 0.5),
+        31,
+    );
     for _ in 0..6 {
         let a = clean.train_step(&batch);
         let b = gated.train_step(&batch);

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking subset the `attn_bench` benches use:
+//! benchmark groups, `bench_function` / `bench_with_input`, `iter` /
+//! `iter_batched`, `BenchmarkId`, and `Throughput`. Timing is wall-clock
+//! with a short warm-up and a time-boxed measurement window; results print
+//! as one line per benchmark (median ns/iter plus derived throughput).
+//! No statistical analysis, plots, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Input volume per iteration, used to derive a throughput figure.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Batching hint for `iter_batched`; the shim treats all variants alike.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Measurement settings shared by a run.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs quick: these benches exist to print comparable numbers,
+        // not publishable statistics. CRITERION_MEASURE_MS overrides.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self {
+            warm_up: Duration::from_millis(ms / 4),
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.warm_up, self.measure);
+        f(&mut b);
+        b.report(&id.id, None);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measure);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measure);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure and records per-iteration time.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Self {
+            warm_up,
+            measure,
+            mean_ns: None,
+            iters: 0,
+        }
+    }
+
+    /// Benchmark `routine` back-to-back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up window elapses.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+        }
+        // Measure in growing batches until the measurement window elapses.
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut batch = 1u64;
+        while total < self.measure {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += t.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+        self.iters = iters;
+    }
+
+    /// Benchmark `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / iters as f64);
+        self.iters = iters;
+    }
+
+    fn report(self, label: &str, throughput: Option<Throughput>) {
+        let Some(ns) = self.mean_ns else {
+            println!("  {label:<48} (no measurement)");
+            return;
+        };
+        let tp = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.3} GiB/s", b as f64 / ns / 1.073_741_824)
+            }
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>10.3} Melem/s", e as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "  {label:<48} {:>12.1} ns/iter  ({} iters){tp}",
+            ns, self.iters
+        );
+    }
+}
+
+/// Declare a benchmark group runner (only the simple
+/// `criterion_group!(name, target, ...)` form is supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! Case runner and its RNG.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (only the case count is modelled).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// SplitMix64 stream for case generation. Deterministic: the seed comes
+/// from `PROPTEST_SEED` when set, otherwise a fixed constant, so failures
+/// reproduce run-to-run.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` in `[0, n)`; `n` must be non-zero.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below_u64(0)");
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.below_u64(n as u64) as usize
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got `{v}`")),
+        Err(_) => 0x5EED_CA5E_D00D_F00D,
+    }
+}
+
+/// Drives a strategy through `config.cases` generated inputs.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        Self {
+            config,
+            rng: TestRng::new(base_seed()),
+        }
+    }
+
+    /// Run `test` on `cases` freshly generated values. A failing case
+    /// panics immediately (via the `prop_assert*` macros or any other
+    /// panic), which fails the surrounding `#[test]`.
+    pub fn run<S: Strategy>(&mut self, strategy: &S, test: impl Fn(S::Value)) {
+        for _ in 0..self.config.cases {
+            test(strategy.generate(&mut self.rng));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the parallel-iterator subset this workspace uses —
+//! `par_chunks_mut(..).enumerate().for_each(..)`, `par_iter().map(..)
+//! .collect()`, and `(a..b).into_par_iter().map(..).collect()` — with real
+//! OS threads (`std::thread::scope` over an atomic work queue), so the
+//! parallel code paths in `attn_tensor::gemm`, `Batch3`, the batched
+//! encoder, and the fault campaigns genuinely fan out across cores.
+//!
+//! Results are always reassembled in input order, matching rayon's
+//! `collect` semantics; combined with the per-trial seed derivation in
+//! `attn_fault::campaign`, outputs are independent of scheduling order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Worker count: one per logical CPU, overridable via `RAYON_NUM_THREADS`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(index, item)` for every item, fanning out over a scoped thread
+/// pool fed from an atomic cursor. Items are consumed exactly once.
+fn for_each_indexed<I: Send>(items: Vec<I>, f: impl Fn(usize, I) + Sync) {
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("rayon shim: poisoned work slot")
+                    .take()
+                    .expect("rayon shim: slot consumed twice");
+                f(i, item);
+            });
+        }
+    });
+}
+
+/// Parallel map preserving input order.
+fn map_indexed<I: Send, R: Send>(items: Vec<I>, f: impl Fn(usize, I) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    for_each_indexed(items, |i, item| {
+        *out[i].lock().expect("rayon shim: poisoned result slot") = Some(f(i, item));
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("rayon shim: poisoned result slot")
+                .expect("rayon shim: missing result")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Owned parallel iterator: `into_par_iter()` / `par_iter()` → map → collect.
+// ---------------------------------------------------------------------------
+
+/// Eager parallel iterator over an owned item list.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        for_each_indexed(self.items, |_, item| f(item));
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+/// A mapped parallel iterator awaiting `collect`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(map_indexed(self.items, |_, item| (self.f)(item)))
+    }
+}
+
+/// `into_par_iter()` entry point (ranges and vectors).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter()` on slices/vecs by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slice chunking: `par_chunks_mut(..)` (+ `.enumerate()`) `.for_each(..)`.
+// ---------------------------------------------------------------------------
+
+/// `par_chunks(..)` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn enumerate(self) -> EnumerateParChunks<'a, T> {
+        EnumerateParChunks(self)
+    }
+
+    pub fn for_each<F: Fn(&'a [T]) + Sync>(self, f: F) {
+        for_each_indexed(self.slice.chunks(self.chunk_size).collect(), |_, c| f(c));
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<&'a [T], F>
+    where
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        ParMap {
+            items: self.slice.chunks(self.chunk_size).collect(),
+            f,
+        }
+    }
+}
+
+pub struct EnumerateParChunks<'a, T>(ParChunks<'a, T>);
+
+impl<'a, T: Sync> EnumerateParChunks<'a, T> {
+    pub fn for_each<F: Fn((usize, &'a [T])) + Sync>(self, f: F) {
+        for_each_indexed(self.0.slice.chunks(self.0.chunk_size).collect(), |i, c| {
+            f((i, c))
+        });
+    }
+}
+
+/// `par_chunks_mut(..)` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut(self)
+    }
+
+    pub fn for_each<F: Fn(&'a mut [T]) + Sync>(self, f: F) {
+        for_each_indexed(self.slice.chunks_mut(self.chunk_size).collect(), |_, c| {
+            f(c)
+        });
+    }
+}
+
+pub struct EnumerateParChunksMut<'a, T>(ParChunksMut<'a, T>);
+
+impl<'a, T: Send> EnumerateParChunksMut<'a, T> {
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
+        for_each_indexed(
+            self.0.slice.chunks_mut(self.0.chunk_size).collect(),
+            |i, c| f((i, c)),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_visits_every_chunk_once() {
+        let mut data = vec![0u32; 64];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i as u32 + 1;
+            }
+        });
+        for (i, c) in data.chunks(8).enumerate() {
+            assert!(c.iter().all(|&x| x == i as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_on_slice() {
+        let xs = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = xs.par_iter().map(|&x| -x).collect();
+        assert_eq!(out, vec![-1, -2, -3, -4]);
+    }
+
+    #[test]
+    fn ragged_tail_chunk_is_processed() {
+        let mut data = [0u8; 10];
+        data.par_chunks_mut(4).for_each(|c| c.fill(7));
+        assert!(data.iter().all(|&x| x == 7));
+    }
+}

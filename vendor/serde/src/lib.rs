@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in this workspace drives serde's data model — the only use is
+//! `#[derive(Serialize, Deserialize)]` on plain-old-data configuration
+//! structs (e.g. `attn_gpusim::GpuModel`), kept so the types stay
+//! wire-ready for when the real serde is swapped back in. The traits are
+//! therefore empty markers, and the derives (re-exported from the vendored
+//! `serde_derive`) emit empty impls.
+
+/// Marker for serialisable types.
+pub trait Serialize {}
+
+/// Marker for deserialisable types.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion vendored `serde` defines `Serialize`/`Deserialize` as
+//! marker traits (nothing in this workspace serialises through serde's
+//! data model — the checkpoint format is hand-rolled). These derives
+//! therefore only need to emit empty marker impls for the deriving type.
+//! No `syn`/`quote`: the type name is scanned straight out of the token
+//! stream.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the name of the type a derive is attached to: the identifier
+/// following the `struct`/`enum`/`union` keyword. Generic types are not
+/// supported (no consumer in this workspace derives on a generic type).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        let name = name.to_string();
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            assert!(
+                                p.as_char() != '<',
+                                "vendored serde_derive does not support generic type `{name}`"
+                            );
+                        }
+                        return name;
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
