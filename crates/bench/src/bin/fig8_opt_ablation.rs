@@ -37,9 +37,16 @@ fn main() {
         let config = config.scaled_for_timing();
         let ds = dataset_full_seq(&config, BATCH, 13);
         let batch: Vec<&Example> = ds.examples.iter().collect();
+        // Attention-only scope, so the columns stay comparable with the
+        // paper's measurement (S_FFN is the end-to-end extension and is
+        // reported separately by fig7_overhead).
         let mut off = build_trainer(&config, ProtectionConfig::off(), 42);
-        let mut sep = build_trainer(&config, ProtectionConfig::full_unoptimized(), 42);
-        let mut fus = build_trainer(&config, ProtectionConfig::full(), 42);
+        let mut sep = build_trainer(
+            &config,
+            ProtectionConfig::full_unoptimized().ffn_frequency(0.0),
+            42,
+        );
+        let mut fus = build_trainer(&config, ProtectionConfig::attention_only(), 42);
         let times = measure_interleaved(&mut [&mut off, &mut sep, &mut fus], &batch, WARMUP, STEPS);
         let (base, non_opt, opt) = (times[0], times[1], times[2]);
 

@@ -14,6 +14,8 @@ use attn_model::{Example, Trainer};
 pub struct StepTimes {
     /// Median attention-forward time per step, milliseconds.
     pub attn_ms: f64,
+    /// Median FFN-forward time per step, milliseconds.
+    pub ffn_ms: f64,
     /// Median full-step time, milliseconds.
     pub step_ms: f64,
 }
@@ -22,6 +24,11 @@ impl StepTimes {
     /// Relative overhead of `self` vs `base` on the attention timer.
     pub fn attn_overhead_vs(&self, base: &StepTimes) -> f64 {
         self.attn_ms / base.attn_ms - 1.0
+    }
+
+    /// Relative overhead of `self` vs `base` on the FFN timer.
+    pub fn ffn_overhead_vs(&self, base: &StepTimes) -> f64 {
+        self.ffn_ms / base.ffn_ms - 1.0
     }
 
     /// Relative overhead of `self` vs `base` on the step timer.
@@ -46,17 +53,20 @@ pub fn measure_interleaved(
     }
     let n = trainers.len();
     let mut attn_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); n];
+    let mut ffn_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); n];
     let mut step_samples: Vec<Vec<f64>> = vec![Vec::with_capacity(steps); n];
     for _ in 0..steps {
         for (i, tr) in trainers.iter_mut().enumerate() {
             let out = tr.train_step(batch);
             attn_samples[i].push(out.attention_time.as_secs_f64() * 1e3);
+            ffn_samples[i].push(out.ffn_time.as_secs_f64() * 1e3);
             step_samples[i].push(out.step_time.as_secs_f64() * 1e3);
         }
     }
     (0..n)
         .map(|i| StepTimes {
             attn_ms: median(&attn_samples[i]),
+            ffn_ms: median(&ffn_samples[i]),
             step_ms: median(&step_samples[i]),
         })
         .collect()
@@ -82,7 +92,8 @@ mod tests {
         let times = measure_interleaved(&mut [&mut a, &mut b], &batch, 1, 3);
         assert_eq!(times.len(), 2);
         for t in &times {
-            assert!(t.attn_ms > 0.0 && t.step_ms >= t.attn_ms);
+            assert!(t.attn_ms > 0.0 && t.ffn_ms > 0.0);
+            assert!(t.step_ms >= t.attn_ms && t.step_ms >= t.ffn_ms);
         }
     }
 
@@ -90,13 +101,16 @@ mod tests {
     fn overhead_helpers() {
         let base = StepTimes {
             attn_ms: 10.0,
+            ffn_ms: 20.0,
             step_ms: 100.0,
         };
         let other = StepTimes {
             attn_ms: 11.0,
+            ffn_ms: 21.0,
             step_ms: 107.0,
         };
         assert!((other.attn_overhead_vs(&base) - 0.10).abs() < 1e-9);
+        assert!((other.ffn_overhead_vs(&base) - 0.05).abs() < 1e-9);
         assert!((other.step_overhead_vs(&base) - 0.07).abs() < 1e-9);
     }
 }

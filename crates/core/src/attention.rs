@@ -1,5 +1,6 @@
 //! Protected multi-head attention: the three ABFT sections with checksum
-//! passing (paper §4.4, Fig 5).
+//! passing (paper §4.4, Fig 5), composed from the reusable
+//! [`GuardedSection`] pipeline in [`crate::section`].
 //!
 //! The six attention GEMMs are grouped into sections so that every section
 //! tolerates one fault, wherever it strikes:
@@ -25,18 +26,16 @@
 //! its detection point via [`FaultSite`] callbacks.
 
 use crate::checked::CheckedMatrix;
-use crate::config::{ProtectionConfig, Strategy};
-use crate::detect::{
-    correct_columns, correct_rows, full_correct, CorrectionSummary, ElementFix, PassOutcome,
-};
-use crate::report::{AbftReport, CorrectionRecord, SectionId};
+use crate::config::ProtectionConfig;
+use crate::report::{AbftReport, SectionId};
+use crate::section::{replay_nn, ForwardCtx, GuardedSection};
 use attn_tensor::gemm;
 use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 
 /// The GEMM (or softmax) outputs a fault can strike, mirroring the paper's
-/// injection sites (Table 2 / Table 4 rows).
+/// injection sites (Table 2 / Table 4 rows) plus the FFN extension sites.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AttnOp {
     /// Output of `X·W_Q`.
@@ -51,10 +50,15 @@ pub enum AttnOp {
     CL,
     /// Output of `CL·W_O`.
     O,
+    /// Output of the FFN expansion GEMM `H·W_1` (pre-GELU) — an
+    /// end-to-end extension site outside the paper's attention scope.
+    Ffn1,
+    /// Output of the FFN contraction GEMM `GELU(·)·W_2`.
+    Ffn2,
 }
 
 impl AttnOp {
-    /// All injectable sites, in pipeline order.
+    /// All *attention* injectable sites, in pipeline order.
     pub const ALL: [AttnOp; 6] = [
         AttnOp::Q,
         AttnOp::K,
@@ -67,6 +71,9 @@ impl AttnOp {
     /// The five sites of the paper's vulnerability study (Table 4).
     pub const STUDY: [AttnOp; 5] = [AttnOp::Q, AttnOp::K, AttnOp::V, AttnOp::AS, AttnOp::CL];
 
+    /// The two FFN GEMM outputs protected by the end-to-end extension.
+    pub const FFN: [AttnOp; 2] = [AttnOp::Ffn1, AttnOp::Ffn2];
+
     /// Display label.
     pub fn label(self) -> &'static str {
         match self {
@@ -76,6 +83,8 @@ impl AttnOp {
             AttnOp::AS => "AS",
             AttnOp::CL => "CL",
             AttnOp::O => "O",
+            AttnOp::Ffn1 => "FFN1",
+            AttnOp::Ffn2 => "FFN2",
         }
     }
 }
@@ -86,7 +95,7 @@ pub struct FaultSite {
     /// Which GEMM output is exposed.
     pub op: AttnOp,
     /// Head index for per-head sites (`AS`, `CL`, `V`); `None` for the
-    /// model-wide `Q`, `K`, `O` matrices.
+    /// model-wide `Q`, `K`, `O` and FFN matrices.
     pub head: Option<usize>,
 }
 
@@ -95,7 +104,8 @@ pub struct FaultSite {
 pub type FaultHook<'a> = &'a mut dyn FnMut(FaultSite, &mut CheckedMatrix);
 
 /// Which sections perform detection in this execution (the per-execution
-/// realisation of the §4.5 frequencies).
+/// realisation of the §4.5 frequencies, handed out by
+/// [`crate::policy::ProtectionPolicy`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SectionToggles {
     /// Run S_AS protection.
@@ -104,6 +114,9 @@ pub struct SectionToggles {
     pub s_cl: bool,
     /// Run S_O protection.
     pub s_o: bool,
+    /// Run S_FFN protection (the feed-forward extension; ignored by the
+    /// attention-only forward).
+    pub s_ffn: bool,
 }
 
 impl SectionToggles {
@@ -113,6 +126,7 @@ impl SectionToggles {
             s_as: true,
             s_cl: true,
             s_o: true,
+            s_ffn: true,
         }
     }
 
@@ -122,12 +136,13 @@ impl SectionToggles {
             s_as: false,
             s_cl: false,
             s_o: false,
+            s_ffn: false,
         }
     }
 
     /// Any section active?
     pub fn any(&self) -> bool {
-        self.s_as || self.s_cl || self.s_o
+        self.s_as || self.s_cl || self.s_o || self.s_ffn
     }
 }
 
@@ -217,7 +232,8 @@ pub struct AttnForward {
     pub cache: AttnCache,
 }
 
-/// Per-call options for [`ProtectedAttention::forward`].
+/// Per-call options for [`ProtectedAttention::forward`] — the borrowed
+/// pieces of a [`ForwardCtx`] minus the report.
 pub struct ForwardOptions<'a> {
     /// Additive attention mask (`seq × seq`), e.g. causal or local-banded.
     pub mask: Option<&'a Matrix>,
@@ -259,185 +275,210 @@ impl ProtectedAttention {
 
     /// Run the protected attention pipeline on `x` (`seq × hidden`).
     ///
+    /// Compatibility wrapper around [`Self::forward_ctx`].
+    ///
     /// # Panics
     /// Panics if `x.cols() != hidden`.
-    #[allow(clippy::needless_range_loop)] // head index drives several buffers
     pub fn forward(
         &self,
         x: &Matrix,
-        mut opts: ForwardOptions<'_>,
+        opts: ForwardOptions<'_>,
         report: &mut AbftReport,
     ) -> AttnForward {
+        let mut ctx = ForwardCtx {
+            mask: opts.mask,
+            toggles: opts.toggles,
+            hook: opts.hook,
+            report,
+        };
+        self.forward_ctx(x, &mut ctx)
+    }
+
+    /// Run the protected attention pipeline with an explicit per-execution
+    /// [`ForwardCtx`] — the entry point shared by the sequential and
+    /// batched paths.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != hidden`.
+    #[allow(clippy::needless_range_loop)] // head index drives several buffers
+    pub fn forward_ctx(&self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> AttnForward {
         let w = &self.weights;
         assert_eq!(x.cols(), w.hidden, "input width mismatch");
         let seq = x.rows();
         let heads = w.heads;
         let d = w.head_dim();
-        let strat = self.config.strategy;
-        let cfg = &self.config.abft;
         let scale = 1.0 / (d as f32).sqrt();
+        let mask = ctx.mask;
 
-        let as_on = opts.toggles.s_as && !self.config.is_off();
-        let cl_on = opts.toggles.s_cl && !self.config.is_off();
-        let o_on = opts.toggles.s_o && !self.config.is_off();
-        // The non-optimized baseline (Fig 8) does not use delayed detection:
-        // it verifies every GEMM output immediately, the way a generic ABFT
-        // composition would (§3.2 "Segmented Protection" is one of the
-        // optimizations being ablated).
-        let immediate = strat == Strategy::Separate;
-        bump_section_counters(report, as_on, cl_on, o_on);
+        let s_as = GuardedSection::begin(
+            SectionId::AttentionScore,
+            &self.config,
+            ctx.toggles.s_as,
+            ctx.report,
+        );
+        let s_cl = GuardedSection::begin(
+            SectionId::ContextLayer,
+            &self.config,
+            ctx.toggles.s_cl,
+            ctx.report,
+        );
+        let s_o =
+            GuardedSection::begin(SectionId::Output, &self.config, ctx.toggles.s_o, ctx.report);
 
         // ------------------------------------------------ section S_AS
-        let (mut q, mut k) = if as_on {
-            let xc = CheckedMatrix::encode_cols(x, strat);
-            let wq = CheckedMatrix::from_plain(&w.wq);
-            let wk = CheckedMatrix::from_plain(&w.wk);
-            let mut q = mul(&xc, &wq, strat);
-            let mut k = mul(&xc, &wk, strat);
-            q.add_bias(&w.bq);
-            k.add_bias(&w.bk);
-            (q, k)
-        } else {
-            let mut q = CheckedMatrix::from_plain(x).matmul(&CheckedMatrix::from_plain(&w.wq));
-            let mut k = CheckedMatrix::from_plain(x).matmul(&CheckedMatrix::from_plain(&w.wk));
-            q.add_bias(&w.bq);
-            k.add_bias(&w.bk);
-            (q, k)
-        };
-        fire(&mut opts.hook, AttnOp::Q, None, &mut q);
-        fire(&mut opts.hook, AttnOp::K, None, &mut k);
-        if as_on && immediate {
-            let qfix = heal_projection(&mut q, cfg, x, &w.wq, &w.bq);
-            let kfix = heal_projection(&mut k, cfg, x, &w.wk, &w.bk);
-            record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
-            record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
-        }
+        // X is column-encoded once; Q and K inherit the checksums through
+        // their projection GEMMs.
+        let xc = s_as.encode_cols(x);
+        let mut q = s_as.gemm(&xc, &s_as.operand(&w.wq));
+        let mut k = s_as.gemm(&xc, &s_as.operand(&w.wk));
+        q.add_bias(&w.bq);
+        k.add_bias(&w.bk);
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::Q,
+                head: None,
+            },
+            &mut q,
+        );
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::K,
+                head: None,
+            },
+            &mut k,
+        );
 
-        let mut scores_cache = Vec::with_capacity(heads);
-        let mut ap_checked: Vec<CheckedMatrix> = Vec::with_capacity(heads);
+        let heal_q = |q: &mut CheckedMatrix, report: &mut AbftReport| {
+            s_as.heal_operand_cols(report, q, usize::MAX, |r, c| {
+                replay_nn(x.row(r), |kk| w.wq[(kk, c)]) + w.bq[c]
+            });
+        };
+        let heal_k = |k: &mut CheckedMatrix, report: &mut AbftReport| {
+            s_as.heal_operand_cols(report, k, usize::MAX, |r, c| {
+                replay_nn(x.row(r), |kk| w.wk[(kk, c)]) + w.bk[c]
+            });
+        };
         // Heal the source operands lazily at the first delayed detection: Q
         // and K are cached for backward, where an uncorrected 0D extreme
         // value would re-poison the gradients — and the exact refinement of
         // AS below needs clean operands to replay against. Under immediate
-        // (Separate) verification they were already healed above.
-        let mut qk_healed = immediate;
+        // (Separate) verification they are healed right here instead.
+        let mut qk_healed = s_as.immediate();
+        if s_as.active() && s_as.immediate() {
+            heal_q(&mut q, ctx.report);
+            heal_k(&mut k, ctx.report);
+        }
+
+        let mut scores_cache = Vec::with_capacity(heads);
+        let mut ap_checked: Vec<CheckedMatrix> = Vec::with_capacity(heads);
         for h in 0..heads {
             let qh = q.slice_cols(h * d, (h + 1) * d);
             let kh = k.slice_cols(h * d, (h + 1) * d);
-            let mut as_h = if as_on {
-                mul_nt(&qh, &kh, strat)
-            } else {
-                qh.matmul_nt(&kh)
-            };
+            let mut as_h = s_as.gemm_nt(&qh, &kh);
             as_h.scale_inplace(scale);
-            fire(&mut opts.hook, AttnOp::AS, Some(h), &mut as_h);
-            if as_on {
-                let mut summary = full_correct(&mut as_h, cfg);
-                if summary.total_detections() > 0 {
-                    if !qk_healed {
-                        qk_healed = true;
-                        let qfix = heal_projection(&mut q, cfg, x, &w.wq, &w.bq);
-                        let kfix = heal_projection(&mut k, cfg, x, &w.wk, &w.bk);
-                        record_fixes(report, &qfix, SectionId::AttentionScore, usize::MAX);
-                        record_fixes(report, &kfix, SectionId::AttentionScore, usize::MAX);
-                    }
-                    let lo = h * d;
-                    apply_exact_fixes(&mut as_h, cfg, summary_fixes_mut(&mut summary), |r, c| {
-                        gemm::dot(&q.logical_row(r)[lo..lo + d], &k.logical_row(c)[lo..lo + d])
-                            * scale
-                    });
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::AS,
+                    head: Some(h),
+                },
+                &mut as_h,
+            );
+
+            let mut det = s_as.detect(&mut as_h, h);
+            if det.detections() > 0 {
+                if !qk_healed {
+                    qk_healed = true;
+                    heal_q(&mut q, ctx.report);
+                    heal_k(&mut k, ctx.report);
                 }
-                absorb(report, &summary, SectionId::AttentionScore, h);
+                let lo = h * d;
+                det.refine(&mut as_h, |r, c| {
+                    gemm::dot(&q.logical_row(r)[lo..lo + d], &k.logical_row(c)[lo..lo + d]) * scale
+                });
             }
+            det.absorb(ctx.report);
 
             // Leave the checksummed region: mask + softmax are nonlinear.
-            let mut as_mat = as_h.logical();
-            if let Some(m) = opts.mask {
-                apply_additive_mask(&mut as_mat, m);
-            }
-            scores_cache.push(as_mat.clone());
-            softmax_rows_inplace(&mut as_mat);
-            let ap_c = if cl_on {
-                CheckedMatrix::encode_cols(&as_mat, strat)
-            } else {
-                CheckedMatrix::from_plain(&as_mat)
-            };
+            // The re-encoded AP is S_CL's left operand.
+            let ap_c = s_cl.exit_reencode_cols(&as_h, |as_mat| {
+                if let Some(m) = mask {
+                    apply_additive_mask(as_mat, m);
+                }
+                scores_cache.push(as_mat.clone());
+                softmax_rows_inplace(as_mat);
+            });
             ap_checked.push(ap_c);
         }
 
         // ------------------------------------------------ section S_CL
-        let x_plain = CheckedMatrix::from_plain(x);
+        let x_plain = s_cl.operand(x);
         let mut cl_blocks = Vec::with_capacity(heads);
         let mut v_cols: Vec<Matrix> = Vec::with_capacity(heads);
         for h in 0..heads {
             let wv_h = w.wv.submatrix(0, w.hidden, h * d, (h + 1) * d);
             let bv_h = &w.bv[h * d..(h + 1) * d];
-            let mut v_h = if cl_on {
-                let wv_enc = CheckedMatrix::encode_rows(&wv_h, strat);
-                let mut v_h = mul(&x_plain, &wv_enc, strat);
-                v_h.add_bias(bv_h);
-                v_h
-            } else {
-                let mut v_h = x_plain.matmul(&CheckedMatrix::from_plain(&wv_h));
-                v_h.add_bias(bv_h);
-                v_h
+            let mut v_h = s_cl.gemm(&x_plain, &s_cl.encode_rows(&wv_h));
+            v_h.add_bias(bv_h);
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::V,
+                    head: Some(h),
+                },
+                &mut v_h,
+            );
+
+            let heal_v = |v_h: &mut CheckedMatrix, report: &mut AbftReport| {
+                s_cl.heal_operand_rows(report, v_h, h, |r, c| {
+                    replay_nn(x.row(r), |kk| wv_h[(kk, c)]) + bv_h[c]
+                });
             };
-            fire(&mut opts.hook, AttnOp::V, Some(h), &mut v_h);
-            if cl_on && immediate && v_h.has_row_checksums() {
-                let vfix = heal_value_head(&mut v_h, cfg, x, &wv_h, bv_h);
-                record_fixes(report, &vfix, SectionId::ContextLayer, h);
+            if s_cl.active() && s_cl.immediate() && v_h.has_row_checksums() {
+                heal_v(&mut v_h, ctx.report);
             }
 
-            let mut cl_h = if cl_on {
-                mul(&ap_checked[h], &v_h, strat)
-            } else {
-                ap_checked[h].matmul(&v_h)
-            };
-            fire(&mut opts.hook, AttnOp::CL, Some(h), &mut cl_h);
-            if cl_on {
-                let mut summary = full_correct(&mut cl_h, cfg);
-                if summary.total_detections() > 0 {
-                    if v_h.has_row_checksums() {
-                        // Heal the cached V the same way Q/K are healed.
-                        let vfix = heal_value_head(&mut v_h, cfg, x, &wv_h, bv_h);
-                        record_fixes(report, &vfix, SectionId::ContextLayer, h);
-                    }
-                    let ap = &ap_checked[h];
-                    apply_exact_fixes(&mut cl_h, cfg, summary_fixes_mut(&mut summary), |r, c| {
-                        replay_nn(ap.logical_row(r), |kk| v_h.get(kk, c))
-                    });
+            let mut cl_h = s_cl.gemm(&ap_checked[h], &v_h);
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::CL,
+                    head: Some(h),
+                },
+                &mut cl_h,
+            );
+            let mut det = s_cl.detect(&mut cl_h, h);
+            if det.detections() > 0 {
+                if v_h.has_row_checksums() {
+                    // Heal the cached V the same way Q/K are healed.
+                    heal_v(&mut v_h, ctx.report);
                 }
-                absorb(report, &summary, SectionId::ContextLayer, h);
+                let ap = &ap_checked[h];
+                det.refine(&mut cl_h, |r, c| {
+                    replay_nn(ap.logical_row(r), |kk| v_h.get(kk, c))
+                });
             }
+            det.absorb(ctx.report);
             v_cols.push(v_h.logical());
             cl_blocks.push(cl_h.drop_row_checksums());
         }
         let cl_merged = CheckedMatrix::concat_cols(&cl_blocks);
 
         // ------------------------------------------------ section S_O
-        let cl_for_o = if o_on && !cl_merged.has_col_checksums() {
-            CheckedMatrix::encode_cols(&cl_merged.logical(), strat)
-        } else if !o_on && cl_merged.has_col_checksums() {
-            CheckedMatrix::from_plain(&cl_merged.logical())
-        } else {
-            cl_merged.clone()
-        };
-        let mut o = if o_on {
-            mul(&cl_for_o, &CheckedMatrix::from_plain(&w.wo), strat)
-        } else {
-            cl_for_o.matmul(&CheckedMatrix::from_plain(&w.wo))
-        };
+        let cl_for_o = s_o.adopt_cols(&cl_merged);
+        let mut o = s_o.gemm(&cl_for_o, &s_o.operand(&w.wo));
         o.add_bias(&w.bo);
-        fire(&mut opts.hook, AttnOp::O, None, &mut o);
-        if o_on {
-            let mut summary = full_correct(&mut o, cfg);
-            if summary.total_fixes() > 0 {
-                apply_exact_fixes(&mut o, cfg, summary_fixes_mut(&mut summary), |r, c| {
-                    replay_nn(cl_for_o.logical_row(r), |kk| w.wo[(kk, c)]) + w.bo[c]
-                });
-            }
-            absorb(report, &summary, SectionId::Output, usize::MAX);
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::O,
+                head: None,
+            },
+            &mut o,
+        );
+        let mut det = s_o.detect(&mut o, usize::MAX);
+        if det.fixes() > 0 {
+            det.refine(&mut o, |r, c| {
+                replay_nn(cl_for_o.logical_row(r), |kk| w.wo[(kk, c)]) + w.bo[c]
+            });
         }
+        det.absorb(ctx.report);
 
         // Assemble caches (all post-correction).
         let q_mat = q.logical();
@@ -462,197 +503,6 @@ impl ProtectedAttention {
                 cl: cl_merged.logical(),
             },
         }
-    }
-}
-
-/// Exact replay of one element of a row-major `A·B` product: the same
-/// `kk`-ordered f32 accumulation as `gemm::matmul_into`, so the result is
-/// bit-identical to what the original GEMM produced for that cell.
-fn replay_nn(a_row: &[f32], b_col: impl Fn(usize) -> f32) -> f32 {
-    let mut acc = 0.0f32;
-    for (kk, &av) in a_row.iter().enumerate() {
-        acc += av * b_col(kk);
-    }
-    acc
-}
-
-/// Restore corrected elements to their exact original bits by replaying the
-/// dot product that produced each one.
-///
-/// Checksum reconstruction is only accurate to the ride-along checksums'
-/// round-off (~1e-6 relative here); Adam's normalised updates amplify even
-/// that into visible trajectory divergence within a few steps. Replaying
-/// the single producing dot is O(k) per corrected element, keeps recovery
-/// rollback-free, and makes a corrected step bit-identical to the
-/// fault-free step — the Fig 6 parity property.
-///
-/// A replay is trusted only when it lands within detection-bound noise of
-/// the checksum reconstruction: the reconstruction's own error is orders of
-/// magnitude below that bound, while a replay against a still-corrupt
-/// operand (non-finite, or a sub-threshold corruption that escaped operand
-/// healing) differs by at least a detectable delta — in both cases the
-/// reconstructed value is kept.
-fn apply_exact_fixes<'a>(
-    m: &mut CheckedMatrix,
-    cfg: &crate::config::AbftConfig,
-    fixes: impl Iterator<Item = &'a mut ElementFix>,
-    exact: impl Fn(usize, usize) -> f32,
-) {
-    let mut rows: Vec<usize> = Vec::new();
-    let mut cols: Vec<usize> = Vec::new();
-    for fix in fixes {
-        let v = exact(fix.row, fix.col);
-        let row_abs: f32 = m.logical_row(fix.row).iter().map(|x| x.abs()).sum();
-        let col_abs: f32 = (0..m.rows()).map(|r| m.get(r, fix.col).abs()).sum();
-        let tol = cfg.detection_bound(row_abs.max(col_abs));
-        // NaN fails the comparison, so non-finite replays are rejected too.
-        if (v - fix.new_value).abs() <= tol {
-            m.set(fix.row, fix.col, v);
-            // Keep the record truthful: `new_value` must be what is actually
-            // left in the matrix, not the intermediate reconstruction.
-            fix.new_value = v;
-            rows.push(fix.row);
-            cols.push(fix.col);
-        }
-    }
-    // Refreshed values shift the data away from whatever borders the
-    // correction pass rebuilt; re-derive the touched borders from data.
-    rows.sort_unstable();
-    rows.dedup();
-    cols.sort_unstable();
-    cols.dedup();
-    if m.has_row_checksums() {
-        for &r in &rows {
-            m.recompute_row_checksum(r);
-        }
-    }
-    if m.has_col_checksums() {
-        for &c in &cols {
-            m.recompute_col_checksum(c);
-        }
-    }
-}
-
-/// Mutable fix records of a two-sided correction, both passes.
-fn summary_fixes_mut(s: &mut CorrectionSummary) -> impl Iterator<Item = &mut ElementFix> {
-    s.col_pass
-        .fixes
-        .iter_mut()
-        .chain(s.row_pass.iter_mut().flat_map(|p| p.fixes.iter_mut()))
-}
-
-/// Heal a `X·W + b` projection output (`Q`, `K`) through its column
-/// checksums, then refine the fixes to exact bits from the clean operands.
-fn heal_projection(
-    m: &mut CheckedMatrix,
-    cfg: &crate::config::AbftConfig,
-    x: &Matrix,
-    w: &Matrix,
-    bias: &[f32],
-) -> PassOutcome {
-    let mut fix = correct_columns(m, cfg);
-    apply_exact_fixes(m, cfg, fix.fixes.iter_mut(), |r, c| {
-        replay_nn(x.row(r), |kk| w[(kk, c)]) + bias[c]
-    });
-    fix
-}
-
-/// Heal a per-head `V = X·W_V[h] + b_V[h]` block through its row checksums,
-/// then refine the fixes to exact bits from the clean operands.
-fn heal_value_head(
-    m: &mut CheckedMatrix,
-    cfg: &crate::config::AbftConfig,
-    x: &Matrix,
-    wv_h: &Matrix,
-    bv_h: &[f32],
-) -> PassOutcome {
-    let mut fix = correct_rows(m, cfg);
-    apply_exact_fixes(m, cfg, fix.fixes.iter_mut(), |r, c| {
-        replay_nn(x.row(r), |kk| wv_h[(kk, c)]) + bv_h[c]
-    });
-    fix
-}
-
-/// Strategy dispatch for `A · B`.
-fn mul(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatrix {
-    match strat {
-        Strategy::Fused => a.matmul(b),
-        Strategy::Separate => a.matmul_separate(b),
-    }
-}
-
-/// Strategy dispatch for `A · Bᵀ`.
-fn mul_nt(a: &CheckedMatrix, b: &CheckedMatrix, strat: Strategy) -> CheckedMatrix {
-    match strat {
-        Strategy::Fused => a.matmul_nt(b),
-        Strategy::Separate => a.matmul_nt_separate(b),
-    }
-}
-
-/// Fire the fault hook, if any.
-fn fire(hook: &mut Option<FaultHook<'_>>, op: AttnOp, head: Option<usize>, m: &mut CheckedMatrix) {
-    if let Some(h) = hook.as_mut() {
-        h(FaultSite { op, head }, m);
-    }
-}
-
-fn bump_section_counters(report: &mut AbftReport, as_on: bool, cl_on: bool, o_on: bool) {
-    for on in [as_on, cl_on, o_on] {
-        if on {
-            report.sections_checked += 1;
-        } else {
-            report.sections_skipped += 1;
-        }
-    }
-}
-
-/// Fold a correction summary into the running report.
-fn absorb(report: &mut AbftReport, summary: &CorrectionSummary, section: SectionId, head: usize) {
-    report.detections += summary.total_detections();
-    report.propagations += summary.total_propagations();
-    report.checksum_rebuilds += summary.stale_rebuilds
-        + summary.col_pass.rebuilt.len()
-        + summary
-            .row_pass
-            .as_ref()
-            .map(|p| p.rebuilt.len())
-            .unwrap_or(0);
-    report.unrecovered += summary.unrecovered;
-    for fix in summary
-        .col_pass
-        .fixes
-        .iter()
-        .chain(summary.row_pass.iter().flat_map(|p| p.fixes.iter()))
-    {
-        report.corrections.push(CorrectionRecord {
-            section,
-            head,
-            row: fix.row,
-            col: fix.col,
-            old_value: fix.old_value,
-            new_value: fix.new_value,
-        });
-    }
-}
-
-/// Fold a single-pass outcome (source-operand healing) into the report.
-fn record_fixes(
-    report: &mut AbftReport,
-    pass: &crate::detect::PassOutcome,
-    section: SectionId,
-    head: usize,
-) {
-    report.detections += pass.fixes.len();
-    report.checksum_rebuilds += pass.rebuilt.len();
-    for fix in &pass.fixes {
-        report.corrections.push(CorrectionRecord {
-            section,
-            head,
-            row: fix.row,
-            col: fix.col,
-            old_value: fix.old_value,
-            new_value: fix.new_value,
-        });
     }
 }
 
@@ -858,6 +708,7 @@ mod tests {
                     s_as: true,
                     s_cl: false,
                     s_o: false,
+                    s_ffn: false,
                 },
                 hook: None,
             },

@@ -7,11 +7,18 @@
 //! busy with coarse tasks (the granularity lesson recorded in
 //! `attn_tensor::gemm::PAR_FLOP_THRESHOLD` applies — fine-grained splits
 //! lose to scheduling jitter, whole-sequence tasks win).
+//!
+//! Every batch item runs under its own [`ForwardCtx`], so campaigns can
+//! inject into a single item ([`BatchItemOptions::hook`]) or give items
+//! different section toggles without perturbing their neighbours.
 
-use crate::attention::{AttnForward, ForwardOptions, ProtectedAttention, SectionToggles};
+use crate::attention::{AttnForward, FaultSite, ProtectedAttention, SectionToggles};
+use crate::checked::CheckedMatrix;
 use crate::report::AbftReport;
+use crate::section::ForwardCtx;
 use attn_tensor::Matrix;
 use rayon::prelude::*;
+use std::sync::Mutex;
 
 /// Result of a batched protected forward.
 #[derive(Debug, Clone)]
@@ -22,30 +29,83 @@ pub struct BatchForward {
     pub report: AbftReport,
 }
 
+/// Owned, thread-movable fault hook for one batch item (the batched
+/// counterpart of the sequential path's borrowed
+/// [`crate::attention::FaultHook`]).
+pub type BatchFaultHook<'a> = Box<dyn FnMut(FaultSite, &mut CheckedMatrix) + Send + 'a>;
+
+/// Per-item execution options for [`ProtectedAttention::forward_batch_with`].
+///
+/// The hook is boxed so each item's hook can be moved onto whichever
+/// worker thread executes that item.
+pub struct BatchItemOptions<'a> {
+    /// Sections this item protects.
+    pub toggles: SectionToggles,
+    /// Optional fault-injection hook, fired only for this item.
+    pub hook: Option<BatchFaultHook<'a>>,
+}
+
+impl BatchItemOptions<'_> {
+    /// Hook-free options with the given toggles.
+    pub fn with_toggles(toggles: SectionToggles) -> Self {
+        Self {
+            toggles,
+            hook: None,
+        }
+    }
+}
+
 impl ProtectedAttention {
     /// Run the protected forward over a batch of independent sequences in
-    /// parallel. All items share the same mask and section toggles; fault
-    /// hooks are not supported here (campaigns inject per-item via the
-    /// sequential API).
+    /// parallel, all items sharing the same mask and section toggles and no
+    /// fault hooks — the common training fast path. Per-item hooks/toggles
+    /// go through [`Self::forward_batch_with`].
     pub fn forward_batch(
         &self,
         xs: &[Matrix],
         mask: Option<&Matrix>,
         toggles: SectionToggles,
     ) -> BatchForward {
-        let results: Vec<(AttnForward, AbftReport)> = xs
-            .par_iter()
-            .map(|x| {
+        let items = xs
+            .iter()
+            .map(|_| BatchItemOptions::with_toggles(toggles))
+            .collect();
+        self.forward_batch_with(xs, mask, items)
+    }
+
+    /// Run the protected forward over a batch with *per-item* execution
+    /// options: each item gets its own [`ForwardCtx`] (toggles, hook,
+    /// report), so injecting into one item cannot disturb the others, and
+    /// heterogeneous protection schedules across a batch are expressible.
+    ///
+    /// # Panics
+    /// Panics when `items.len() != xs.len()`.
+    pub fn forward_batch_with(
+        &self,
+        xs: &[Matrix],
+        mask: Option<&Matrix>,
+        items: Vec<BatchItemOptions<'_>>,
+    ) -> BatchForward {
+        assert_eq!(items.len(), xs.len(), "one BatchItemOptions per item");
+        // Each worker takes exclusive ownership of its item's options via
+        // the per-slot mutex (the shim has no par_iter_mut; independent
+        // locks are contention-free since every index is visited once).
+        let slots: Vec<Mutex<BatchItemOptions<'_>>> = items.into_iter().map(Mutex::new).collect();
+        let results: Vec<(AttnForward, AbftReport)> = (0..xs.len())
+            .into_par_iter()
+            .map(|i| {
+                let mut item = slots[i].lock().expect("batch item lock poisoned");
                 let mut report = AbftReport::default();
-                let out = self.forward(
-                    x,
-                    ForwardOptions {
-                        mask,
-                        toggles,
-                        hook: None,
-                    },
-                    &mut report,
-                );
+                let mut ctx = ForwardCtx {
+                    mask,
+                    toggles: item.toggles,
+                    hook: item
+                        .hook
+                        .as_mut()
+                        .map(|h| h.as_mut() as &mut dyn FnMut(FaultSite, &mut CheckedMatrix)),
+                    report: &mut report,
+                };
+                let out = self.forward_ctx(&xs[i], &mut ctx);
                 (out, report)
             })
             .collect();
@@ -62,7 +122,7 @@ impl ProtectedAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::attention::AttentionWeights;
+    use crate::attention::{AttentionWeights, AttnOp, ForwardOptions};
     use crate::config::ProtectionConfig;
     use attn_tensor::ops::causal_mask;
     use attn_tensor::rng::TensorRng;
@@ -147,5 +207,69 @@ mod tests {
         let batch = attn.forward_batch(&[], None, SectionToggles::all());
         assert!(batch.items.is_empty());
         assert!(batch.report.is_quiet());
+    }
+
+    #[test]
+    fn per_item_hook_strikes_only_its_item() {
+        // Regression for the old API that silently dropped hooks: inject a
+        // fault into exactly one batch item and require (a) the victim is
+        // corrected, (b) every other item is bit-for-bit untouched.
+        let (xs, attn) = setup(5);
+        let victim = 2usize;
+        let items: Vec<BatchItemOptions<'_>> = (0..xs.len())
+            .map(|i| {
+                let mut opts = BatchItemOptions::with_toggles(SectionToggles::all());
+                if i == victim {
+                    let mut fired = false;
+                    opts.hook = Some(Box::new(move |site: FaultSite, m: &mut CheckedMatrix| {
+                        if site.op == AttnOp::AS && site.head == Some(1) && !fired {
+                            fired = true;
+                            m.set(3, 4, f32::INFINITY);
+                        }
+                    }));
+                }
+                opts
+            })
+            .collect();
+        let batch = attn.forward_batch_with(&xs, None, items);
+
+        assert!(batch.report.correction_count() > 0, "{}", batch.report);
+        assert_eq!(batch.report.unrecovered, 0);
+        for (i, x) in xs.iter().enumerate() {
+            let mut r = AbftReport::default();
+            let solo = attn.forward_simple(x, &mut r);
+            if i == victim {
+                // Corrected in place: finite and equal to the clean run up
+                // to exact-replay refinement (which restores exact bits).
+                assert!(batch.items[i].output.all_finite());
+                assert!(
+                    batch.items[i].output.approx_eq(&solo.output, 1e-4, 1e-4),
+                    "victim item must be healed"
+                );
+            } else {
+                assert_eq!(
+                    batch.items[i].output, solo.output,
+                    "item {i}: bystander perturbed by another item's fault"
+                );
+                assert_eq!(batch.items[i].cache.q, solo.cache.q, "item {i}: Q differs");
+            }
+        }
+    }
+
+    #[test]
+    fn per_item_toggles_are_independent() {
+        let (xs, attn) = setup(3);
+        let items = vec![
+            BatchItemOptions::with_toggles(SectionToggles::all()),
+            BatchItemOptions::with_toggles(SectionToggles::none()),
+            BatchItemOptions::with_toggles(SectionToggles {
+                s_as: true,
+                ..SectionToggles::none()
+            }),
+        ];
+        let batch = attn.forward_batch_with(&xs, None, items);
+        // 3 + 0 + 1 sections checked; 0 + 3 + 2 skipped.
+        assert_eq!(batch.report.sections_checked, 4);
+        assert_eq!(batch.report.sections_skipped, 5);
     }
 }

@@ -64,6 +64,10 @@ pub struct ProtectionConfig {
     pub f_cl: f64,
     /// Detection frequency for the output section `S_O = {CL·W_O}`.
     pub f_o: f64,
+    /// Detection frequency for the feed-forward section
+    /// `S_FFN = {H·W_1, GELU(·)·W_2}` — the end-to-end extension beyond the
+    /// paper's attention scope (cf. FT-Transformer, arXiv 2504.02211).
+    pub f_ffn: f64,
     /// Encoding/update strategy.
     pub strategy: Strategy,
     /// Detection/correction thresholds.
@@ -71,13 +75,15 @@ pub struct ProtectionConfig {
 }
 
 impl ProtectionConfig {
-    /// Full protection: every section checked on every execution with the
-    /// fused strategy (the configuration evaluated in paper §5.2–5.3).
+    /// Full protection: every section — the three attention sections *and*
+    /// the FFN section — checked on every execution with the fused strategy
+    /// (the configuration evaluated in paper §5.2–5.3, extended end-to-end).
     pub fn full() -> Self {
         Self {
             f_as: 1.0,
             f_cl: 1.0,
             f_o: 1.0,
+            f_ffn: 1.0,
             strategy: Strategy::Fused,
             abft: AbftConfig::default(),
         }
@@ -89,8 +95,19 @@ impl ProtectionConfig {
             f_as: 0.0,
             f_cl: 0.0,
             f_o: 0.0,
+            f_ffn: 0.0,
             strategy: Strategy::Fused,
             abft: AbftConfig::default(),
+        }
+    }
+
+    /// The paper's original scope: attention sections at full frequency,
+    /// FFN protection off. The Fig 7 overhead reproduction uses this so the
+    /// attention-overhead comparison is not diluted by FFN work.
+    pub fn attention_only() -> Self {
+        Self {
+            f_ffn: 0.0,
+            ..Self::full()
         }
     }
 
@@ -103,20 +120,37 @@ impl ProtectionConfig {
         }
     }
 
-    /// Full protection with custom per-section frequencies (the output of
-    /// the adaptive optimizer, paper §4.5/§5.4).
+    /// Custom per-section frequencies for the *attention* sections (the
+    /// output of the adaptive optimizer, paper §4.5/§5.4). The optimizer
+    /// models only the attention pipeline, so FFN protection is left off;
+    /// opt back in with [`Self::ffn_frequency`].
     pub fn with_frequencies(f_as: f64, f_cl: f64, f_o: f64) -> Self {
         Self {
             f_as: f_as.clamp(0.0, 1.0),
             f_cl: f_cl.clamp(0.0, 1.0),
             f_o: f_o.clamp(0.0, 1.0),
+            f_ffn: 0.0,
             ..Self::full()
         }
     }
 
+    /// Builder: set the FFN-section detection frequency.
+    pub fn ffn_frequency(mut self, f_ffn: f64) -> Self {
+        self.f_ffn = f_ffn.clamp(0.0, 1.0);
+        self
+    }
+
     /// True when no section is ever checked.
+    ///
+    /// The `== 0.0` comparisons are intentional, not a float-comparison
+    /// bug: frequencies are control values, and `0.0` is the exact sentinel
+    /// meaning "never check" — [`FrequencyGate::tick`] accumulates `f`
+    /// verbatim, so any `f > 0.0` eventually fires (see
+    /// [`FrequencyGate::would_ever_fire`]) while `f == 0.0` never does.
+    /// There is no round-off to absorb: callers either pass the sentinel or
+    /// they don't.
     pub fn is_off(&self) -> bool {
-        self.f_as == 0.0 && self.f_cl == 0.0 && self.f_o == 0.0
+        self.f_as == 0.0 && self.f_cl == 0.0 && self.f_o == 0.0 && self.f_ffn == 0.0
     }
 }
 
@@ -141,6 +175,17 @@ impl FrequencyGate {
         } else {
             false
         }
+    }
+
+    /// Would a gate driven at frequency `f` ever fire?
+    ///
+    /// Exactly `f > 0.0`: the accumulator adds `f` verbatim each tick, so
+    /// any positive frequency crosses the firing threshold after at most
+    /// `⌈1/f⌉` executions, while the `0.0` sentinel keeps the accumulator
+    /// frozen forever. This is the documented counterpart of
+    /// [`ProtectionConfig::is_off`]'s exact `== 0.0` comparisons.
+    pub fn would_ever_fire(f: f64) -> bool {
+        f > 0.0
     }
 }
 
@@ -178,6 +223,31 @@ mod tests {
         assert_eq!(c.f_as, 1.0);
         assert_eq!(c.f_cl, 0.0);
         assert_eq!(c.f_o, 0.3);
+        assert_eq!(c.f_ffn, 0.0);
+        assert_eq!(c.ffn_frequency(2.0).f_ffn, 1.0);
+    }
+
+    #[test]
+    fn attention_only_disables_ffn_section() {
+        let c = ProtectionConfig::attention_only();
+        assert_eq!(c.f_ffn, 0.0);
+        assert!(!c.is_off(), "attention sections still fire");
+        // A config that only protects the FFN is not "off" either.
+        let ffn_only = ProtectionConfig::off().ffn_frequency(1.0);
+        assert!(!ffn_only.is_off());
+    }
+
+    #[test]
+    fn would_ever_fire_matches_tick_behaviour() {
+        assert!(!FrequencyGate::would_ever_fire(0.0));
+        for f in [1e-3, 0.5, 1.0] {
+            assert!(FrequencyGate::would_ever_fire(f));
+            let mut g = FrequencyGate::default();
+            assert!(
+                (0..2000).any(|_| g.tick(f)),
+                "gate at f={f} must fire eventually"
+            );
+        }
     }
 
     #[test]

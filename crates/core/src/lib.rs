@@ -18,9 +18,18 @@
 //! * [`detect`] — matrix-level correction passes: deterministic patterns via
 //!   one-sided checksums, nondeterministic patterns via the two-sided
 //!   try-columns-then-rows protocol with checksum rebuild (paper §4.3).
+//! * [`section`] — the composable guarded-GEMM pipeline: [`GuardedSection`]
+//!   strings encoded GEMMs, exit-and-re-encode steps, fault-hook taps,
+//!   delayed detection points, and exact-replay refinement into reusable
+//!   protection sections; [`ForwardCtx`] threads the per-execution state
+//!   (mask, toggles, hook, report) through sequential and batched paths.
+//! * [`policy`] — [`ProtectionPolicy`]: single owner of the per-section
+//!   frequency gates (paper §4.5), handing out per-execution
+//!   [`attention::SectionToggles`].
 //! * [`attention`] — the three protection sections `S_AS`, `S_CL`, `S_O`
 //!   with checksum passing across the six attention GEMMs (paper §4.4,
-//!   Fig 5), including fault-injection hooks for campaigns.
+//!   Fig 5), built on [`section`], including fault-injection hooks for
+//!   campaigns.
 //! * [`adaptive`] — Poisson reliability model, fault coverage (FC), fault
 //!   coverage efficiency (FCE), and the greedy detection-frequency
 //!   optimizer of paper Algorithm 1.
@@ -53,9 +62,13 @@ pub mod checksum;
 pub mod config;
 pub mod detect;
 pub mod eec;
+pub mod policy;
 pub mod report;
+pub mod section;
 
 pub use checked::CheckedMatrix;
-pub use config::{AbftConfig, ProtectionConfig, Strategy};
+pub use config::{AbftConfig, FrequencyGate, ProtectionConfig, Strategy};
 pub use eec::{eec_correct_vector, VectorVerdict};
+pub use policy::ProtectionPolicy;
 pub use report::AbftReport;
+pub use section::{ForwardCtx, GuardedSection};

@@ -11,6 +11,9 @@ pub enum SectionId {
     ContextLayer,
     /// `S_O = {CL·W_O}`.
     Output,
+    /// `S_FFN = {H·W_1, GELU(·)·W_2}` — the feed-forward extension beyond
+    /// the paper's attention scope.
+    FeedForward,
 }
 
 impl fmt::Display for SectionId {
@@ -19,6 +22,7 @@ impl fmt::Display for SectionId {
             SectionId::AttentionScore => "S_AS",
             SectionId::ContextLayer => "S_CL",
             SectionId::Output => "S_O",
+            SectionId::FeedForward => "S_FFN",
         })
     }
 }
@@ -146,5 +150,6 @@ mod tests {
         assert_eq!(SectionId::AttentionScore.to_string(), "S_AS");
         assert_eq!(SectionId::ContextLayer.to_string(), "S_CL");
         assert_eq!(SectionId::Output.to_string(), "S_O");
+        assert_eq!(SectionId::FeedForward.to_string(), "S_FFN");
     }
 }

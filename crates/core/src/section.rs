@@ -1,0 +1,577 @@
+//! Composable guarded-GEMM sections — the reusable core of the §4.4
+//! protection scheme.
+//!
+//! A *section* is a group of GEMMs whose checksums ride from operand to
+//! product so that one **delayed detection point** covers every kernel in
+//! the group. [`ProtectedAttention`](crate::attention::ProtectedAttention)
+//! builds its three sections (`S_AS`, `S_CL`, `S_O`) on this API, and the
+//! same building blocks protect the transformer FFN GEMMs end-to-end
+//! (`attn_model`), in the spirit of extending attention ABFT across the
+//! whole model (FT-Transformer, arXiv 2504.02211).
+//!
+//! The vocabulary:
+//!
+//! * [`GuardedSection`] — per-section context created with
+//!   [`GuardedSection::begin`]. Every step method degrades to the plain
+//!   unprotected computation when the section is inactive (frequency gate
+//!   skipped this execution, or protection globally off), so callers write
+//!   one pipeline and get bit-identical unprotected behaviour for free.
+//! * encode steps — [`GuardedSection::encode_cols`],
+//!   [`GuardedSection::encode_rows`], [`GuardedSection::operand`] wrap
+//!   section inputs; [`GuardedSection::adopt_cols`] adapts a matrix
+//!   *inherited* from an upstream section to this section's activity.
+//! * GEMM steps — [`GuardedSection::gemm`] / [`GuardedSection::gemm_nt`]
+//!   dispatch on the configured [`Strategy`] and let checksums ride through
+//!   the product.
+//! * exit-and-re-encode — [`GuardedSection::exit_reencode_cols`] leaves the
+//!   checksummed region for a nonlinear step (softmax, GELU, masking) and
+//!   re-encodes the result.
+//! * detection — [`GuardedSection::detect`] runs the two-sided correction
+//!   protocol and returns a [`Detection`] that the caller refines to exact
+//!   bits ([`Detection::refine`]) and folds into the report
+//!   ([`Detection::absorb`]).
+//! * operand healing — [`GuardedSection::heal_operand_cols`] /
+//!   [`GuardedSection::heal_operand_rows`] repair *source* matrices (`Q`,
+//!   `K`, `V`) through their inherited checksums once a delayed detection
+//!   fires, because the backward pass reuses them.
+//! * [`ForwardCtx`] — the per-execution state (mask, section toggles, fault
+//!   hook, report) threaded through sequential and batched forward paths.
+//!
+//! # Example: one section over a two-GEMM chain
+//!
+//! ```
+//! use attn_tensor::rng::TensorRng;
+//! use attnchecker::config::ProtectionConfig;
+//! use attnchecker::report::{AbftReport, SectionId};
+//! use attnchecker::section::{replay_nn, GuardedSection};
+//!
+//! let mut rng = TensorRng::seed_from(0);
+//! let x = rng.normal_matrix(8, 16, 1.0);
+//! let w1 = rng.normal_matrix(16, 16, 1.0);
+//! let w2 = rng.normal_matrix(16, 4, 1.0);
+//!
+//! let mut report = AbftReport::default();
+//! let sec =
+//!     GuardedSection::begin(SectionId::Output, &ProtectionConfig::full(), true, &mut report);
+//! let xc = sec.encode_cols(&x);                // checksums enter once…
+//! let h = sec.gemm(&xc, &sec.operand(&w1));    // …ride through GEMM 1…
+//! let mut y = sec.gemm(&h, &sec.operand(&w2)); // …and through GEMM 2.
+//! y.set(3, 1, f32::INFINITY);                  // a soft error strikes
+//!
+//! // One delayed detection point covers the whole chain; exact replay
+//! // restores the corrected element to its original bits.
+//! let mut det = sec.detect(&mut y, usize::MAX);
+//! if det.detections() > 0 {
+//!     det.refine(&mut y, |r, c| replay_nn(h.logical_row(r), |k| w2[(k, c)]));
+//! }
+//! det.absorb(&mut report);
+//! assert_eq!(report.correction_count(), 1);
+//! assert!(y.logical().all_finite());
+//! ```
+
+use crate::attention::{FaultHook, FaultSite, SectionToggles};
+use crate::checked::CheckedMatrix;
+use crate::config::{AbftConfig, ProtectionConfig, Strategy};
+use crate::detect::{
+    correct_columns, correct_rows, full_correct, CorrectionSummary, ElementFix, PassOutcome,
+};
+use crate::report::{AbftReport, CorrectionRecord, SectionId};
+use attn_tensor::Matrix;
+
+/// Per-execution context threaded through a protected forward pass.
+///
+/// One `ForwardCtx` carries everything that varies per call — the additive
+/// attention mask, the per-execution [`SectionToggles`] handed out by a
+/// [`ProtectionPolicy`](crate::policy::ProtectionPolicy), the optional
+/// fault-injection hook, and the report the run writes into — so layer code
+/// threads a single `&mut ForwardCtx` instead of a parameter list. The
+/// batched path builds one per item, which is what makes per-item hooks and
+/// toggles possible.
+pub struct ForwardCtx<'a, 'h> {
+    /// Additive attention mask (`seq × seq`), e.g. causal or local-banded.
+    pub mask: Option<&'a Matrix>,
+    /// Per-execution section toggles (from the frequency gates).
+    pub toggles: SectionToggles,
+    /// Optional fault-injection hook (its own lifetime: `&mut dyn` is
+    /// invariant, so tying it to the report's borrow would force callers to
+    /// keep hook and report alive equally long).
+    pub hook: Option<FaultHook<'h>>,
+    /// Where ABFT activity is recorded.
+    pub report: &'a mut AbftReport,
+}
+
+impl ForwardCtx<'_, '_> {
+    /// Expose a GEMM output to the fault hook, if one is installed.
+    pub fn fire(&mut self, site: FaultSite, m: &mut CheckedMatrix) {
+        if let Some(h) = self.hook.as_mut() {
+            h(site, m);
+        }
+    }
+}
+
+/// One protection section: a group of GEMMs covered by a single delayed
+/// detection point, with checksums passed from operand to product.
+///
+/// Copyable section *context*, not a container: the step methods operate on
+/// caller-owned [`CheckedMatrix`] values, so arbitrary dataflow (per-head
+/// loops, concatenation, interleaved sections) composes naturally.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardedSection {
+    id: SectionId,
+    strategy: Strategy,
+    abft: AbftConfig,
+    active: bool,
+    immediate: bool,
+}
+
+impl GuardedSection {
+    /// Open a section for one execution.
+    ///
+    /// `active` is the section's frequency-gate toggle for this execution;
+    /// it is further gated by [`ProtectionConfig::is_off`] so a fully
+    /// disabled config is a hard kill-switch regardless of toggles. Opening
+    /// the section records it as checked or skipped in `report`.
+    pub fn begin(
+        id: SectionId,
+        config: &ProtectionConfig,
+        active: bool,
+        report: &mut AbftReport,
+    ) -> Self {
+        let active = active && !config.is_off();
+        if active {
+            report.sections_checked += 1;
+        } else {
+            report.sections_skipped += 1;
+        }
+        Self {
+            id,
+            strategy: config.strategy,
+            abft: config.abft,
+            active,
+            // The non-optimized baseline (Fig 8) does not use delayed
+            // detection: it verifies every GEMM output immediately, the way
+            // a generic ABFT composition would (§3.2 "Segmented Protection"
+            // is one of the optimizations being ablated).
+            immediate: config.strategy == Strategy::Separate,
+        }
+    }
+
+    /// Which section this is.
+    pub fn id(&self) -> SectionId {
+        self.id
+    }
+
+    /// Does this section perform detection this execution?
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Does this section verify every GEMM output immediately instead of
+    /// delaying detection to the section exit (the [`Strategy::Separate`]
+    /// ablation)?
+    pub fn immediate(&self) -> bool {
+        self.immediate
+    }
+
+    /// Detection/correction thresholds in force for this section.
+    pub fn abft(&self) -> &AbftConfig {
+        &self.abft
+    }
+
+    /// Column-encode a section input (plain wrap when inactive).
+    pub fn encode_cols(&self, m: &Matrix) -> CheckedMatrix {
+        if self.active {
+            CheckedMatrix::encode_cols(m, self.strategy)
+        } else {
+            CheckedMatrix::from_plain(m)
+        }
+    }
+
+    /// Row-encode a section input (plain wrap when inactive).
+    pub fn encode_rows(&self, m: &Matrix) -> CheckedMatrix {
+        if self.active {
+            CheckedMatrix::encode_rows(m, self.strategy)
+        } else {
+            CheckedMatrix::from_plain(m)
+        }
+    }
+
+    /// Wrap an operand that never carries checksums of its own (weights
+    /// whose product inherits protection from the other operand).
+    pub fn operand(&self, m: &Matrix) -> CheckedMatrix {
+        CheckedMatrix::from_plain(m)
+    }
+
+    /// Guarded product `A · B`: checksums ride through under the section's
+    /// strategy; plain product when inactive.
+    pub fn gemm(&self, a: &CheckedMatrix, b: &CheckedMatrix) -> CheckedMatrix {
+        if !self.active {
+            return a.matmul(b);
+        }
+        match self.strategy {
+            Strategy::Fused => a.matmul(b),
+            Strategy::Separate => a.matmul_separate(b),
+        }
+    }
+
+    /// Guarded product `A · Bᵀ` (`B`'s column checksums transpose into the
+    /// product's row checksums — how `AS = Q·Kᵀ` acquires both borders).
+    pub fn gemm_nt(&self, a: &CheckedMatrix, b: &CheckedMatrix) -> CheckedMatrix {
+        if !self.active {
+            return a.matmul_nt(b);
+        }
+        match self.strategy {
+            Strategy::Fused => a.matmul_nt(b),
+            Strategy::Separate => a.matmul_nt_separate(b),
+        }
+    }
+
+    /// Leave the checksummed region for a nonlinear step and re-enter it:
+    /// `f` mutates the logical data (softmax, GELU, masking, caching …) and
+    /// the result is column-encoded under this section's strategy (plain
+    /// wrap when inactive). Checksums cannot survive a nonlinearity, so
+    /// this is the mandated exit-and-re-encode boundary between chained
+    /// GEMMs.
+    pub fn exit_reencode_cols(
+        &self,
+        m: &CheckedMatrix,
+        f: impl FnOnce(&mut Matrix),
+    ) -> CheckedMatrix {
+        let mut data = m.logical();
+        f(&mut data);
+        if self.active {
+            CheckedMatrix::encode_cols(&data, self.strategy)
+        } else {
+            CheckedMatrix::from_plain(&data)
+        }
+    }
+
+    /// Adapt a matrix inherited from an upstream section to this section's
+    /// activity: encode when active but unprotected, strip when inactive
+    /// but still carrying checksums, pass through otherwise.
+    pub fn adopt_cols(&self, m: &CheckedMatrix) -> CheckedMatrix {
+        if self.active && !m.has_col_checksums() {
+            CheckedMatrix::encode_cols(&m.logical(), self.strategy)
+        } else if !self.active && m.has_col_checksums() {
+            CheckedMatrix::from_plain(&m.logical())
+        } else {
+            m.clone()
+        }
+    }
+
+    /// The section's delayed detection point: run the two-sided correction
+    /// protocol on `m` (no-op when inactive) and hand back a [`Detection`]
+    /// for refinement and reporting. `head` attributes corrections to a
+    /// per-head matrix (`usize::MAX` for model-wide ones).
+    pub fn detect(&self, m: &mut CheckedMatrix, head: usize) -> Detection {
+        let summary = if self.active {
+            full_correct(m, &self.abft)
+        } else {
+            CorrectionSummary::default()
+        };
+        Detection {
+            summary,
+            id: self.id,
+            head,
+            abft: self.abft,
+        }
+    }
+
+    /// Heal a source operand through its inherited *column* checksums, then
+    /// refine the fixes to exact bits with `exact` (the producing dot
+    /// product). Used for matrices the backward pass will reuse (`Q`, `K`),
+    /// where a surviving extreme value would re-poison training.
+    pub fn heal_operand_cols(
+        &self,
+        report: &mut AbftReport,
+        m: &mut CheckedMatrix,
+        head: usize,
+        exact: impl Fn(usize, usize) -> f32,
+    ) {
+        let mut pass = correct_columns(m, &self.abft);
+        apply_exact_fixes(m, &self.abft, pass.fixes.iter_mut(), exact);
+        record_pass(report, &pass, self.id, head);
+    }
+
+    /// Row-checksum counterpart of [`Self::heal_operand_cols`] (the
+    /// per-head `V` blocks inherit row checksums from `W_V`).
+    pub fn heal_operand_rows(
+        &self,
+        report: &mut AbftReport,
+        m: &mut CheckedMatrix,
+        head: usize,
+        exact: impl Fn(usize, usize) -> f32,
+    ) {
+        let mut pass = correct_rows(m, &self.abft);
+        apply_exact_fixes(m, &self.abft, pass.fixes.iter_mut(), exact);
+        record_pass(report, &pass, self.id, head);
+    }
+}
+
+/// Outcome of one [`GuardedSection::detect`] call, pending refinement and
+/// absorption into the report.
+#[derive(Debug)]
+pub struct Detection {
+    summary: CorrectionSummary,
+    id: SectionId,
+    head: usize,
+    abft: AbftConfig,
+}
+
+impl Detection {
+    /// Total detections of any kind (corrections, propagations, rebuilds,
+    /// unrecoverables). Sections heal their source operands when this is
+    /// non-zero.
+    pub fn detections(&self) -> usize {
+        self.summary.total_detections()
+    }
+
+    /// Corrected elements across both passes.
+    pub fn fixes(&self) -> usize {
+        self.summary.total_fixes()
+    }
+
+    /// Exact-replay refinement: restore each corrected element to its
+    /// original bits by replaying the producing dot product (`exact`),
+    /// trusted only when the replay lands within detection-bound noise of
+    /// the checksum reconstruction.
+    pub fn refine(&mut self, m: &mut CheckedMatrix, exact: impl Fn(usize, usize) -> f32) {
+        let fixes = self.summary.col_pass.fixes.iter_mut().chain(
+            self.summary
+                .row_pass
+                .iter_mut()
+                .flat_map(|p| p.fixes.iter_mut()),
+        );
+        apply_exact_fixes(m, &self.abft, fixes, exact);
+    }
+
+    /// Fold this detection into the running report.
+    pub fn absorb(self, report: &mut AbftReport) {
+        let summary = &self.summary;
+        report.detections += summary.total_detections();
+        report.propagations += summary.total_propagations();
+        report.checksum_rebuilds += summary.stale_rebuilds
+            + summary.col_pass.rebuilt.len()
+            + summary
+                .row_pass
+                .as_ref()
+                .map(|p| p.rebuilt.len())
+                .unwrap_or(0);
+        report.unrecovered += summary.unrecovered;
+        for fix in summary
+            .col_pass
+            .fixes
+            .iter()
+            .chain(summary.row_pass.iter().flat_map(|p| p.fixes.iter()))
+        {
+            report.corrections.push(CorrectionRecord {
+                section: self.id,
+                head: self.head,
+                row: fix.row,
+                col: fix.col,
+                old_value: fix.old_value,
+                new_value: fix.new_value,
+            });
+        }
+    }
+}
+
+/// Exact replay of one element of a row-major `A·B` product: the same
+/// `kk`-ordered f32 accumulation as `gemm::matmul_into`, so the result is
+/// bit-identical to what the original GEMM produced for that cell.
+pub fn replay_nn(a_row: &[f32], b_col: impl Fn(usize) -> f32) -> f32 {
+    let mut acc = 0.0f32;
+    for (kk, &av) in a_row.iter().enumerate() {
+        acc += av * b_col(kk);
+    }
+    acc
+}
+
+/// Restore corrected elements to their exact original bits by replaying the
+/// dot product that produced each one.
+///
+/// Checksum reconstruction is only accurate to the ride-along checksums'
+/// round-off (~1e-6 relative here); Adam's normalised updates amplify even
+/// that into visible trajectory divergence within a few steps. Replaying
+/// the single producing dot is O(k) per corrected element, keeps recovery
+/// rollback-free, and makes a corrected step bit-identical to the
+/// fault-free step — the Fig 6 parity property.
+///
+/// A replay is trusted only when it lands within detection-bound noise of
+/// the checksum reconstruction: the reconstruction's own error is orders of
+/// magnitude below that bound, while a replay against a still-corrupt
+/// operand (non-finite, or a sub-threshold corruption that escaped operand
+/// healing) differs by at least a detectable delta — in both cases the
+/// reconstructed value is kept.
+fn apply_exact_fixes<'a>(
+    m: &mut CheckedMatrix,
+    cfg: &AbftConfig,
+    fixes: impl Iterator<Item = &'a mut ElementFix>,
+    exact: impl Fn(usize, usize) -> f32,
+) {
+    let mut rows: Vec<usize> = Vec::new();
+    let mut cols: Vec<usize> = Vec::new();
+    for fix in fixes {
+        let v = exact(fix.row, fix.col);
+        let row_abs: f32 = m.logical_row(fix.row).iter().map(|x| x.abs()).sum();
+        let col_abs: f32 = (0..m.rows()).map(|r| m.get(r, fix.col).abs()).sum();
+        let tol = cfg.detection_bound(row_abs.max(col_abs));
+        // NaN fails the comparison, so non-finite replays are rejected too.
+        if (v - fix.new_value).abs() <= tol {
+            m.set(fix.row, fix.col, v);
+            // Keep the record truthful: `new_value` must be what is actually
+            // left in the matrix, not the intermediate reconstruction.
+            fix.new_value = v;
+            rows.push(fix.row);
+            cols.push(fix.col);
+        }
+    }
+    // Refreshed values shift the data away from whatever borders the
+    // correction pass rebuilt; re-derive the touched borders from data.
+    rows.sort_unstable();
+    rows.dedup();
+    cols.sort_unstable();
+    cols.dedup();
+    if m.has_row_checksums() {
+        for &r in &rows {
+            m.recompute_row_checksum(r);
+        }
+    }
+    if m.has_col_checksums() {
+        for &c in &cols {
+            m.recompute_col_checksum(c);
+        }
+    }
+}
+
+/// Fold a single-pass outcome (source-operand healing) into the report.
+fn record_pass(report: &mut AbftReport, pass: &PassOutcome, section: SectionId, head: usize) {
+    report.detections += pass.fixes.len();
+    report.checksum_rebuilds += pass.rebuilt.len();
+    for fix in &pass.fixes {
+        report.corrections.push(CorrectionRecord {
+            section,
+            head,
+            row: fix.row,
+            col: fix.col,
+            old_value: fix.old_value,
+            new_value: fix.new_value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use attn_tensor::gemm;
+    use attn_tensor::rng::TensorRng;
+
+    fn section(active: bool) -> (GuardedSection, AbftReport) {
+        let mut report = AbftReport::default();
+        let sec = GuardedSection::begin(
+            SectionId::Output,
+            &ProtectionConfig::full(),
+            active,
+            &mut report,
+        );
+        (sec, report)
+    }
+
+    #[test]
+    fn begin_bumps_section_counters() {
+        let (_, r_on) = section(true);
+        assert_eq!((r_on.sections_checked, r_on.sections_skipped), (1, 0));
+        let (_, r_off) = section(false);
+        assert_eq!((r_off.sections_checked, r_off.sections_skipped), (0, 1));
+    }
+
+    #[test]
+    fn off_config_is_a_hard_kill_switch() {
+        let mut report = AbftReport::default();
+        let sec = GuardedSection::begin(
+            SectionId::Output,
+            &ProtectionConfig::off(),
+            true,
+            &mut report,
+        );
+        assert!(!sec.active());
+        assert_eq!(report.sections_skipped, 1);
+    }
+
+    #[test]
+    fn inactive_section_is_bit_transparent() {
+        let mut rng = TensorRng::seed_from(3);
+        let x = rng.normal_matrix(5, 6, 1.0);
+        let w = rng.normal_matrix(6, 4, 1.0);
+        let (sec, _) = section(false);
+        let y = sec.gemm(&sec.encode_cols(&x), &sec.operand(&w));
+        assert!(!y.has_col_checksums());
+        assert_eq!(y.logical(), gemm::matmul(&x, &w));
+    }
+
+    #[test]
+    fn active_chain_detects_and_refines_to_exact_bits() {
+        let mut rng = TensorRng::seed_from(4);
+        let x = rng.normal_matrix(6, 8, 1.0);
+        let w = rng.normal_matrix(8, 5, 1.0);
+        let clean = gemm::matmul(&x, &w);
+        let (sec, mut report) = section(true);
+        let mut y = sec.gemm(&sec.encode_cols(&x), &sec.operand(&w));
+        y.set(2, 3, f32::INFINITY);
+        let mut det = sec.detect(&mut y, usize::MAX);
+        assert!(det.detections() > 0);
+        det.refine(&mut y, |r, c| replay_nn(x.row(r), |kk| w[(kk, c)]));
+        det.absorb(&mut report);
+        assert_eq!(y.logical(), clean, "replay must restore exact bits");
+        assert_eq!(report.correction_count(), 1);
+        assert_eq!(report.unrecovered, 0);
+        assert_eq!(report.corrections[0].section, SectionId::Output);
+    }
+
+    #[test]
+    fn exit_reencode_applies_nonlinearity_and_reencodes() {
+        let mut rng = TensorRng::seed_from(5);
+        let x = rng.normal_matrix(4, 4, 1.0);
+        let (sec, _) = section(true);
+        let enc = sec.encode_cols(&x);
+        let out = sec.exit_reencode_cols(&enc, |m| {
+            for v in m.data_mut() {
+                *v = v.tanh();
+            }
+        });
+        assert!(out.has_col_checksums());
+        assert_eq!(out.logical(), x.map(|v| v.tanh()));
+        assert!(out.max_checksum_discrepancy() < 1e-4);
+    }
+
+    #[test]
+    fn adopt_cols_covers_all_four_cases() {
+        let mut rng = TensorRng::seed_from(6);
+        let x = rng.normal_matrix(4, 4, 1.0);
+        let enc = CheckedMatrix::encode_cols(&x, Strategy::Fused);
+        let plain = CheckedMatrix::from_plain(&x);
+        let (on, _) = section(true);
+        let (off, _) = section(false);
+        assert!(on.adopt_cols(&plain).has_col_checksums());
+        assert!(on.adopt_cols(&enc).has_col_checksums());
+        assert!(!off.adopt_cols(&enc).has_col_checksums());
+        assert!(!off.adopt_cols(&plain).has_col_checksums());
+        assert_eq!(on.adopt_cols(&plain).logical(), x);
+    }
+
+    #[test]
+    fn heal_operand_cols_restores_source_matrix() {
+        let mut rng = TensorRng::seed_from(7);
+        let x = rng.normal_matrix(6, 6, 1.0);
+        let w = rng.normal_matrix(6, 6, 1.0);
+        let clean = gemm::matmul(&x, &w);
+        let (sec, mut report) = section(true);
+        let mut q = sec.gemm(&sec.encode_cols(&x), &sec.operand(&w));
+        q.set(1, 2, f32::NAN);
+        sec.heal_operand_cols(&mut report, &mut q, usize::MAX, |r, c| {
+            replay_nn(x.row(r), |kk| w[(kk, c)])
+        });
+        assert_eq!(q.logical(), clean);
+        assert_eq!(report.correction_count(), 1);
+    }
+}

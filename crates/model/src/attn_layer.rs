@@ -11,11 +11,10 @@ use attn_tensor::gemm::{matmul, matmul_nt, matmul_tn};
 use attn_tensor::ops::{col_sums, softmax_rows_backward};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
-use attnchecker::attention::{
-    AttentionWeights, AttnCache, ForwardOptions, ProtectedAttention, SectionToggles,
-};
+use attnchecker::attention::{AttentionWeights, AttnCache, ProtectedAttention, SectionToggles};
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
+use attnchecker::section::ForwardCtx;
 
 /// Attention layer owning its parameters and protection policy.
 #[derive(Debug, Clone)]
@@ -90,17 +89,11 @@ impl AttentionLayer {
         }
     }
 
-    /// Protected forward pass. `opts` carries the mask, per-execution
-    /// section toggles, and any fault-injection hook; ABFT activity lands in
-    /// `report`.
-    pub fn forward(
-        &mut self,
-        x: &Matrix,
-        opts: ForwardOptions<'_>,
-        report: &mut AbftReport,
-    ) -> Matrix {
+    /// Protected forward pass. `ctx` carries the mask, per-execution
+    /// section toggles, the fault-injection hook, and the report.
+    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
         let attn = ProtectedAttention::new(self.weights_snapshot(), self.protection);
-        let out = attn.forward(x, opts, report);
+        let out = attn.forward_ctx(x, ctx);
         self.cache = Some(out.cache);
         out.output
     }
@@ -109,16 +102,13 @@ impl AttentionLayer {
     pub fn forward_inference(&self, x: &Matrix, mask: Option<&Matrix>) -> Matrix {
         let attn = ProtectedAttention::new(self.weights_snapshot(), ProtectionConfig::off());
         let mut report = AbftReport::default();
-        attn.forward(
-            x,
-            ForwardOptions {
-                mask,
-                toggles: SectionToggles::none(),
-                hook: None,
-            },
-            &mut report,
-        )
-        .output
+        let mut ctx = ForwardCtx {
+            mask,
+            toggles: SectionToggles::none(),
+            hook: None,
+            report: &mut report,
+        };
+        attn.forward_ctx(x, &mut ctx).output
     }
 
     /// Backward pass; returns `dx` and accumulates all eight parameter
@@ -210,6 +200,22 @@ mod tests {
     use super::*;
     use attn_tensor::ops::causal_mask;
 
+    fn fwd(
+        layer: &mut AttentionLayer,
+        x: &Matrix,
+        toggles: SectionToggles,
+        mask: Option<&Matrix>,
+        report: &mut AbftReport,
+    ) -> Matrix {
+        let mut ctx = ForwardCtx {
+            mask,
+            toggles,
+            hook: None,
+            report,
+        };
+        layer.forward(x, &mut ctx)
+    }
+
     fn loss_of(layer: &AttentionLayer, x: &Matrix, dy: &Matrix, mask: Option<&Matrix>) -> f32 {
         let y = layer.forward_inference(x, mask);
         y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
@@ -221,7 +227,7 @@ mod tests {
         let mut layer = AttentionLayer::new("a", 16, 4, ProtectionConfig::full(), &mut rng);
         let x = rng.normal_matrix(6, 16, 0.5);
         let mut report = AbftReport::default();
-        let y = layer.forward(&x, ForwardOptions::default(), &mut report);
+        let y = fwd(&mut layer, &x, SectionToggles::all(), None, &mut report);
         assert_eq!((y.rows(), y.cols()), (6, 16));
         assert!(report.is_quiet());
     }
@@ -233,7 +239,7 @@ mod tests {
         let x = rng.normal_matrix(4, 8, 0.7);
         let dy = rng.normal_matrix(4, 8, 1.0);
         let mut report = AbftReport::default();
-        let _ = layer.forward(&x, ForwardOptions::default(), &mut report);
+        let _ = fwd(&mut layer, &x, SectionToggles::all(), None, &mut report);
         let dx = layer.backward(&dy);
 
         let eps = 1e-2;
@@ -261,7 +267,7 @@ mod tests {
         let x = rng.normal_matrix(3, 6, 0.7);
         let dy = rng.normal_matrix(3, 6, 1.0);
         let mut report = AbftReport::default();
-        let _ = layer.forward(&x, ForwardOptions::default(), &mut report);
+        let _ = fwd(&mut layer, &x, SectionToggles::all(), None, &mut report);
         let _ = layer.backward(&dy);
 
         let eps = 1e-2;
@@ -300,13 +306,11 @@ mod tests {
         let dy = rng.normal_matrix(4, 8, 1.0);
         let mask = causal_mask(4);
         let mut report = AbftReport::default();
-        let _ = layer.forward(
+        let _ = fwd(
+            &mut layer,
             &x,
-            ForwardOptions {
-                mask: Some(&mask),
-                toggles: SectionToggles::none(),
-                hook: None,
-            },
+            SectionToggles::none(),
+            Some(&mask),
             &mut report,
         );
         let dx = layer.backward(&dy);
@@ -340,15 +344,8 @@ mod tests {
         let dy = rng.normal_matrix(4, 8, 1.0);
         let mut r1 = AbftReport::default();
         let mut r2 = AbftReport::default();
-        let _ = a.forward(&x, ForwardOptions::default(), &mut r1);
-        let _ = b.forward(
-            &x,
-            ForwardOptions {
-                toggles: SectionToggles::none(),
-                ..Default::default()
-            },
-            &mut r2,
-        );
+        let _ = fwd(&mut a, &x, SectionToggles::all(), None, &mut r1);
+        let _ = fwd(&mut b, &x, SectionToggles::none(), None, &mut r2);
         let dxa = a.backward(&dy);
         let dxb = b.backward(&dy);
         assert!(dxa.approx_eq(&dxb, 1e-3, 1e-3));

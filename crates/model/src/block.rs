@@ -1,5 +1,11 @@
 //! Transformer block: attention + FFN with residuals, in post-LN
 //! (BERT/RoBERTa) or pre-LN (GPT-2/GPT-Neo) arrangement.
+//!
+//! One [`ForwardCtx`] flows through the whole block: the attention
+//! sub-layer consumes the mask/toggles/hook for its three sections, and the
+//! FFN sub-layer runs its own `S_FFN` guarded section off the same context,
+//! so the entire block is protected end-to-end with a single threaded
+//! state.
 
 use crate::attn_layer::AttentionLayer;
 use crate::ffn::FeedForward;
@@ -7,9 +13,8 @@ use crate::layernorm::LayerNorm;
 use crate::param::{HasParams, Param};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
-use attnchecker::attention::ForwardOptions;
 use attnchecker::config::ProtectionConfig;
-use attnchecker::report::AbftReport;
+use attnchecker::section::ForwardCtx;
 use std::time::{Duration, Instant};
 
 /// Residual/normalisation arrangement.
@@ -38,6 +43,9 @@ pub struct TransformerBlock {
     /// Wall time of the attention sub-layer in the most recent forward —
     /// the model sums these into its Fig 7 "attention mechanism" timer.
     pub attn_time_of_last_forward: Duration,
+    /// Wall time of the FFN sub-layer in the most recent forward (feeds the
+    /// FFN-protection overhead column of the Fig 7 reproduction).
+    pub ffn_time_of_last_forward: Duration,
 }
 
 impl TransformerBlock {
@@ -58,33 +66,34 @@ impl TransformerBlock {
             ln2: LayerNorm::new(&format!("{name}.ln2"), hidden, 1e-5),
             arch,
             attn_time_of_last_forward: Duration::ZERO,
+            ffn_time_of_last_forward: Duration::ZERO,
         }
     }
 
-    /// Forward pass; `opts` flows to the attention sub-layer.
-    pub fn forward(
-        &mut self,
-        x: &Matrix,
-        opts: ForwardOptions<'_>,
-        report: &mut AbftReport,
-    ) -> Matrix {
+    /// Forward pass; `ctx` flows through both protected sub-layers.
+    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
+        let protection = self.attn.protection;
         match self.arch {
             BlockArch::PostLn => {
                 let t0 = Instant::now();
-                let a = self.attn.forward(x, opts, report);
+                let a = self.attn.forward(x, ctx);
                 self.attn_time_of_last_forward = t0.elapsed();
                 let h = self.ln1.forward(&x.add(&a));
-                let f = self.ffn.forward(&h);
+                let t1 = Instant::now();
+                let f = self.ffn.forward_guarded(&h, &protection, ctx);
+                self.ffn_time_of_last_forward = t1.elapsed();
                 self.ln2.forward(&h.add(&f))
             }
             BlockArch::PreLn => {
                 let n1 = self.ln1.forward(x);
                 let t0 = Instant::now();
-                let a = self.attn.forward(&n1, opts, report);
+                let a = self.attn.forward(&n1, ctx);
                 self.attn_time_of_last_forward = t0.elapsed();
                 let h = x.add(&a);
                 let n2 = self.ln2.forward(&h);
-                let f = self.ffn.forward(&n2);
+                let t1 = Instant::now();
+                let f = self.ffn.forward_guarded(&n2, &protection, ctx);
+                self.ffn_time_of_last_forward = t1.elapsed();
                 h.add(&f)
             }
         }
@@ -128,23 +137,31 @@ impl HasParams for TransformerBlock {
 mod tests {
     use super::*;
     use attnchecker::attention::SectionToggles;
+    use attnchecker::report::AbftReport;
 
     fn block(arch: BlockArch, rng: &mut TensorRng) -> TransformerBlock {
         TransformerBlock::new("b", 8, 2, 16, arch, ProtectionConfig::off(), rng)
+    }
+
+    fn forward_unprotected(
+        b: &mut TransformerBlock,
+        x: &Matrix,
+        report: &mut AbftReport,
+    ) -> Matrix {
+        let mut ctx = ForwardCtx {
+            mask: None,
+            toggles: SectionToggles::none(),
+            hook: None,
+            report,
+        };
+        b.forward(x, &mut ctx)
     }
 
     fn run_loss(b: &TransformerBlock, x: &Matrix, dy: &Matrix) -> f32 {
         // Clone so caches do not leak between finite-difference probes.
         let mut c = b.clone();
         let mut report = AbftReport::default();
-        let y = c.forward(
-            x,
-            ForwardOptions {
-                toggles: SectionToggles::none(),
-                ..Default::default()
-            },
-            &mut report,
-        );
+        let y = forward_unprotected(&mut c, x, &mut report);
         y.data().iter().zip(dy.data()).map(|(&a, &b)| a * b).sum()
     }
 
@@ -154,14 +171,7 @@ mod tests {
         let x = rng.normal_matrix(4, 8, 0.6);
         let dy = rng.normal_matrix(4, 8, 1.0);
         let mut report = AbftReport::default();
-        let _ = b.forward(
-            &x,
-            ForwardOptions {
-                toggles: SectionToggles::none(),
-                ..Default::default()
-            },
-            &mut report,
-        );
+        let _ = forward_unprotected(&mut b, &x, &mut report);
         let dx = b.backward(&dy);
 
         let eps = 1e-2;
@@ -198,14 +208,7 @@ mod tests {
             let mut b = block(arch, &mut rng);
             let x = rng.normal_matrix(5, 8, 1.0);
             let mut report = AbftReport::default();
-            let y = b.forward(
-                &x,
-                ForwardOptions {
-                    toggles: SectionToggles::none(),
-                    ..Default::default()
-                },
-                &mut report,
-            );
+            let y = forward_unprotected(&mut b, &x, &mut report);
             assert_eq!((y.rows(), y.cols()), (5, 8));
         }
     }
@@ -223,14 +226,32 @@ mod tests {
         });
         let x = rng.normal_matrix(3, 8, 1.0);
         let mut report = AbftReport::default();
-        let y = b.forward(
-            &x,
-            ForwardOptions {
-                toggles: SectionToggles::none(),
-                ..Default::default()
-            },
-            &mut report,
-        );
+        let y = forward_unprotected(&mut b, &x, &mut report);
         assert!(y.approx_eq(&x, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn protected_block_matches_unprotected_when_fault_free() {
+        let mut rng = TensorRng::seed_from(10);
+        for arch in [BlockArch::PostLn, BlockArch::PreLn] {
+            let mut off = block(arch, &mut rng);
+            let mut on = off.clone();
+            on.attn.protection = ProtectionConfig::full();
+            let x = rng.normal_matrix(5, 8, 0.7);
+            let mut r_off = AbftReport::default();
+            let y_off = forward_unprotected(&mut off, &x, &mut r_off);
+            let mut r_on = AbftReport::default();
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut r_on,
+            };
+            let y_on = on.forward(&x, &mut ctx);
+            assert_eq!(y_on, y_off, "{arch:?}: protection must be transparent");
+            assert!(r_on.is_quiet());
+            // 3 attention sections + 1 FFN section ran.
+            assert_eq!(r_on.sections_checked, 4);
+        }
     }
 }

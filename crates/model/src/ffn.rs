@@ -1,18 +1,33 @@
-//! Position-wise feed-forward network: `Linear → GELU → Linear`.
+//! Position-wise feed-forward network: `Linear → GELU → Linear`, with an
+//! ATTNChecker-guarded forward that protects both GEMMs end-to-end.
+//!
+//! The FFN is the section `S_FFN = {H·W_1, GELU(·)·W_2}` built on
+//! [`GuardedSection`]: the block input is column-encoded once and its
+//! checksums ride through the expansion GEMM to a detection point at the
+//! pre-GELU activation; GELU is a nonlinearity, so the pipeline exits and
+//! re-encodes (exactly like softmax in `S_CL`), and the contraction GEMM
+//! gets its own delayed detection point. Corrections are refined to exact
+//! bits by replaying the producing dot product, so a corrected step is
+//! bit-identical to the fault-free step — rollback-free, end-to-end through
+//! training.
 
-use crate::linear::Linear;
+use crate::linear::ProtectedLinear;
 use crate::param::{HasParams, Param};
-use attn_tensor::ops::{gelu_backward, gelu_matrix};
+use attn_tensor::ops::{gelu, gelu_backward, gelu_matrix};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::report::SectionId;
+use attnchecker::section::{ForwardCtx, GuardedSection};
 
 /// Transformer FFN block (expansion factor configurable, 4× by default).
 #[derive(Debug, Clone)]
 pub struct FeedForward {
-    /// Expansion projection.
-    pub lin1: Linear,
-    /// Contraction projection.
-    pub lin2: Linear,
+    /// Expansion projection (tap site [`AttnOp::Ffn1`]).
+    pub lin1: ProtectedLinear,
+    /// Contraction projection (tap site [`AttnOp::Ffn2`]).
+    pub lin2: ProtectedLinear,
     cache_pre: Option<Matrix>,
 }
 
@@ -20,18 +35,55 @@ impl FeedForward {
     /// Build with the given inner width.
     pub fn new(name: &str, hidden: usize, inner: usize, rng: &mut TensorRng) -> Self {
         Self {
-            lin1: Linear::new(&format!("{name}.lin1"), hidden, inner, rng),
-            lin2: Linear::new(&format!("{name}.lin2"), inner, hidden, rng),
+            lin1: ProtectedLinear::new(&format!("{name}.lin1"), hidden, inner, AttnOp::Ffn1, rng),
+            lin2: ProtectedLinear::new(&format!("{name}.lin2"), inner, hidden, AttnOp::Ffn2, rng),
             cache_pre: None,
         }
     }
 
-    /// Forward pass with caching.
+    /// Unprotected forward pass with caching.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
         let pre = self.lin1.forward(x);
         let act = gelu_matrix(&pre);
         self.cache_pre = Some(pre);
         self.lin2.forward(&act)
+    }
+
+    /// Guarded forward: both GEMMs run inside one `S_FFN` section under
+    /// `config`, gated by `ctx.toggles.s_ffn`, with fault taps at
+    /// [`AttnOp::Ffn1`]/[`AttnOp::Ffn2`] and in-place (rollback-free)
+    /// correction. Degrades to the exact unprotected computation when the
+    /// section is off.
+    pub fn forward_guarded(
+        &mut self,
+        x: &Matrix,
+        config: &ProtectionConfig,
+        ctx: &mut ForwardCtx<'_, '_>,
+    ) -> Matrix {
+        let sec = GuardedSection::begin(
+            SectionId::FeedForward,
+            config,
+            ctx.toggles.s_ffn,
+            ctx.report,
+        );
+        if !sec.active() && ctx.hook.is_none() {
+            // Nothing to detect and no taps to fire: the inactive guarded
+            // pipeline computes the identical bits but pays several
+            // full-matrix copies (plain wraps + logical extractions), which
+            // would tax the unprotected baseline every overhead experiment
+            // divides by.
+            return self.forward(x);
+        }
+        let xc = sec.encode_cols(x);
+        let pre = self.lin1.forward_guarded(&xc, &sec, ctx);
+        // GELU is nonlinear: exit the checksummed region and re-encode.
+        let act = sec.exit_reencode_cols(&pre, |m| {
+            for v in m.data_mut() {
+                *v = gelu(*v);
+            }
+        });
+        self.cache_pre = Some(pre.logical());
+        self.lin2.forward_guarded(&act, &sec, ctx).logical()
     }
 
     /// Forward without caching.
@@ -65,6 +117,10 @@ impl HasParams for FeedForward {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use attn_fault::FaultKind;
+    use attnchecker::attention::{FaultSite, SectionToggles};
+    use attnchecker::checked::CheckedMatrix;
+    use attnchecker::report::AbftReport;
 
     #[test]
     fn shapes() {
@@ -122,11 +178,14 @@ mod tests {
         for r in 0..3 {
             for c in 0..6 {
                 let mut fp = ffn.clone();
-                fp.lin1.w.value[(r, c)] += eps;
+                fp.lin1.inner.w.value[(r, c)] += eps;
                 let mut fm = ffn.clone();
-                fm.lin1.w.value[(r, c)] -= eps;
+                fm.lin1.inner.w.value[(r, c)] -= eps;
                 let fd = (loss(&fp, &x) - loss(&fm, &x)) / (2.0 * eps);
-                assert!((fd - ffn.lin1.w.grad[(r, c)]).abs() < 3e-2, "dW1 ({r},{c})");
+                assert!(
+                    (fd - ffn.lin1.inner.w.grad[(r, c)]).abs() < 3e-2,
+                    "dW1 ({r},{c})"
+                );
             }
         }
     }
@@ -137,5 +196,104 @@ mod tests {
         let mut ffn = FeedForward::new("f", 4, 16, &mut rng);
         // 4×16 + 16 + 16×4 + 4 = 148
         assert_eq!(ffn.param_count(), 148);
+    }
+
+    fn guarded(
+        ffn: &mut FeedForward,
+        x: &Matrix,
+        config: &ProtectionConfig,
+        s_ffn: bool,
+        hook: Option<attnchecker::attention::FaultHook<'_>>,
+    ) -> (Matrix, AbftReport) {
+        let mut report = AbftReport::default();
+        let out = {
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles {
+                    s_ffn,
+                    ..SectionToggles::none()
+                },
+                hook,
+                report: &mut report,
+            };
+            ffn.forward_guarded(x, config, &mut ctx)
+        };
+        (out, report)
+    }
+
+    #[test]
+    fn guarded_fault_free_is_bit_identical_to_unprotected() {
+        let mut rng = TensorRng::seed_from(5);
+        let mut ffn = FeedForward::new("f", 6, 24, &mut rng);
+        let x = rng.normal_matrix(5, 6, 1.0);
+        let plain = ffn.forward_inference(&x);
+        for s_ffn in [false, true] {
+            let (y, report) = guarded(&mut ffn, &x, &ProtectionConfig::full(), s_ffn, None);
+            assert_eq!(y, plain, "s_ffn={s_ffn}");
+            assert!(report.is_quiet());
+            assert_eq!(report.sections_checked, usize::from(s_ffn));
+        }
+    }
+
+    #[test]
+    fn both_gemm_sites_are_corrected_in_place() {
+        let mut rng = TensorRng::seed_from(6);
+        let mut ffn = FeedForward::new("f", 6, 24, &mut rng);
+        let x = rng.normal_matrix(5, 6, 1.0);
+        let plain = ffn.forward_inference(&x);
+        for op in AttnOp::FFN {
+            for kind in [FaultKind::Inf, FaultKind::NaN, FaultKind::NearInf] {
+                let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+                    if site.op == op {
+                        let (r, c) = (m.rows() / 2, m.cols() / 3);
+                        let old = m.get(r, c);
+                        m.set(r, c, kind.apply(old));
+                    }
+                };
+                let (y, report) = guarded(
+                    &mut ffn,
+                    &x,
+                    &ProtectionConfig::full(),
+                    true,
+                    Some(&mut hook),
+                );
+                assert_eq!(y, plain, "{op:?}/{kind:?}: must restore exact bits");
+                assert!(report.correction_count() > 0, "{op:?}/{kind:?}");
+                assert_eq!(report.unrecovered, 0, "{op:?}/{kind:?}");
+                assert!(report
+                    .corrections
+                    .iter()
+                    .all(|c| c.section == SectionId::FeedForward));
+            }
+        }
+    }
+
+    #[test]
+    fn cached_activations_are_healed_for_backward() {
+        let mut rng = TensorRng::seed_from(7);
+        let mut clean = FeedForward::new("f", 4, 16, &mut rng);
+        let mut faulty = clean.clone();
+        let x = rng.normal_matrix(3, 4, 1.0);
+        let dy = rng.normal_matrix(3, 4, 1.0);
+
+        let (_, _) = guarded(&mut clean, &x, &ProtectionConfig::full(), true, None);
+        let dx_clean = clean.backward(&dy);
+
+        let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+            if site.op == AttnOp::Ffn1 {
+                m.set(1, 5, f32::INFINITY);
+            }
+        };
+        let (_, report) = guarded(
+            &mut faulty,
+            &x,
+            &ProtectionConfig::full(),
+            true,
+            Some(&mut hook),
+        );
+        assert!(report.correction_count() > 0);
+        let dx_faulty = faulty.backward(&dy);
+        assert_eq!(dx_clean, dx_faulty, "backward must see healed activations");
+        assert_eq!(clean.lin1.inner.w.grad, faulty.lin1.inner.w.grad);
     }
 }

@@ -22,10 +22,11 @@ use attn_fault::FaultKind;
 use attn_tensor::ops::{causal_mask, local_causal_mask, softmax_rows};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
-use attnchecker::attention::{AttnOp, FaultSite, ForwardOptions, SectionToggles};
+use attnchecker::attention::{AttnOp, FaultSite, SectionToggles};
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
+use attnchecker::section::ForwardCtx;
 use std::time::Duration;
 
 /// Which of the four studied architectures a model instantiates.
@@ -217,6 +218,9 @@ pub struct TransformerModel {
     /// Attention-forward wall time accumulated since the last reset
     /// (feeds the Fig 7 "attention mechanism" timing).
     pub attn_elapsed: Duration,
+    /// FFN-forward wall time accumulated since the last reset (feeds the
+    /// FFN-protection overhead column of the Fig 7 reproduction).
+    pub ffn_elapsed: Duration,
     head_cache: Option<HeadCache>,
 }
 
@@ -269,6 +273,7 @@ impl TransformerModel {
             pooler,
             classifier,
             attn_elapsed: Duration::ZERO,
+            ffn_elapsed: Duration::ZERO,
             head_cache: None,
         }
     }
@@ -334,13 +339,15 @@ impl TransformerModel {
                 let old = m.get(r, c);
                 m.set(r, c, s.kind.apply(old));
             };
-            let opts = ForwardOptions {
+            let mut ctx = ForwardCtx {
                 mask: masks[i].as_ref(),
                 toggles,
                 hook: spec.is_some().then_some(&mut hook_fn as _),
+                report: &mut *report,
             };
-            h = block.forward(&h, opts, report);
+            h = block.forward(&h, &mut ctx);
             self.attn_elapsed += block.attn_time_of_last_forward;
+            self.ffn_elapsed += block.ffn_time_of_last_forward;
         }
         if let Some(ln) = &mut self.final_ln {
             h = ln.forward(&h);
@@ -400,9 +407,11 @@ impl TransformerModel {
         self.embedding.backward(&dh);
     }
 
-    /// Reset the attention-time accumulator (trainer calls this per step).
-    pub fn reset_attn_timer(&mut self) {
+    /// Reset the attention/FFN time accumulators (trainer calls this per
+    /// step).
+    pub fn reset_step_timers(&mut self) {
         self.attn_elapsed = Duration::ZERO;
+        self.ffn_elapsed = Duration::ZERO;
     }
 }
 
@@ -591,6 +600,30 @@ mod tests {
         assert!(logits.all_finite());
         assert!(report.correction_count() > 0);
         assert_eq!(report.unrecovered, 0);
+    }
+
+    #[test]
+    fn ffn_injection_with_protection_is_corrected() {
+        let mut rng = TensorRng::seed_from(13);
+        let mut m =
+            TransformerModel::new(ModelConfig::bert_base(), ProtectionConfig::full(), &mut rng);
+        let tokens: Vec<usize> = (0..16).collect();
+        for op in AttnOp::FFN {
+            let spec = InjectionSpec {
+                layer: 0,
+                op,
+                head: 0,
+                row: 5,
+                col: 9,
+                kind: FaultKind::NaN,
+            };
+            let mut report = AbftReport::default();
+            let logits =
+                m.forward_example(&tokens, SectionToggles::all(), Some(&spec), &mut report);
+            assert!(logits.all_finite(), "{op:?}");
+            assert!(report.correction_count() > 0, "{op:?}");
+            assert_eq!(report.unrecovered, 0, "{op:?}");
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::optim::AdamW;
 use crate::param::HasParams;
 use attn_tensor::rng::TensorRng;
 use attnchecker::attention::SectionToggles;
-use attnchecker::config::FrequencyGate;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::policy::ProtectionPolicy;
 use attnchecker::report::AbftReport;
 use std::time::{Duration, Instant};
 
@@ -25,6 +26,8 @@ pub struct StepOutcome {
     pub step_time: Duration,
     /// Wall time spent inside attention forward passes.
     pub attention_time: Duration,
+    /// Wall time spent inside FFN forward passes.
+    pub ffn_time: Duration,
 }
 
 /// Fine-tuning driver for one model.
@@ -33,33 +36,51 @@ pub struct Trainer {
     pub model: TransformerModel,
     /// Optimizer.
     pub optim: AdamW,
-    gate_as: FrequencyGate,
-    gate_cl: FrequencyGate,
-    gate_o: FrequencyGate,
+    /// Single owner of the per-section frequency gates — callers can no
+    /// longer hold gates of their own and drift out of phase with the
+    /// model's protection config.
+    policy: ProtectionPolicy,
 }
 
 impl Trainer {
     /// Build a trainer with the given learning rate.
     pub fn new(model: TransformerModel, lr: f32) -> Self {
+        let policy = ProtectionPolicy::new(model.blocks[0].attn.protection);
         Self {
             model,
             optim: AdamW::new(lr),
-            gate_as: FrequencyGate::default(),
-            gate_cl: FrequencyGate::default(),
-            gate_o: FrequencyGate::default(),
+            policy,
         }
+    }
+
+    /// Change the protection config on every attention layer *and* the
+    /// scheduling policy together, so they cannot desync. Gate phases are
+    /// kept (a frequency change re-paces future checks, it does not reset
+    /// history).
+    pub fn set_protection(&mut self, protection: ProtectionConfig) {
+        self.model.set_protection(protection);
+        self.policy.sync_config(protection);
+    }
+
+    /// The protection-scheduling policy in force. Takes `&mut self` so the
+    /// policy's config snapshot can first be re-synced from the model —
+    /// otherwise a caller that mutated `model.set_protection` directly
+    /// (both are public) would observe a stale config here.
+    pub fn policy(&mut self) -> &ProtectionPolicy {
+        self.policy
+            .sync_config(self.model.blocks[0].attn.protection);
+        &self.policy
     }
 
     /// Advance the per-section frequency gates one step and return the
     /// sections to protect this step (paper §4.5 frequencies, realised
     /// deterministically).
     fn next_toggles(&mut self) -> SectionToggles {
-        let cfg = self.model.blocks[0].attn.protection;
-        SectionToggles {
-            s_as: self.gate_as.tick(cfg.f_as),
-            s_cl: self.gate_cl.tick(cfg.f_cl),
-            s_o: self.gate_o.tick(cfg.f_o),
-        }
+        // Defensive re-sync: tolerate callers that mutated the model's
+        // protection config directly instead of via `set_protection`.
+        self.policy
+            .sync_config(self.model.blocks[0].attn.protection);
+        self.policy.next_toggles()
     }
 
     /// One clean training step over `batch`.
@@ -77,7 +98,7 @@ impl Trainer {
         assert!(!batch.is_empty());
         let toggles = self.next_toggles();
         let t0 = Instant::now();
-        self.model.reset_attn_timer();
+        self.model.reset_step_timers();
 
         let mut report = AbftReport::default();
         let mut loss_sum = 0.0f32;
@@ -104,6 +125,7 @@ impl Trainer {
             non_trainable: loss.is_nan() || !params_ok,
             step_time: t0.elapsed(),
             attention_time: self.model.attn_elapsed,
+            ffn_time: self.model.ffn_elapsed,
         }
     }
 
@@ -272,6 +294,37 @@ mod tests {
         let out = tr.train_step(&batch);
         assert!(out.step_time > Duration::ZERO);
         assert!(out.attention_time > Duration::ZERO);
-        assert!(out.attention_time <= out.step_time);
+        assert!(out.ffn_time > Duration::ZERO);
+        assert!(out.attention_time + out.ffn_time <= out.step_time);
+    }
+
+    #[test]
+    fn ffn_injection_protected_training_stays_trainable() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let spec = InjectionSpec {
+            layer: 1,
+            op: AttnOp::Ffn2,
+            head: 0,
+            row: 4,
+            col: 11,
+            kind: FaultKind::Inf,
+        };
+        let out = tr.train_step_injected(&batch, Some((1, spec)));
+        assert!(!out.non_trainable, "FFN protection must absorb the fault");
+        assert!(out.report.correction_count() > 0);
+        assert_eq!(out.report.unrecovered, 0);
+    }
+
+    #[test]
+    fn set_protection_updates_model_and_policy_together() {
+        let (mut tr, _, _) = tiny_trainer(ProtectionConfig::full());
+        tr.set_protection(ProtectionConfig::off());
+        assert!(tr.model.blocks.iter().all(|b| b.attn.protection.is_off()));
+        assert!(!tr.policy().would_ever_fire());
+        // Even a direct model mutation (bypassing Trainer::set_protection)
+        // cannot desync the observable policy: the accessor re-syncs.
+        tr.model.set_protection(ProtectionConfig::full());
+        assert!(tr.policy().would_ever_fire());
     }
 }

@@ -1,0 +1,73 @@
+//! Protected FFN: the guarded-section API extended beyond attention.
+//!
+//! Builds a tiny BERT-style classifier whose FFN GEMMs run inside an
+//! `S_FFN` guarded section, strikes the expansion GEMM with an INF during a
+//! real training step, and shows the fault corrected in place — the
+//! injected step lands on the *same* loss as the fault-free step, no
+//! rollback.
+//!
+//! Run: `cargo run --release --example protected_ffn`
+
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
+use attn_model::{SyntheticMrpc, Trainer};
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::report::SectionId;
+
+fn trainer(protection: ProtectionConfig) -> Trainer {
+    let mut cfg = ModelConfig::bert_small();
+    cfg.hidden = 32;
+    cfg.heads = 2;
+    cfg.layers = 2;
+    let mut rng = TensorRng::seed_from(9);
+    Trainer::new(TransformerModel::new(cfg, protection, &mut rng), 1e-3)
+}
+
+fn main() {
+    let ds = SyntheticMrpc::generate(8, 256, 16, 5);
+    let batch: Vec<_> = ds.examples.iter().take(4).collect();
+
+    // Twin trainers from the same seed: one never sees a fault.
+    let mut clean = trainer(ProtectionConfig::full());
+    let mut protected = trainer(ProtectionConfig::full());
+
+    let spec = InjectionSpec {
+        layer: 0,
+        op: AttnOp::Ffn1,
+        head: 0,
+        row: 3,
+        col: 17,
+        kind: FaultKind::Inf,
+    };
+    println!("injecting +INF into the FFN expansion GEMM (layer 0) ...");
+    let co = clean.train_step(&batch);
+    let po = protected.train_step_injected(&batch, Some((1, spec)));
+
+    let ffn_fixes = po
+        .report
+        .corrections
+        .iter()
+        .filter(|c| c.section == SectionId::FeedForward)
+        .count();
+    println!("faulty step report: {}", po.report);
+    println!(
+        "S_FFN corrections: {ffn_fixes}   loss clean {:.6} vs corrected {:.6}",
+        co.loss, po.loss
+    );
+    assert!(!po.non_trainable);
+    assert!(ffn_fixes > 0);
+    assert_eq!(po.report.unrecovered, 0);
+    assert!((co.loss - po.loss).abs() <= 1e-6);
+
+    // Control: the paper's attention-only scope misses the same fault.
+    let mut unguarded = trainer(ProtectionConfig::attention_only());
+    let uo = unguarded.train_step_injected(&batch, Some((1, spec)));
+    println!(
+        "without S_FFN the same fault is fatal: non_trainable = {}",
+        uo.non_trainable
+    );
+    assert!(uo.non_trainable);
+    println!("ok: FFN faults corrected in place, end to end through training");
+}

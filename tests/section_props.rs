@@ -1,0 +1,162 @@
+//! Property tests (vendored proptest) for the composable guarded-GEMM
+//! section API (`attnchecker::section`).
+//!
+//! The two invariants the builder must uphold for *arbitrary* chains of
+//! encoded GEMMs (with optional bias steps and nonlinear
+//! exit-and-re-encode boundaries):
+//!
+//! 1. **Transparency** — a fault-free guarded run reports nothing and its
+//!    output is bit-identical to the unprotected computation.
+//! 2. **Correction** — a single extreme value (INF/−INF/NaN/near-INF)
+//!    injected at the section's detection point is always detected and
+//!    corrected, and exact-replay refinement restores the original bits.
+
+use attn_fault::FaultKind;
+use attn_tensor::gemm;
+use attn_tensor::ops::add_bias_inplace;
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::report::{AbftReport, SectionId};
+use attnchecker::section::{replay_nn, GuardedSection};
+use proptest::prelude::*;
+
+/// One guarded GEMM step of a chain.
+struct ChainLink {
+    w: Matrix,
+    bias: Option<Vec<f32>>,
+    /// Apply a tanh nonlinearity (exit-and-re-encode) before this GEMM.
+    exit_before: bool,
+}
+
+/// Deterministic chain derived from a seed: `n` links of widths in
+/// `[2, 6]`, each with seed-dependent bias and exit flags.
+fn build_links(mut in_cols: usize, n: usize, seed: u64) -> Vec<ChainLink> {
+    let mut rng = TensorRng::seed_from(seed);
+    (0..n)
+        .map(|_| {
+            let out_cols = 2 + (rng.index(5));
+            let w = rng.normal_matrix(in_cols, out_cols, 1.0);
+            let bias = (rng.index(2) == 1)
+                .then(|| (0..out_cols).map(|c| (c as f32) * 0.25 - 0.5).collect());
+            let exit_before = rng.index(2) == 1;
+            in_cols = out_cols;
+            ChainLink {
+                w,
+                bias,
+                exit_before,
+            }
+        })
+        .collect()
+}
+
+/// The unprotected reference computation.
+fn run_plain(x: &Matrix, links: &[ChainLink]) -> Matrix {
+    let mut cur = x.clone();
+    for l in links {
+        if l.exit_before {
+            cur = cur.map(|v| v.tanh());
+        }
+        cur = gemm::matmul(&cur, &l.w);
+        if let Some(b) = &l.bias {
+            add_bias_inplace(&mut cur, b);
+        }
+    }
+    cur
+}
+
+/// The same chain through the guarded-section builder, optionally striking
+/// one element of the final product before the detection point.
+fn run_guarded(
+    x: &Matrix,
+    links: &[ChainLink],
+    fault: Option<(usize, usize, FaultKind)>,
+) -> (Matrix, AbftReport) {
+    let mut report = AbftReport::default();
+    let sec = GuardedSection::begin(
+        SectionId::FeedForward,
+        &ProtectionConfig::full(),
+        true,
+        &mut report,
+    );
+    let mut cur = sec.encode_cols(x);
+    let mut prev = x.clone();
+    for l in links {
+        if l.exit_before {
+            cur = sec.exit_reencode_cols(&cur, |m| {
+                for v in m.data_mut() {
+                    *v = v.tanh();
+                }
+            });
+        }
+        prev = cur.logical();
+        cur = sec.gemm(&cur, &sec.operand(&l.w));
+        if let Some(b) = &l.bias {
+            cur.add_bias(b);
+        }
+    }
+    if let Some((rf, cf, kind)) = fault {
+        let (r, c) = (rf % cur.rows(), cf % cur.cols());
+        cur.set(r, c, kind.apply(cur.get(r, c)));
+    }
+    let last = links.last().expect("non-empty chain");
+    let mut det = sec.detect(&mut cur, usize::MAX);
+    if det.detections() > 0 {
+        det.refine(&mut cur, |r, c| {
+            replay_nn(prev.row(r), |kk| last.w[(kk, c)]) + last.bias.as_ref().map_or(0.0, |b| b[c])
+        });
+    }
+    det.absorb(&mut report);
+    (cur.logical(), report)
+}
+
+fn input_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..7, 2usize..7).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-2.0f32..2.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fault-free guarded chains are invisible: quiet report, bit-identical
+    /// output.
+    #[test]
+    fn fault_free_chain_is_quiet_and_bit_identical(
+        x in input_matrix(),
+        n_links in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let links = build_links(x.cols(), n_links, seed);
+        let plain = run_plain(&x, &links);
+        let (guarded, report) = run_guarded(&x, &links, None);
+        prop_assert!(report.is_quiet(), "spurious activity: {report}");
+        prop_assert_eq!(guarded, plain);
+    }
+
+    /// One injected extreme value at the detection point is always
+    /// corrected, and replay refinement restores the exact original bits.
+    #[test]
+    fn single_extreme_fault_is_always_corrected(
+        x in input_matrix(),
+        n_links in 1usize..4,
+        seed in 0u64..500,
+        rf in 0usize..64,
+        cf in 0usize..64,
+        kind_pick in 0usize..4,
+    ) {
+        let kind = [FaultKind::Inf, FaultKind::NegInf, FaultKind::NaN, FaultKind::NearInf]
+            [kind_pick];
+        let links = build_links(x.cols(), n_links, seed);
+        let plain = run_plain(&x, &links);
+        let (guarded, report) = run_guarded(&x, &links, Some((rf, cf, kind)));
+        prop_assert!(report.correction_count() >= 1, "{kind:?} not corrected: {report}");
+        prop_assert_eq!(report.unrecovered, 0);
+        prop_assert!(
+            report.corrections.iter().all(|c| c.section == SectionId::FeedForward),
+            "corrections attributed to the wrong section"
+        );
+        prop_assert_eq!(guarded, plain);
+    }
+}

@@ -4,7 +4,8 @@
 //!
 //! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
 //!   header) generating one `#[test]` per property,
-//! * [`Strategy`] implemented for numeric ranges and tuples, with
+//! * [`Strategy`](strategy::Strategy) implemented for numeric ranges and
+//!   tuples, with
 //!   `prop_map` / `prop_flat_map` combinators,
 //! * [`collection::vec`] with a `Range<usize>` length strategy,
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
