@@ -7,10 +7,14 @@
 //! at paper scale, and interleaves the three configurations step-by-step
 //! with median aggregation to cancel host drift.
 //!
-//! Three configurations run per model: unprotected, the paper's
-//! attention-only scope (feeds the Fig 7 attention/step columns), and the
+//! Five configurations run per model: unprotected, the paper's
+//! attention-only scope (feeds the Fig 7 attention/step columns), the
 //! end-to-end config that also guards the two FFN GEMMs (feeds the extra
-//! FFN-overhead column).
+//! FFN-overhead column), and the unprotected/attention-only pair again
+//! with the trainer's data-parallel step fanning batch items over all
+//! cores — the parallel columns measure the step speedup and check that
+//! the ABFT overhead *ratio* is schedule-independent (per-item protection
+//! work scales with the items, not with the worker count).
 //!
 //! The paper reports ≈11% overhead on the attention block and ≈7% on the
 //! end-to-end step, averaged over models.
@@ -28,6 +32,7 @@ const WARMUP: usize = 2;
 const STEPS: usize = 13;
 
 fn main() {
+    let workers = rayon::current_num_threads();
     println!("== Fig 7: ATTNChecker overhead on 6 LLMs (batch {BATCH}) ==\n");
     let mut attn_table = TextTable::new(&[
         "Model",
@@ -43,9 +48,18 @@ fn main() {
         "FFN prot. overhead",
         "attn share of step",
     ]);
+    let mut par_table = TextTable::new(&[
+        "Model",
+        "step seq (ms)",
+        "step par (ms)",
+        "speedup",
+        "overhead seq",
+        "overhead par",
+    ]);
     let mut sum_attn = 0.0;
     let mut sum_step = 0.0;
     let mut sum_ffn = 0.0;
+    let mut sum_speedup = 0.0;
     let models: Vec<ModelConfig> = ModelConfig::paper_six()
         .into_iter()
         .map(|c| c.scaled_for_timing())
@@ -56,19 +70,32 @@ fn main() {
         let mut off = build_trainer(config, ProtectionConfig::off(), 42);
         let mut attn_on = build_trainer(config, ProtectionConfig::attention_only(), 42);
         let mut full_on = build_trainer(config, ProtectionConfig::full(), 42);
+        let mut off_par = build_trainer(config, ProtectionConfig::off(), 42);
+        off_par.set_parallelism(workers);
+        let mut attn_par = build_trainer(config, ProtectionConfig::attention_only(), 42);
+        attn_par.set_parallelism(workers);
         let times = measure_interleaved(
-            &mut [&mut off, &mut attn_on, &mut full_on],
+            &mut [
+                &mut off,
+                &mut attn_on,
+                &mut full_on,
+                &mut off_par,
+                &mut attn_par,
+            ],
             &batch,
             WARMUP,
             STEPS,
         );
         let (base, prot, e2e) = (times[0], times[1], times[2]);
+        let (base_par, prot_par) = (times[3], times[4]);
         let attn_ovh = prot.attn_overhead_vs(&base);
         let step_ovh = prot.step_overhead_vs(&base);
         let ffn_ovh = e2e.ffn_overhead_vs(&base);
+        let speedup = base_par.step_speedup_vs(&base);
         sum_attn += attn_ovh;
         sum_step += step_ovh;
         sum_ffn += ffn_ovh;
+        sum_speedup += speedup;
         attn_table.row(&[
             config.name.clone(),
             format!("{:.3}", base.attn_ms),
@@ -83,14 +110,31 @@ fn main() {
             pct(ffn_ovh),
             pct(base.attn_ms / base.step_ms),
         ]);
+        par_table.row(&[
+            config.name.clone(),
+            format!("{:.3}", base.step_ms),
+            format!("{:.3}", base_par.step_ms),
+            format!("{:.2}x", speedup),
+            pct(step_ovh),
+            pct(prot_par.step_overhead_vs(&base_par)),
+        ]);
     }
     println!("-- Attention mechanism --\n{}", attn_table.render());
     println!("-- Per-step training --\n{}", step_table.render());
+    println!(
+        "-- Data-parallel step ({workers} workers, per-example tapes) --\n{}",
+        par_table.render()
+    );
     println!(
         "mean attention overhead: {}   mean step overhead: {}   mean FFN-protection overhead: {}",
         pct(sum_attn / models.len() as f64),
         pct(sum_step / models.len() as f64),
         pct(sum_ffn / models.len() as f64),
+    );
+    println!(
+        "mean data-parallel step speedup: {:.2}x over {} workers (bit-identical training)",
+        sum_speedup / models.len() as f64,
+        workers,
     );
     println!("Paper reference: ~11% attention, ~7% per-step (7–16% / 5–10% per model).");
     println!("Note: per-step overhead = attention overhead × attention share of the");

@@ -35,6 +35,12 @@ impl StepTimes {
     pub fn step_overhead_vs(&self, base: &StepTimes) -> f64 {
         self.step_ms / base.step_ms - 1.0
     }
+
+    /// Step-time speedup of `self` over `base` (>1 means `self` is
+    /// faster) — the data-parallel-step column of the Fig 7 reproduction.
+    pub fn step_speedup_vs(&self, base: &StepTimes) -> f64 {
+        base.step_ms / self.step_ms
+    }
 }
 
 /// Run `warmup` unmeasured rounds then `steps` measured rounds, where one
@@ -112,5 +118,31 @@ mod tests {
         assert!((other.attn_overhead_vs(&base) - 0.10).abs() < 1e-9);
         assert!((other.ffn_overhead_vs(&base) - 0.05).abs() < 1e-9);
         assert!((other.step_overhead_vs(&base) - 0.07).abs() < 1e-9);
+        assert!((base.step_speedup_vs(&other) - 1.07).abs() < 1e-9);
+        assert!((other.step_speedup_vs(&base) - 100.0 / 107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_trainer_measures_through_the_same_harness() {
+        // The parallelism knob is a trainer property, so the interleaved
+        // harness measures sequential and parallel configurations
+        // symmetrically — and their losses stay bit-identical.
+        let mut cfg = ModelConfig::bert_small();
+        cfg.hidden = 16;
+        cfg.heads = 2;
+        cfg.layers = 1;
+        let ds = dataset_for(&cfg, 8, 1);
+        let batch: Vec<&Example> = ds.examples.iter().take(8).collect();
+        let mut seq = build_trainer(&cfg, ProtectionConfig::off(), 3);
+        let mut par = build_trainer(&cfg, ProtectionConfig::off(), 3);
+        par.set_parallelism(2);
+        let times = measure_interleaved(&mut [&mut seq, &mut par], &batch, 1, 3);
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|t| t.step_ms > 0.0));
+        // Both trainers took the same measured steps, so their next step's
+        // loss must carry identical bits.
+        let a = seq.train_step(&batch).loss;
+        let b = par.train_step(&batch).loss;
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -6,7 +6,7 @@
 //! which the protected forward has already healed — so corrected training
 //! proceeds exactly as a fault-free run (the Fig 6 property).
 
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
 use attn_tensor::gemm::{matmul, matmul_nt, matmul_tn};
 use attn_tensor::ops::{col_sums, softmax_rows_backward};
 use attn_tensor::rng::TensorRng;
@@ -89,13 +89,21 @@ impl AttentionLayer {
         }
     }
 
-    /// Protected forward pass. `ctx` carries the mask, per-execution
-    /// section toggles, the fault-injection hook, and the report.
-    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
+    /// Stateless protected forward pass: returns the output and the
+    /// activation tape (post-correction when protection ran). `ctx`
+    /// carries the mask, per-execution section toggles, the
+    /// fault-injection hook, and the report.
+    pub fn forward_tape(&self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> (Matrix, AttnCache) {
         let attn = ProtectedAttention::new(self.weights_snapshot(), self.protection);
         let out = attn.forward_ctx(x, ctx);
-        self.cache = Some(out.cache);
-        out.output
+        (out.output, out.cache)
+    }
+
+    /// Protected forward pass caching the tape for [`Self::backward`].
+    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
+        let (y, cache) = self.forward_tape(x, ctx);
+        self.cache = Some(cache);
+        y
     }
 
     /// Unprotected, cache-free forward for inference/timing.
@@ -111,16 +119,9 @@ impl AttentionLayer {
         attn.forward_ctx(x, &mut ctx).output
     }
 
-    /// Backward pass; returns `dx` and accumulates all eight parameter
-    /// gradients.
-    ///
-    /// # Panics
-    /// Panics if called before `forward`.
-    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
-        let cache = self
-            .cache
-            .take()
-            .expect("AttentionLayer::backward before forward");
+    /// Stateless backward over a tape; returns `dx` and writes all eight
+    /// parameter gradients into `grads`.
+    pub fn backward_tape(&self, dy: &Matrix, cache: &AttnCache, grads: &mut Grads) -> Matrix {
         let hidden = self.hidden();
         let heads = self.heads;
         let d = hidden / heads;
@@ -128,9 +129,8 @@ impl AttentionLayer {
         let scale = 1.0 / (d as f32).sqrt();
 
         // ---- output projection: O = CL·W_O + b_O
-        self.wo.accumulate(&matmul_tn(&cache.cl, dy));
-        self.bo
-            .accumulate(&Matrix::from_vec(1, hidden, col_sums(dy)));
+        grads.accumulate(&self.wo.name, &matmul_tn(&cache.cl, dy));
+        grads.accumulate(&self.bo.name, &Matrix::from_vec(1, hidden, col_sums(dy)));
         let dcl = matmul_nt(dy, &self.wo.value);
 
         // ---- per-head attention core
@@ -165,19 +165,32 @@ impl AttentionLayer {
         }
 
         // ---- input projections: Q = X·W_Q + b_Q etc.
-        self.wq.accumulate(&matmul_tn(&cache.x, &dq));
-        self.wk.accumulate(&matmul_tn(&cache.x, &dk));
-        self.wv.accumulate(&matmul_tn(&cache.x, &dv));
-        self.bq
-            .accumulate(&Matrix::from_vec(1, hidden, col_sums(&dq)));
-        self.bk
-            .accumulate(&Matrix::from_vec(1, hidden, col_sums(&dk)));
-        self.bv
-            .accumulate(&Matrix::from_vec(1, hidden, col_sums(&dv)));
+        grads.accumulate(&self.wq.name, &matmul_tn(&cache.x, &dq));
+        grads.accumulate(&self.wk.name, &matmul_tn(&cache.x, &dk));
+        grads.accumulate(&self.wv.name, &matmul_tn(&cache.x, &dv));
+        grads.accumulate(&self.bq.name, &Matrix::from_vec(1, hidden, col_sums(&dq)));
+        grads.accumulate(&self.bk.name, &Matrix::from_vec(1, hidden, col_sums(&dk)));
+        grads.accumulate(&self.bv.name, &Matrix::from_vec(1, hidden, col_sums(&dv)));
 
         let mut dx = matmul_nt(&dq, &self.wq.value);
         dx.axpy(1.0, &matmul_nt(&dk, &self.wk.value));
         dx.axpy(1.0, &matmul_nt(&dv, &self.wv.value));
+        dx
+    }
+
+    /// Backward pass; returns `dx` and accumulates all eight parameter
+    /// gradients.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .take()
+            .expect("AttentionLayer::backward before forward");
+        let mut grads = Grads::new();
+        let dx = self.backward_tape(dy, &cache, &mut grads);
+        grads.merge_into(self);
         dx
     }
 }

@@ -10,7 +10,8 @@
 use crate::attn_layer::AttentionLayer;
 use crate::ffn::FeedForward;
 use crate::layernorm::LayerNorm;
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
+use crate::tape::BlockTape;
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::config::ProtectionConfig;
@@ -46,6 +47,7 @@ pub struct TransformerBlock {
     /// Wall time of the FFN sub-layer in the most recent forward (feeds the
     /// FFN-protection overhead column of the Fig 7 reproduction).
     pub ffn_time_of_last_forward: Duration,
+    tape: Option<BlockTape>,
 }
 
 impl TransformerBlock {
@@ -67,60 +69,108 @@ impl TransformerBlock {
             arch,
             attn_time_of_last_forward: Duration::ZERO,
             ffn_time_of_last_forward: Duration::ZERO,
+            tape: None,
         }
     }
 
-    /// Forward pass; `ctx` flows through both protected sub-layers.
-    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
+    /// Stateless forward pass: returns the output and the block's
+    /// activation tape. `ctx` flows through both protected sub-layers.
+    pub fn forward_tape(&self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> (Matrix, BlockTape) {
         let protection = self.attn.protection;
         match self.arch {
             BlockArch::PostLn => {
                 let t0 = Instant::now();
-                let a = self.attn.forward(x, ctx);
-                self.attn_time_of_last_forward = t0.elapsed();
-                let h = self.ln1.forward(&x.add(&a));
+                let (a, attn) = self.attn.forward_tape(x, ctx);
+                let attn_time = t0.elapsed();
+                let (h, ln1) = self.ln1.forward_tape(&x.add(&a));
                 let t1 = Instant::now();
-                let f = self.ffn.forward_guarded(&h, &protection, ctx);
-                self.ffn_time_of_last_forward = t1.elapsed();
-                self.ln2.forward(&h.add(&f))
+                let (f, ffn) = self.ffn.forward_guarded_tape(&h, &protection, ctx);
+                let ffn_time = t1.elapsed();
+                let (y, ln2) = self.ln2.forward_tape(&h.add(&f));
+                (
+                    y,
+                    BlockTape {
+                        attn,
+                        ffn,
+                        ln1,
+                        ln2,
+                        attn_time,
+                        ffn_time,
+                    },
+                )
             }
             BlockArch::PreLn => {
-                let n1 = self.ln1.forward(x);
+                let (n1, ln1) = self.ln1.forward_tape(x);
                 let t0 = Instant::now();
-                let a = self.attn.forward(&n1, ctx);
-                self.attn_time_of_last_forward = t0.elapsed();
+                let (a, attn) = self.attn.forward_tape(&n1, ctx);
+                let attn_time = t0.elapsed();
                 let h = x.add(&a);
-                let n2 = self.ln2.forward(&h);
+                let (n2, ln2) = self.ln2.forward_tape(&h);
                 let t1 = Instant::now();
-                let f = self.ffn.forward_guarded(&n2, &protection, ctx);
-                self.ffn_time_of_last_forward = t1.elapsed();
-                h.add(&f)
+                let (f, ffn) = self.ffn.forward_guarded_tape(&n2, &protection, ctx);
+                let ffn_time = t1.elapsed();
+                (
+                    h.add(&f),
+                    BlockTape {
+                        attn,
+                        ffn,
+                        ln1,
+                        ln2,
+                        attn_time,
+                        ffn_time,
+                    },
+                )
             }
         }
     }
 
-    /// Backward pass; returns `dx`.
-    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+    /// Stateless backward over a tape; returns `dx`.
+    pub fn backward_tape(&self, dy: &Matrix, tape: &BlockTape, grads: &mut Grads) -> Matrix {
         match self.arch {
             BlockArch::PostLn => {
                 // y = LN2(h + FFN(h)), h = LN1(x + Attn(x))
-                let dsum2 = self.ln2.backward(dy);
-                let dh_f = self.ffn.backward(&dsum2);
+                let dsum2 = self.ln2.backward_tape(dy, &tape.ln2, grads);
+                let dh_f = self.ffn.backward_tape(&dsum2, &tape.ffn, grads);
                 let dh = dsum2.add(&dh_f);
-                let dsum1 = self.ln1.backward(&dh);
-                let dx_a = self.attn.backward(&dsum1);
+                let dsum1 = self.ln1.backward_tape(&dh, &tape.ln1, grads);
+                let dx_a = self.attn.backward_tape(&dsum1, &tape.attn, grads);
                 dsum1.add(&dx_a)
             }
             BlockArch::PreLn => {
                 // y = h + FFN(LN2(h)), h = x + Attn(LN1(x))
-                let dn2 = self.ffn.backward(dy);
-                let dh_ln = self.ln2.backward(&dn2);
+                let dn2 = self.ffn.backward_tape(dy, &tape.ffn, grads);
+                let dh_ln = self.ln2.backward_tape(&dn2, &tape.ln2, grads);
                 let dh = dy.add(&dh_ln);
-                let dn1 = self.attn.backward(&dh);
-                let dx_ln = self.ln1.backward(&dn1);
+                let dn1 = self.attn.backward_tape(&dh, &tape.attn, grads);
+                let dx_ln = self.ln1.backward_tape(&dn1, &tape.ln1, grads);
                 dh.add(&dx_ln)
             }
         }
+    }
+
+    /// Forward pass caching the tape for [`Self::backward`]; `ctx` flows
+    /// through both protected sub-layers.
+    pub fn forward(&mut self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> Matrix {
+        let (y, tape) = self.forward_tape(x, ctx);
+        self.attn_time_of_last_forward = tape.attn_time;
+        self.ffn_time_of_last_forward = tape.ffn_time;
+        self.tape = Some(tape);
+        y
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let tape = self
+            .tape
+            .take()
+            .expect("TransformerBlock::backward before forward");
+        let mut grads = Grads::new();
+        let dx = self.backward_tape(dy, &tape, &mut grads);
+        grads.merge_into(self);
+        dx
     }
 }
 

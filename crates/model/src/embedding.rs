@@ -1,6 +1,6 @@
 //! Token + learned positional embeddings.
 
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 
@@ -42,12 +42,14 @@ impl Embedding {
         }
     }
 
-    /// Embed a token sequence into a `seq × hidden` matrix.
+    /// Stateless embed of a token sequence into a `seq × hidden` matrix.
+    /// The "tape" is the token sequence itself, which the caller already
+    /// owns, so nothing extra is returned.
     ///
     /// # Panics
     /// Panics on out-of-vocabulary ids or sequences longer than the
     /// position table.
-    pub fn forward(&mut self, tokens: &[usize]) -> Matrix {
+    pub fn forward_tape(&self, tokens: &[usize]) -> Matrix {
         let hidden = self.tok.value.cols();
         let mut out = Matrix::zeros(tokens.len(), hidden);
         for (i, &t) in tokens.iter().enumerate() {
@@ -62,6 +64,36 @@ impl Embedding {
                 *d = tv + pv;
             }
         }
+        out
+    }
+
+    /// Stateless backward: scatter-add `dy` rows into the token and
+    /// position gradient slots of `grads`. One table at a time, so each
+    /// gradient slot is looked up once instead of once per token.
+    pub fn backward_tape(&self, dy: &Matrix, tokens: &[usize], grads: &mut Grads) {
+        assert_eq!(dy.rows(), tokens.len());
+        let dtok = grads.matrix_mut(&self.tok.name, self.tok.value.rows(), self.tok.value.cols());
+        for (i, &t) in tokens.iter().enumerate() {
+            for (g, &d) in dtok.row_mut(t).iter_mut().zip(dy.row(i)) {
+                *g += d;
+            }
+        }
+        let dpos = grads.matrix_mut(&self.pos.name, self.pos.value.rows(), self.pos.value.cols());
+        for i in 0..tokens.len() {
+            let p = i + self.pos_offset;
+            for (g, &d) in dpos.row_mut(p).iter_mut().zip(dy.row(i)) {
+                *g += d;
+            }
+        }
+    }
+
+    /// Embed a token sequence, caching the tokens for [`Self::backward`].
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary ids or sequences longer than the
+    /// position table.
+    pub fn forward(&mut self, tokens: &[usize]) -> Matrix {
+        let out = self.forward_tape(tokens);
         self.cache_tokens = Some(tokens.to_vec());
         out
     }
@@ -75,17 +107,9 @@ impl Embedding {
             .cache_tokens
             .take()
             .expect("Embedding::backward before forward");
-        assert_eq!(dy.rows(), tokens.len());
-        for (i, &t) in tokens.iter().enumerate() {
-            let src = dy.row(i);
-            for (g, &d) in self.tok.grad.row_mut(t).iter_mut().zip(src) {
-                *g += d;
-            }
-            let p = i + self.pos_offset;
-            for (g, &d) in self.pos.grad.row_mut(p).iter_mut().zip(src) {
-                *g += d;
-            }
-        }
+        let mut grads = Grads::new();
+        self.backward_tape(dy, &tokens, &mut grads);
+        grads.merge_into(self);
     }
 }
 

@@ -12,7 +12,8 @@
 //! training.
 
 use crate::linear::ProtectedLinear;
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
+use crate::tape::FfnTape;
 use attn_tensor::ops::{gelu, gelu_backward, gelu_matrix};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
@@ -41,25 +42,34 @@ impl FeedForward {
         }
     }
 
-    /// Unprotected forward pass with caching.
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let pre = self.lin1.forward(x);
+    /// Stateless unprotected forward: returns the output and the
+    /// activation tape.
+    pub fn forward_tape(&self, x: &Matrix) -> (Matrix, FfnTape) {
+        let (pre, x_tape) = self.lin1.inner.forward_tape(x);
         let act = gelu_matrix(&pre);
-        self.cache_pre = Some(pre);
-        self.lin2.forward(&act)
+        let (y, act_tape) = self.lin2.inner.forward_tape(&act);
+        (
+            y,
+            FfnTape {
+                x: x_tape,
+                pre,
+                act: act_tape,
+            },
+        )
     }
 
-    /// Guarded forward: both GEMMs run inside one `S_FFN` section under
-    /// `config`, gated by `ctx.toggles.s_ffn`, with fault taps at
-    /// [`AttnOp::Ffn1`]/[`AttnOp::Ffn2`] and in-place (rollback-free)
-    /// correction. Degrades to the exact unprotected computation when the
-    /// section is off.
-    pub fn forward_guarded(
-        &mut self,
+    /// Stateless guarded forward: both GEMMs run inside one `S_FFN`
+    /// section under `config`, gated by `ctx.toggles.s_ffn`, with fault
+    /// taps at [`AttnOp::Ffn1`]/[`AttnOp::Ffn2`] and in-place
+    /// (rollback-free) correction. Degrades to the exact unprotected
+    /// computation when the section is off. The returned tape holds the
+    /// healed activations, so backward proceeds exactly as fault-free.
+    pub fn forward_guarded_tape(
+        &self,
         x: &Matrix,
         config: &ProtectionConfig,
         ctx: &mut ForwardCtx<'_, '_>,
-    ) -> Matrix {
+    ) -> (Matrix, FfnTape) {
         let sec = GuardedSection::begin(
             SectionId::FeedForward,
             config,
@@ -72,18 +82,54 @@ impl FeedForward {
             // full-matrix copies (plain wraps + logical extractions), which
             // would tax the unprotected baseline every overhead experiment
             // divides by.
-            return self.forward(x);
+            return self.forward_tape(x);
         }
         let xc = sec.encode_cols(x);
-        let pre = self.lin1.forward_guarded(&xc, &sec, ctx);
+        let (pre, x_tape) = self.lin1.forward_guarded_tape(&xc, &sec, ctx);
         // GELU is nonlinear: exit the checksummed region and re-encode.
         let act = sec.exit_reencode_cols(&pre, |m| {
             for v in m.data_mut() {
                 *v = gelu(*v);
             }
         });
-        self.cache_pre = Some(pre.logical());
-        self.lin2.forward_guarded(&act, &sec, ctx).logical()
+        let (y, act_tape) = self.lin2.forward_guarded_tape(&act, &sec, ctx);
+        (
+            y.logical(),
+            FfnTape {
+                x: x_tape,
+                pre: pre.logical(),
+                act: act_tape,
+            },
+        )
+    }
+
+    /// Stateless backward over a tape; returns `dx`.
+    pub fn backward_tape(&self, dy: &Matrix, tape: &FfnTape, grads: &mut Grads) -> Matrix {
+        let dact = self.lin2.backward_tape(dy, &tape.act, grads);
+        let dpre = gelu_backward(&tape.pre, &dact);
+        self.lin1.backward_tape(&dpre, &tape.x, grads)
+    }
+
+    /// Unprotected forward pass with caching.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let pre = self.lin1.forward(x);
+        let act = gelu_matrix(&pre);
+        self.cache_pre = Some(pre);
+        self.lin2.forward(&act)
+    }
+
+    /// Guarded forward with caching — see [`Self::forward_guarded_tape`].
+    pub fn forward_guarded(
+        &mut self,
+        x: &Matrix,
+        config: &ProtectionConfig,
+        ctx: &mut ForwardCtx<'_, '_>,
+    ) -> Matrix {
+        let (y, tape) = self.forward_guarded_tape(x, config, ctx);
+        self.lin1.inner.cache_x = Some(tape.x);
+        self.cache_pre = Some(tape.pre);
+        self.lin2.inner.cache_x = Some(tape.act);
+        y
     }
 
     /// Forward without caching.

@@ -1,6 +1,6 @@
 //! Layer normalisation with learnable scale/shift.
 
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
 use attn_tensor::ops::{layer_norm, layer_norm_backward, LayerNormCache};
 use attn_tensor::Matrix;
 
@@ -27,9 +27,22 @@ impl LayerNorm {
         }
     }
 
+    /// Stateless forward: returns the output and the statistics tape.
+    pub fn forward_tape(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
+        layer_norm(x, self.gamma.bias(), self.beta.bias(), self.eps)
+    }
+
+    /// Stateless backward over a tape; γ/β gradients go into `grads`.
+    pub fn backward_tape(&self, dy: &Matrix, cache: &LayerNormCache, grads: &mut Grads) -> Matrix {
+        let (dx, dgamma, dbeta) = layer_norm_backward(dy, cache, self.gamma.bias());
+        grads.accumulate(&self.gamma.name, &Matrix::from_vec(1, dgamma.len(), dgamma));
+        grads.accumulate(&self.beta.name, &Matrix::from_vec(1, dbeta.len(), dbeta));
+        dx
+    }
+
     /// Forward pass, caching statistics for backward.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
-        let (y, cache) = layer_norm(x, self.gamma.bias(), self.beta.bias(), self.eps);
+        let (y, cache) = self.forward_tape(x);
         self.cache = Some(cache);
         y
     }
@@ -48,11 +61,9 @@ impl LayerNorm {
             .cache
             .take()
             .expect("LayerNorm::backward before forward");
-        let (dx, dgamma, dbeta) = layer_norm_backward(dy, &cache, self.gamma.bias());
-        self.gamma
-            .accumulate(&Matrix::from_vec(1, dgamma.len(), dgamma));
-        self.beta
-            .accumulate(&Matrix::from_vec(1, dbeta.len(), dbeta));
+        let mut grads = Grads::new();
+        let dx = self.backward_tape(dy, &cache, &mut grads);
+        grads.merge_into(self);
         dx
     }
 }

@@ -27,10 +27,12 @@ pub mod linear;
 pub mod model;
 pub mod optim;
 pub mod param;
+pub mod tape;
 pub mod trainer;
 
 pub use data::{Example, SyntheticMrpc};
 pub use model::{cross_entropy, InjectionSpec, ModelArch, ModelConfig, TransformerModel};
 pub use optim::AdamW;
-pub use param::{HasParams, Param};
+pub use param::{Grads, HasParams, Param};
+pub use tape::ExampleTape;
 pub use trainer::{StepOutcome, Trainer};

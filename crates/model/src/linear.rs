@@ -1,7 +1,7 @@
 //! Affine layer `y = x·W + b` with manual backprop, plus its
 //! ATTNChecker-guarded counterpart [`ProtectedLinear`].
 
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
 use attn_tensor::gemm::{matmul, matmul_nt, matmul_tn};
 use attn_tensor::ops::{add_bias_inplace, col_sums};
 use attn_tensor::rng::TensorRng;
@@ -17,7 +17,7 @@ pub struct Linear {
     pub w: Param,
     /// Bias, `1 × out_dim`.
     pub b: Param,
-    cache_x: Option<Matrix>,
+    pub(crate) cache_x: Option<Matrix>,
 }
 
 impl Linear {
@@ -40,11 +40,26 @@ impl Linear {
         self.w.value.cols()
     }
 
-    /// Forward pass, caching the input for backward.
-    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+    /// Stateless forward: returns the output and the input tape (the
+    /// activation backward needs).
+    pub fn forward_tape(&self, x: &Matrix) -> (Matrix, Matrix) {
         let mut y = matmul(x, &self.w.value);
         add_bias_inplace(&mut y, self.b.bias());
-        self.cache_x = Some(x.clone());
+        (y, x.clone())
+    }
+
+    /// Stateless backward over a tape: writes `dW = xᵀ·dy`, `db = Σrows(dy)`
+    /// into `grads`, returns `dx = dy·Wᵀ`.
+    pub fn backward_tape(&self, dy: &Matrix, x: &Matrix, grads: &mut Grads) -> Matrix {
+        grads.accumulate(&self.w.name, &matmul_tn(x, dy));
+        grads.accumulate(&self.b.name, &Matrix::from_vec(1, dy.cols(), col_sums(dy)));
+        matmul_nt(dy, &self.w.value)
+    }
+
+    /// Forward pass, caching the input for backward.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let (y, tape) = self.forward_tape(x);
+        self.cache_x = Some(tape);
         y
     }
 
@@ -65,10 +80,10 @@ impl Linear {
             .cache_x
             .take()
             .expect("Linear::backward before forward");
-        self.w.accumulate(&matmul_tn(&x, dy));
-        self.b
-            .accumulate(&Matrix::from_vec(1, dy.cols(), col_sums(dy)));
-        matmul_nt(dy, &self.w.value)
+        let mut grads = Grads::new();
+        let dx = self.backward_tape(dy, &x, &mut grads);
+        grads.merge_into(self);
+        dx
     }
 }
 
@@ -109,16 +124,16 @@ impl ProtectedLinear {
         }
     }
 
-    /// Guarded forward over an already-encoded operand `xc` (so chains can
-    /// pass checksummed products straight through). Returns the checked
-    /// output — post-detection, post-correction — for the next chain step;
-    /// the logical input is cached for backward.
-    pub fn forward_guarded(
-        &mut self,
+    /// Stateless guarded forward over an already-encoded operand `xc` (so
+    /// chains can pass checksummed products straight through). Returns the
+    /// checked output — post-detection, post-correction — for the next
+    /// chain step, plus the logical input tape for backward.
+    pub fn forward_guarded_tape(
+        &self,
         xc: &CheckedMatrix,
         sec: &GuardedSection,
         ctx: &mut ForwardCtx<'_, '_>,
-    ) -> CheckedMatrix {
+    ) -> (CheckedMatrix, Matrix) {
         let w = &self.inner.w.value;
         let bias = self.inner.b.bias();
         let mut y = sec.gemm(xc, &sec.operand(w));
@@ -137,8 +152,24 @@ impl ProtectedLinear {
             });
         }
         det.absorb(ctx.report);
-        self.inner.cache_x = Some(xc.logical());
+        (y, xc.logical())
+    }
+
+    /// Guarded forward caching the logical input for [`Self::backward`].
+    pub fn forward_guarded(
+        &mut self,
+        xc: &CheckedMatrix,
+        sec: &GuardedSection,
+        ctx: &mut ForwardCtx<'_, '_>,
+    ) -> CheckedMatrix {
+        let (y, tape) = self.forward_guarded_tape(xc, sec, ctx);
+        self.inner.cache_x = Some(tape);
         y
+    }
+
+    /// Stateless backward over a tape (delegates to the inner layer).
+    pub fn backward_tape(&self, dy: &Matrix, x: &Matrix, grads: &mut Grads) -> Matrix {
+        self.inner.backward_tape(dy, x, grads)
     }
 
     /// Unprotected forward (delegates to the inner layer).

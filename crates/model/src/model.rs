@@ -17,7 +17,8 @@ use crate::block::{BlockArch, TransformerBlock};
 use crate::embedding::Embedding;
 use crate::layernorm::LayerNorm;
 use crate::linear::Linear;
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
+use crate::tape::{ExampleTape, HeadTape};
 use attn_fault::FaultKind;
 use attn_tensor::ops::{causal_mask, local_causal_mask, softmax_rows};
 use attn_tensor::rng::TensorRng;
@@ -189,15 +190,6 @@ pub struct InjectionSpec {
     pub kind: FaultKind,
 }
 
-/// Head-path cache for the classification backward pass.
-#[derive(Debug, Clone)]
-struct HeadCache {
-    seq: usize,
-    select_row: usize,
-    /// Post-tanh pooled vector (BERT family only).
-    pooled: Option<Matrix>,
-}
-
 /// A full transformer classifier.
 #[derive(Debug, Clone)]
 pub struct TransformerModel {
@@ -221,7 +213,7 @@ pub struct TransformerModel {
     /// FFN-forward wall time accumulated since the last reset (feeds the
     /// FFN-protection overhead column of the Fig 7 reproduction).
     pub ffn_elapsed: Duration,
-    head_cache: Option<HeadCache>,
+    tape: Option<ExampleTape>,
 }
 
 impl TransformerModel {
@@ -274,7 +266,7 @@ impl TransformerModel {
             classifier,
             attn_elapsed: Duration::ZERO,
             ffn_elapsed: Duration::ZERO,
-            head_cache: None,
+            tape: None,
         }
     }
 
@@ -300,27 +292,39 @@ impl TransformerModel {
         }
     }
 
-    /// Forward one example; returns the `1 × num_classes` logits.
+    /// Stateless forward of one example; returns the `1 × num_classes`
+    /// logits and the full activation tape.
+    ///
+    /// Takes the model by `&self`, so a whole batch can forward
+    /// concurrently against shared parameters — each item owns its tape,
+    /// report, and (optional) injection hook, mirroring the per-item
+    /// isolation of `ProtectedAttention::forward_batch_with`.
     ///
     /// `toggles` selects which protection sections run this pass;
     /// `inject` optionally plants one fault at a specific pipeline site.
-    pub fn forward_example(
-        &mut self,
+    pub fn forward_tape(
+        &self,
         tokens: &[usize],
         toggles: SectionToggles,
         inject: Option<&InjectionSpec>,
         report: &mut AbftReport,
-    ) -> Matrix {
+    ) -> (Matrix, ExampleTape) {
         let seq = tokens.len();
         let masks: Vec<Option<Matrix>> = (0..self.blocks.len())
             .map(|i| self.mask_for_layer(i, seq))
             .collect();
 
-        let mut h = self.embedding.forward(tokens);
-        if let Some(ln) = &mut self.emb_ln {
-            h = ln.forward(&h);
-        }
-        for (i, block) in self.blocks.iter_mut().enumerate() {
+        let mut attn_time = Duration::ZERO;
+        let mut ffn_time = Duration::ZERO;
+        let mut block_tapes = Vec::with_capacity(self.blocks.len());
+
+        let mut h = self.embedding.forward_tape(tokens);
+        let emb_ln = self.emb_ln.as_ref().map(|ln| {
+            let (y, cache) = ln.forward_tape(&h);
+            h = y;
+            cache
+        });
+        for (i, block) in self.blocks.iter().enumerate() {
             let spec = inject.filter(|s| s.layer == i).copied();
             let mut fired = false;
             let mut hook_fn = move |site: FaultSite, m: &mut CheckedMatrix| {
@@ -345,13 +349,17 @@ impl TransformerModel {
                 hook: spec.is_some().then_some(&mut hook_fn as _),
                 report: &mut *report,
             };
-            h = block.forward(&h, &mut ctx);
-            self.attn_elapsed += block.attn_time_of_last_forward;
-            self.ffn_elapsed += block.ffn_time_of_last_forward;
+            let (y, tape) = block.forward_tape(&h, &mut ctx);
+            h = y;
+            attn_time += tape.attn_time;
+            ffn_time += tape.ffn_time;
+            block_tapes.push(tape);
         }
-        if let Some(ln) = &mut self.final_ln {
-            h = ln.forward(&h);
-        }
+        let final_ln = self.final_ln.as_ref().map(|ln| {
+            let (y, cache) = ln.forward_tape(&h);
+            h = y;
+            cache
+        });
 
         let select_row = match self.config.arch {
             ModelArch::Bert | ModelArch::Roberta => 0,
@@ -359,19 +367,77 @@ impl TransformerModel {
         };
         let hrow = h.submatrix(select_row, select_row + 1, 0, self.config.hidden);
 
-        let (head_in, pooled) = if let Some(pooler) = &mut self.pooler {
-            let lin = pooler.forward(&hrow);
+        let (head_in, pooled, pooler_x) = if let Some(pooler) = &self.pooler {
+            let (lin, px) = pooler.forward_tape(&hrow);
             let tanh = lin.map(|x| x.tanh());
-            (tanh.clone(), Some(tanh))
+            (tanh.clone(), Some(tanh), Some(px))
         } else {
-            (hrow, None)
+            (hrow, None, None)
         };
-        let logits = self.classifier.forward(&head_in);
-        self.head_cache = Some(HeadCache {
-            seq,
-            select_row,
-            pooled,
-        });
+        let (logits, classifier_x) = self.classifier.forward_tape(&head_in);
+        let tape = ExampleTape {
+            tokens: tokens.to_vec(),
+            emb_ln,
+            blocks: block_tapes,
+            final_ln,
+            head: HeadTape {
+                seq,
+                select_row,
+                pooled,
+                pooler_x,
+                classifier_x,
+            },
+            attn_time,
+            ffn_time,
+        };
+        (logits, tape)
+    }
+
+    /// Stateless backward of one example from the logits gradient over its
+    /// activation tape; parameter gradients go into `grads`.
+    pub fn backward_tape(&self, dlogits: &Matrix, tape: &ExampleTape, grads: &mut Grads) {
+        let mut d = self
+            .classifier
+            .backward_tape(dlogits, &tape.head.classifier_x, grads);
+        if let Some(pooler) = &self.pooler {
+            let pooled = tape.head.pooled.as_ref().expect("pooler tape");
+            // d(tanh(u)) = (1 - tanh²(u)) du
+            d = d.zip(pooled, |g, t| g * (1.0 - t * t));
+            let px = tape.head.pooler_x.as_ref().expect("pooler input tape");
+            d = pooler.backward_tape(&d, px, grads);
+        }
+        let mut dh = Matrix::zeros(tape.head.seq, self.config.hidden);
+        dh.row_mut(tape.head.select_row).copy_from_slice(d.row(0));
+
+        if let Some(ln) = &self.final_ln {
+            let cache = tape.final_ln.as_ref().expect("final LN tape");
+            dh = ln.backward_tape(&dh, cache, grads);
+        }
+        for (block, bt) in self.blocks.iter().zip(&tape.blocks).rev() {
+            dh = block.backward_tape(&dh, bt, grads);
+        }
+        if let Some(ln) = &self.emb_ln {
+            let cache = tape.emb_ln.as_ref().expect("embedding LN tape");
+            dh = ln.backward_tape(&dh, cache, grads);
+        }
+        self.embedding.backward_tape(&dh, &tape.tokens, grads);
+    }
+
+    /// Forward one example; returns the `1 × num_classes` logits. The tape
+    /// is stashed on the model for the matching [`Self::backward_example`],
+    /// and the step timers accumulate — the sequential convenience wrapper
+    /// around [`Self::forward_tape`].
+    pub fn forward_example(
+        &mut self,
+        tokens: &[usize],
+        toggles: SectionToggles,
+        inject: Option<&InjectionSpec>,
+        report: &mut AbftReport,
+    ) -> Matrix {
+        let (logits, tape) = self.forward_tape(tokens, toggles, inject, report);
+        self.attn_elapsed += tape.attn_time;
+        self.ffn_elapsed += tape.ffn_time;
+        self.tape = Some(tape);
         logits
     }
 
@@ -379,36 +445,21 @@ impl TransformerModel {
     /// the matching [`Self::forward_example`].
     ///
     /// # Panics
-    /// Panics if no forward cache is pending.
+    /// Panics if no forward tape is pending.
     pub fn backward_example(&mut self, dlogits: &Matrix) {
-        let cache = self
-            .head_cache
+        let tape = self
+            .tape
             .take()
             .expect("backward_example before forward_example");
-        let mut d = self.classifier.backward(dlogits);
-        if let Some(pooler) = &mut self.pooler {
-            let pooled = cache.pooled.as_ref().expect("pooler cache");
-            // d(tanh(u)) = (1 - tanh²(u)) du
-            d = d.zip(pooled, |g, t| g * (1.0 - t * t));
-            d = pooler.backward(&d);
-        }
-        let mut dh = Matrix::zeros(cache.seq, self.config.hidden);
-        dh.row_mut(cache.select_row).copy_from_slice(d.row(0));
-
-        if let Some(ln) = &mut self.final_ln {
-            dh = ln.backward(&dh);
-        }
-        for block in self.blocks.iter_mut().rev() {
-            dh = block.backward(&dh);
-        }
-        if let Some(ln) = &mut self.emb_ln {
-            dh = ln.backward(&dh);
-        }
-        self.embedding.backward(&dh);
+        let mut grads = Grads::new();
+        self.backward_tape(dlogits, &tape, &mut grads);
+        grads.merge_into(self);
     }
 
-    /// Reset the attention/FFN time accumulators (trainer calls this per
-    /// step).
+    /// Reset the attention/FFN time accumulators. The trainer no longer
+    /// needs this — step timers come from per-item tapes — but sequential
+    /// [`Self::forward_example`] callers still accumulate into the model
+    /// fields and can reset them here.
     pub fn reset_step_timers(&mut self) {
         self.attn_elapsed = Duration::ZERO;
         self.ffn_elapsed = Duration::ZERO;

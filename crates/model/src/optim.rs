@@ -1,6 +1,6 @@
 //! AdamW optimizer.
 
-use crate::param::{HasParams, Param};
+use crate::param::{Grads, HasParams, Param};
 
 /// AdamW with decoupled weight decay (the fine-tuning default of the
 /// paper's HuggingFace setup).
@@ -31,6 +31,21 @@ impl AdamW {
             weight_decay: 0.01,
             t: 0,
         }
+    }
+
+    /// Merge per-item gradient buffers into the model **in the order
+    /// given** — the deterministic reduction that makes parallel training
+    /// steps bit-identical to sequential ones — then apply one optimizer
+    /// step.
+    pub fn step_batched(
+        &mut self,
+        model: &mut dyn HasParams,
+        buffers: impl IntoIterator<Item = Grads>,
+    ) {
+        for g in buffers {
+            g.merge_into(model);
+        }
+        self.step(model);
     }
 
     /// Apply one optimizer step over every parameter of `model`, then zero
@@ -127,6 +142,29 @@ mod tests {
         let mut opt = AdamW::new(0.01);
         opt.step(&mut m);
         assert!(!m.p.value[(0, 0)].is_finite() || m.p.value[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn step_batched_equals_manual_merge_then_step() {
+        let mut a = One {
+            p: Param::new("w", Matrix::full(1, 1, 1.0)),
+        };
+        let mut b = One {
+            p: Param::new("w", Matrix::full(1, 1, 1.0)),
+        };
+        let mut g0 = Grads::new();
+        g0.accumulate("w", &Matrix::full(1, 1, 0.25));
+        let mut g1 = Grads::new();
+        g1.accumulate("w", &Matrix::full(1, 1, 0.5));
+
+        let mut oa = AdamW::new(0.01);
+        oa.step_batched(&mut a, [g0, g1]);
+
+        b.p.grad = Matrix::full(1, 1, 0.25 + 0.5);
+        let mut ob = AdamW::new(0.01);
+        ob.step(&mut b);
+
+        assert_eq!(a.p.value[(0, 0)].to_bits(), b.p.value[(0, 0)].to_bits());
     }
 
     #[test]

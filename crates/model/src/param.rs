@@ -1,6 +1,8 @@
-//! Learnable parameters with gradient and Adam-state storage.
+//! Learnable parameters with gradient and Adam-state storage, plus the
+//! detached [`Grads`] buffer that tape-based backward passes write into.
 
 use attn_tensor::Matrix;
+use std::collections::HashMap;
 
 /// A learnable tensor: value, accumulated gradient, and AdamW moments.
 ///
@@ -74,6 +76,80 @@ impl Param {
     }
 }
 
+/// A detached gradient buffer, keyed by parameter name.
+///
+/// Tape-based backward passes take the model by `&self` and accumulate
+/// their parameter gradients here instead of mutating [`Param::grad`] in
+/// place. That is what makes a training step data-parallel: each batch
+/// item backpropagates into its own `Grads`, and the per-item buffers are
+/// merged into the model afterwards in **fixed batch order**, so the
+/// floating-point reduction sequence — and therefore every parameter bit —
+/// is independent of how items were scheduled across threads.
+#[derive(Debug, Clone, Default)]
+pub struct Grads {
+    map: HashMap<String, Matrix>,
+}
+
+impl Grads {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulate `g` into the named parameter's gradient slot.
+    ///
+    /// # Panics
+    /// Panics if the same name is accumulated with mismatched shapes.
+    pub fn accumulate(&mut self, name: &str, g: &Matrix) {
+        match self.map.get_mut(name) {
+            Some(m) => m.axpy(1.0, g),
+            None => {
+                self.map.insert(name.to_string(), g.clone());
+            }
+        }
+    }
+
+    /// Mutable access to the named gradient slot, created zeroed on first
+    /// use — for scatter-style accumulation (embedding tables) that writes
+    /// individual rows rather than whole matrices.
+    pub fn matrix_mut(&mut self, name: &str, rows: usize, cols: usize) -> &mut Matrix {
+        self.map
+            .entry(name.to_string())
+            .or_insert_with(|| Matrix::zeros(rows, cols))
+    }
+
+    /// Read a gradient slot (mainly for tests).
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.map.get(name)
+    }
+
+    /// True when nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Add every buffered gradient into the owning model's [`Param::grad`]
+    /// storage. Parameters are visited in the model's stable order, so
+    /// merging several buffers one after another is a deterministic
+    /// reduction.
+    ///
+    /// # Panics
+    /// Panics if the buffer holds a name the model does not own (a
+    /// misspelled parameter name in a backward pass).
+    pub fn merge_into<M: HasParams + ?Sized>(mut self, model: &mut M) {
+        model.visit_params(&mut |p| {
+            if let Some(g) = self.map.remove(&p.name) {
+                p.accumulate(&g);
+            }
+        });
+        assert!(
+            self.map.is_empty(),
+            "gradients for unknown parameters: {:?}",
+            self.map.keys().collect::<Vec<_>>()
+        );
+    }
+}
+
 /// Anything that owns parameters and can expose them to the optimizer and
 /// checkpointer.
 pub trait HasParams {
@@ -140,6 +216,35 @@ mod tests {
             f(&mut self.a);
             f(&mut self.b);
         }
+    }
+
+    #[test]
+    fn grads_accumulate_and_merge() {
+        let mut g = Grads::new();
+        g.accumulate("a", &Matrix::full(2, 2, 1.0));
+        g.accumulate("a", &Matrix::full(2, 2, 2.0));
+        g.matrix_mut("b", 1, 3).row_mut(0)[1] = 7.0;
+        assert!(g.get("a").unwrap().data().iter().all(|&x| x == 3.0));
+        let mut t = Two {
+            a: Param::zeros("a", 2, 2),
+            b: Param::zeros("b", 1, 3),
+        };
+        g.merge_into(&mut t);
+        assert!(t.a.grad.data().iter().all(|&x| x == 3.0));
+        assert_eq!(t.b.grad[(0, 1)], 7.0);
+        assert_eq!(t.b.grad[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn grads_merge_rejects_unknown_names() {
+        let mut g = Grads::new();
+        g.accumulate("nope", &Matrix::zeros(1, 1));
+        let mut t = Two {
+            a: Param::zeros("a", 2, 2),
+            b: Param::zeros("b", 1, 3),
+        };
+        g.merge_into(&mut t);
     }
 
     #[test]

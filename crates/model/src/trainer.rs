@@ -1,14 +1,24 @@
 //! Training loop with non-trainable-state detection and ABFT bookkeeping.
+//!
+//! Since the per-example activation-tape refactor, a training step is
+//! data-parallel: each batch item runs forward + backward against the
+//! shared model (`&TransformerModel`) with its own tape, report, and
+//! gradient buffer, fanned out over a sized rayon pool
+//! ([`Trainer::set_parallelism`]). The per-item results are then reduced
+//! in **fixed batch order** — losses summed, reports merged, gradient
+//! buffers folded into the model — so a step's loss and every post-step
+//! parameter bit are identical at any worker count.
 
 use crate::data::{Example, SyntheticMrpc};
 use crate::model::{cross_entropy, InjectionSpec, TransformerModel};
 use crate::optim::AdamW;
-use crate::param::HasParams;
+use crate::param::{Grads, HasParams};
 use attn_tensor::rng::TensorRng;
 use attnchecker::attention::SectionToggles;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::policy::ProtectionPolicy;
 use attnchecker::report::AbftReport;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// Result of one training step.
@@ -16,18 +26,39 @@ use std::time::{Duration, Instant};
 pub struct StepOutcome {
     /// Mean cross-entropy loss over the batch (NaN signals corruption).
     pub loss: f32,
-    /// Aggregated ABFT activity during the step.
+    /// Aggregated ABFT activity during the step (the merge of
+    /// `item_reports`, in batch order).
     pub report: AbftReport,
+    /// Per-item ABFT reports, in batch order — an injection into one item
+    /// shows up only in that item's report.
+    pub item_reports: Vec<AbftReport>,
     /// True when this step put the model into a non-trainable state: the
     /// loss is NaN or a parameter became non-finite after the update
     /// (the paper's §3 criterion).
     pub non_trainable: bool,
     /// Wall time of the whole step (forward + backward + optimizer).
     pub step_time: Duration,
-    /// Wall time spent inside attention forward passes.
+    /// Busy time spent inside attention forward passes, summed over batch
+    /// items. With `workers == 1` this is wall time and
+    /// `attention_time + ffn_time <= step_time`; with more workers items
+    /// overlap, so the sums may exceed `step_time` but stay within
+    /// `step_time * workers` (each worker's busy time fits in the step).
     pub attention_time: Duration,
-    /// Wall time spent inside FFN forward passes.
+    /// Busy time spent inside FFN forward passes, summed over batch items
+    /// (same semantics as `attention_time`).
     pub ffn_time: Duration,
+    /// Worker threads the step fanned batch items over.
+    pub workers: usize,
+}
+
+/// One batch item's contribution to a training step, produced on whichever
+/// worker ran the item and reduced in batch order afterwards.
+struct ItemOutcome {
+    loss: f32,
+    grads: Grads,
+    report: AbftReport,
+    attn_time: Duration,
+    ffn_time: Duration,
 }
 
 /// Fine-tuning driver for one model.
@@ -40,17 +71,47 @@ pub struct Trainer {
     /// longer hold gates of their own and drift out of phase with the
     /// model's protection config.
     policy: ProtectionPolicy,
+    /// Worker threads `train_step*` fans batch items over (1 = sequential).
+    parallelism: usize,
+    /// Pool sized to `parallelism`, built once per knob change (real rayon
+    /// spawns OS threads at build time — rebuilding per step would pay
+    /// spawn/join on every training step).
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl Trainer {
-    /// Build a trainer with the given learning rate.
+    /// Build a trainer with the given learning rate. Steps run
+    /// sequentially until [`Self::set_parallelism`] raises the worker
+    /// count.
     pub fn new(model: TransformerModel, lr: f32) -> Self {
         let policy = ProtectionPolicy::new(model.blocks[0].attn.protection);
         Self {
             model,
             optim: AdamW::new(lr),
             policy,
+            parallelism: 1,
+            pool: None,
         }
+    }
+
+    /// Fan batch items of every training step over `workers` threads
+    /// (clamped to ≥ 1). Any setting produces bit-identical losses and
+    /// parameter updates — the per-item gradient buffers are reduced in
+    /// batch order regardless of scheduling — so this is purely a
+    /// throughput knob.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+        self.pool = (self.parallelism > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.parallelism)
+                .build()
+                .expect("train-step thread pool")
+        });
+    }
+
+    /// Worker threads training steps fan out over.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Change the protection config on every attention layer *and* the
@@ -90,6 +151,14 @@ impl Trainer {
 
     /// One training step, optionally injecting a fault into the forward
     /// pass of batch item `inject.0`.
+    ///
+    /// Batch items run concurrently over [`Self::parallelism`] workers;
+    /// each item forwards and backwards against the shared model with its
+    /// own activation tape, ABFT report, and gradient buffer (the per-item
+    /// isolation pattern of `ProtectedAttention::forward_batch_with`, so
+    /// an injection strikes only its target item). Per-item results are
+    /// reduced in batch order, making the step bit-identical to the
+    /// sequential schedule at any worker count.
     pub fn train_step_injected(
         &mut self,
         batch: &[&Example],
@@ -97,39 +166,75 @@ impl Trainer {
     ) -> StepOutcome {
         assert!(!batch.is_empty());
         let toggles = self.next_toggles();
+        let workers = self.parallelism.min(batch.len());
         let t0 = Instant::now();
-        self.model.reset_step_timers();
 
-        let mut report = AbftReport::default();
-        let mut loss_sum = 0.0f32;
         let inv = 1.0 / batch.len() as f32;
-        for (bi, ex) in batch.iter().enumerate() {
+        let model = &self.model;
+        let run_item = |bi: usize| -> ItemOutcome {
+            let ex = batch[bi];
             let spec = match &inject {
-                Some((target, spec)) if *target == bi => Some(spec),
+                Some((target, spec)) if *target == bi => Some(*spec),
                 _ => None,
             };
-            let logits = self
-                .model
-                .forward_example(&ex.tokens, toggles, spec, &mut report);
+            let mut report = AbftReport::default();
+            let (logits, tape) =
+                model.forward_tape(&ex.tokens, toggles, spec.as_ref(), &mut report);
             let (loss, dlogits) = cross_entropy(&logits, ex.label);
-            loss_sum += loss;
-            self.model.backward_example(&dlogits.scaled(inv));
+            let mut grads = Grads::new();
+            model.backward_tape(&dlogits.scaled(inv), &tape, &mut grads);
+            ItemOutcome {
+                loss,
+                grads,
+                report,
+                attn_time: tape.attn_time,
+                ffn_time: tape.ffn_time,
+            }
+        };
+        let items: Vec<ItemOutcome> = if workers <= 1 {
+            (0..batch.len()).map(run_item).collect()
+        } else {
+            // The shim's `collect` reassembles results in input order, so
+            // scheduling cannot reorder the reduction below.
+            let pool = self.pool.as_ref().expect("pool built by set_parallelism");
+            pool.install(|| (0..batch.len()).into_par_iter().map(run_item).collect())
+        };
+
+        // Deterministic fixed-order reduction: batch order, always.
+        let mut report = AbftReport::default();
+        let mut item_reports = Vec::with_capacity(items.len());
+        let mut loss_sum = 0.0f32;
+        let mut attention_time = Duration::ZERO;
+        let mut ffn_time = Duration::ZERO;
+        for item in &items {
+            loss_sum += item.loss;
+            report.merge(&item.report);
+            item_reports.push(item.report.clone());
+            attention_time += item.attn_time;
+            ffn_time += item.ffn_time;
         }
-        self.optim.step(&mut self.model);
+        self.optim
+            .step_batched(&mut self.model, items.into_iter().map(|i| i.grads));
 
         let loss = loss_sum * inv;
         let params_ok = self.model.params_finite();
         StepOutcome {
             loss,
             report,
+            item_reports,
             non_trainable: loss.is_nan() || !params_ok,
             step_time: t0.elapsed(),
-            attention_time: self.model.attn_elapsed,
-            ffn_time: self.model.ffn_elapsed,
+            attention_time,
+            ffn_time,
+            workers,
         }
     }
 
-    /// Train one epoch; returns the mean loss across batches.
+    /// Train one epoch; returns the mean per-example loss.
+    ///
+    /// Weighted by example count, not by batch: averaging batch means
+    /// would over-weight a short final batch (e.g. 17 examples at batch
+    /// size 8 → the 1-example tail counting as much as a full batch).
     pub fn train_epoch(
         &mut self,
         dataset: &SyntheticMrpc,
@@ -141,8 +246,8 @@ impl Trainer {
         let mut n = 0usize;
         for batch in &batches {
             let out = self.train_step(batch);
-            sum += out.loss;
-            n += 1;
+            sum += out.loss * batch.len() as f32;
+            n += batch.len();
         }
         sum / n.max(1) as f32
     }
@@ -158,12 +263,7 @@ impl Trainer {
                     .forward_example(&ex.tokens, SectionToggles::none(), None, &mut report);
             let (loss, _) = cross_entropy(&logits, ex.label);
             loss_sum += loss;
-            let pred = if logits[(0, 1)] > logits[(0, 0)] {
-                1
-            } else {
-                0
-            };
-            if pred == ex.label {
+            if argmax_row(logits.row(0)) == ex.label {
                 correct += 1;
             }
         }
@@ -172,6 +272,19 @@ impl Trainer {
             correct as f32 / dataset.len() as f32,
         )
     }
+}
+
+/// Index of the row maximum (first occurrence wins; NaNs never win). Works
+/// for any class count — the prediction rule for `num_classes != 2` models
+/// as well as the binary MRPC head.
+fn argmax_row(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] || row[best].is_nan() {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -292,10 +405,142 @@ mod tests {
         let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
         let batch: Vec<&Example> = ds.examples.iter().take(2).collect();
         let out = tr.train_step(&batch);
+        assert_eq!(out.workers, 1);
         assert!(out.step_time > Duration::ZERO);
         assert!(out.attention_time > Duration::ZERO);
         assert!(out.ffn_time > Duration::ZERO);
+        // Sequential mode: busy time is wall time, so it fits in the step.
         assert!(out.attention_time + out.ffn_time <= out.step_time);
+    }
+
+    #[test]
+    fn timers_are_populated_in_parallel_mode() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        tr.set_parallelism(4);
+        let batch: Vec<&Example> = ds.examples.iter().take(8).collect();
+        let out = tr.train_step(&batch);
+        assert_eq!(out.workers, 4);
+        assert!(out.step_time > Duration::ZERO);
+        assert!(out.attention_time > Duration::ZERO);
+        assert!(out.ffn_time > Duration::ZERO);
+        // Parallel mode: per-item busy times overlap, so their sum may
+        // exceed the wall step time but never step_time × workers (each
+        // worker's busy window fits inside the step).
+        assert!(out.attention_time + out.ffn_time <= out.step_time * out.workers as u32);
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_to_one() {
+        let (mut tr, _, _) = tiny_trainer(ProtectionConfig::off());
+        assert_eq!(tr.parallelism(), 1);
+        tr.set_parallelism(0);
+        assert_eq!(tr.parallelism(), 1);
+        tr.set_parallelism(3);
+        assert_eq!(tr.parallelism(), 3);
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_sequential() {
+        let (mut seq, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let (mut par, _, _) = tiny_trainer(ProtectionConfig::full());
+        par.set_parallelism(4);
+        let batch: Vec<&Example> = ds.examples.iter().take(8).collect();
+        for step in 0..3 {
+            let a = seq.train_step(&batch);
+            let b = par.train_step(&batch);
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "step {step}: loss bits diverged"
+            );
+            assert_eq!(a.report, b.report, "step {step}: reports diverged");
+        }
+        let mut pa = Vec::new();
+        seq.model.visit_params(&mut |p| pa.push(p.value.clone()));
+        let mut pb = Vec::new();
+        par.model.visit_params(&mut |p| pb.push(p.value.clone()));
+        for (a, b) in pa.iter().zip(&pb) {
+            let bits_equal = a
+                .data()
+                .iter()
+                .zip(b.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(bits_equal, "parameter bits diverged between schedules");
+        }
+    }
+
+    #[test]
+    fn injected_fault_report_is_localised_to_its_item() {
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        tr.set_parallelism(4);
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let spec = InjectionSpec {
+            layer: 0,
+            op: AttnOp::K,
+            head: 1,
+            row: 2,
+            col: 5,
+            kind: FaultKind::Inf,
+        };
+        let out = tr.train_step_injected(&batch, Some((2, spec)));
+        assert_eq!(out.item_reports.len(), 4);
+        assert!(out.item_reports[2].correction_count() > 0);
+        for (i, r) in out.item_reports.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_quiet(), "bystander item {i} reported activity: {r}");
+            }
+        }
+        assert_eq!(
+            out.report.correction_count(),
+            out.item_reports[2].correction_count()
+        );
+    }
+
+    #[test]
+    fn train_epoch_weights_by_example_count() {
+        // Batch size 5 over 16 examples → 5+5+5+1: the 1-example tail must
+        // carry 1/16 of the epoch mean, not 1/4.
+        let (mut a, ds, mut rng) = tiny_trainer(ProtectionConfig::off());
+        let (mut b, _, _) = tiny_trainer(ProtectionConfig::off());
+        let mut rng_twin = rng.clone();
+        let epoch = a.train_epoch(&ds, 5, &mut rng);
+        let mut sum = 0.0f32;
+        let mut n = 0usize;
+        for batch in &ds.batches(5, &mut rng_twin) {
+            let out = b.train_step(batch);
+            sum += out.loss * batch.len() as f32;
+            n += batch.len();
+        }
+        assert_eq!(n, ds.len());
+        assert_eq!(epoch.to_bits(), (sum / n as f32).to_bits());
+    }
+
+    #[test]
+    fn argmax_row_picks_maximum_not_hardcoded_class() {
+        assert_eq!(argmax_row(&[0.1, 0.9]), 1);
+        assert_eq!(argmax_row(&[0.9, 0.1]), 0);
+        assert_eq!(argmax_row(&[-3.0, -1.0, -2.0]), 1);
+        assert_eq!(argmax_row(&[1.0, 2.0, 5.0, 0.0]), 2);
+        // Ties keep the earliest index (the old 2-class rule's behaviour).
+        assert_eq!(argmax_row(&[2.0, 2.0]), 0);
+        // NaN never wins over a finite value.
+        assert_eq!(argmax_row(&[f32::NAN, 1.0, 0.5]), 1);
+    }
+
+    #[test]
+    fn evaluate_handles_more_than_two_classes() {
+        let mut rng = TensorRng::seed_from(23);
+        let mut cfg = ModelConfig::bert_small();
+        cfg.hidden = 16;
+        cfg.heads = 2;
+        cfg.layers = 1;
+        cfg.num_classes = 4;
+        let model = TransformerModel::new(cfg, ProtectionConfig::off(), &mut rng);
+        let mut tr = Trainer::new(model, 1e-3);
+        let ds = SyntheticMrpc::generate(8, 256, 16, 5);
+        let (loss, acc) = tr.evaluate(&ds);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert!((0.0..=1.0).contains(&acc));
     }
 
     #[test]

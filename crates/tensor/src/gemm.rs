@@ -81,17 +81,14 @@ pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     let row_kernel = |i: usize, c_row: &mut [f32]| {
         // ikj ordering: stream B rows, accumulate into the C row.
         // Vectorises well and keeps B traffic sequential.
+        //
+        // Zero A elements are NOT skipped: sparsity shortcuts would mask
+        // NaN/INF propagation (0 * NaN = NaN), and the fault studies rely
+        // on these kernels having faithful IEEE-754 semantics.
         for kb in (0..k).step_by(KC) {
             let kend = (kb + KC).min(k);
             for kk in kb..kend {
                 let aik = a_data[i * k + kk];
-                if aik == 0.0 {
-                    // Skipping zero contributions would be a throughput win
-                    // but would *mask* NaN propagation (0 * NaN = NaN), so we
-                    // only skip when the B row is also finite-irrelevant.
-                    // Fault-tolerance studies need faithful IEEE semantics:
-                    // do not skip.
-                }
                 let b_row = &b_data[kk * n..kk * n + n];
                 for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                     *cv += aik * bv;

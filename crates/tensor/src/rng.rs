@@ -9,6 +9,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Seeded RNG wrapper with matrix-initialisation conveniences.
+///
+/// `Clone` snapshots the stream state: a clone replays the same sequence
+/// as the original from the point of cloning (used by tests that need a
+/// twin of an already-advanced stream).
+#[derive(Clone)]
 pub struct TensorRng {
     inner: StdRng,
     /// Cached second Box–Muller output.

@@ -1,0 +1,178 @@
+//! Determinism parity suite for the data-parallel training step.
+//!
+//! The tape refactor's contract: `Trainer::train_step*` produces the
+//! **same bits** — losses, merged reports, and every post-step parameter —
+//! at any worker count, because per-item work is isolated (one tape, one
+//! report, one gradient buffer per batch item) and the reduction runs in
+//! fixed batch order regardless of how items were scheduled.
+
+use attn_fault::FaultKind;
+use attn_model::model::{InjectionSpec, ModelConfig, TransformerModel};
+use attn_model::{Example, HasParams, SyntheticMrpc, Trainer};
+use attn_tensor::rng::TensorRng;
+use attnchecker::attention::AttnOp;
+use attnchecker::config::ProtectionConfig;
+
+fn tiny() -> ModelConfig {
+    let mut c = ModelConfig::bert_base();
+    c.hidden = 32;
+    c.heads = 2;
+    c.layers = 2;
+    c
+}
+
+fn build(config: &ModelConfig, protection: ProtectionConfig, workers: usize) -> Trainer {
+    let mut rng = TensorRng::seed_from(4242);
+    let mut tr = Trainer::new(
+        TransformerModel::new(config.clone(), protection, &mut rng),
+        1e-3,
+    );
+    tr.set_parallelism(workers);
+    tr
+}
+
+fn param_bits(tr: &mut Trainer) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    tr.model.visit_params(&mut |p| {
+        out.push(p.value.data().iter().map(|v| v.to_bits()).collect());
+    });
+    out
+}
+
+/// Run `steps` clean training steps at the given worker count; returns the
+/// per-step loss bits and the final parameter bits.
+fn run_clean(workers: usize, steps: usize) -> (Vec<u32>, Vec<Vec<u32>>) {
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 9);
+    let batch: Vec<&Example> = ds.examples.iter().take(8).collect();
+    let mut tr = build(&config, ProtectionConfig::full(), workers);
+    let losses = (0..steps)
+        .map(|_| tr.train_step(&batch).loss.to_bits())
+        .collect();
+    (losses, param_bits(&mut tr))
+}
+
+#[test]
+fn clean_steps_bit_identical_at_any_thread_count() {
+    let (base_losses, base_params) = run_clean(1, 4);
+    for workers in [2, 4, 7] {
+        let (losses, params) = run_clean(workers, 4);
+        assert_eq!(
+            base_losses, losses,
+            "{workers} workers: per-step loss bits diverged from sequential"
+        );
+        assert_eq!(
+            base_params, params,
+            "{workers} workers: post-training parameter bits diverged"
+        );
+    }
+}
+
+/// One injected-fault step at the given worker count; returns the outcome
+/// plus the final parameter bits.
+fn run_injected(workers: usize) -> (attn_model::StepOutcome, Vec<Vec<u32>>) {
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 9);
+    let batch: Vec<&Example> = ds.examples.iter().take(6).collect();
+    let mut tr = build(&config, ProtectionConfig::full(), workers);
+    let spec = InjectionSpec {
+        layer: 1,
+        op: AttnOp::AS,
+        head: 1,
+        row: 3,
+        col: 7,
+        kind: FaultKind::NaN,
+    };
+    let out = tr.train_step_injected(&batch, Some((2, spec)));
+    (out, param_bits(&mut tr))
+}
+
+#[test]
+fn injected_step_bit_identical_and_report_localised() {
+    let (seq_out, seq_params) = run_injected(1);
+    let (par_out, par_params) = run_injected(4);
+
+    // The fault is absorbed identically under both schedules. Reports are
+    // compared field-by-field with value *bits*: `AbftReport`'s PartialEq
+    // would reject `NaN != NaN` on the corrupted old_value it recorded.
+    assert!(!seq_out.non_trainable && !par_out.non_trainable);
+    assert_eq!(seq_out.loss.to_bits(), par_out.loss.to_bits());
+    assert_eq!(seq_out.report.detections, par_out.report.detections);
+    assert_eq!(
+        seq_out.report.sections_checked,
+        par_out.report.sections_checked
+    );
+    assert_eq!(
+        seq_out.report.correction_count(),
+        par_out.report.correction_count()
+    );
+    for (a, b) in seq_out
+        .report
+        .corrections
+        .iter()
+        .zip(&par_out.report.corrections)
+    {
+        assert_eq!(
+            (a.section, a.head, a.row, a.col),
+            (b.section, b.head, b.row, b.col)
+        );
+        assert_eq!(a.old_value.to_bits(), b.old_value.to_bits());
+        assert_eq!(a.new_value.to_bits(), b.new_value.to_bits());
+    }
+    assert_eq!(seq_params, par_params, "post-step parameter bits diverged");
+
+    // Only the targeted batch item's report shows ABFT activity.
+    for out in [&seq_out, &par_out] {
+        assert_eq!(out.item_reports.len(), 6);
+        assert!(out.item_reports[2].correction_count() > 0);
+        assert_eq!(out.item_reports[2].unrecovered, 0);
+        for (i, r) in out.item_reports.iter().enumerate() {
+            if i != 2 {
+                assert!(r.is_quiet(), "item {i} perturbed by item 2's fault: {r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn frequency_gated_schedule_advances_identically_in_parallel() {
+    // The frequency gates tick once per *step* (not per item or worker),
+    // so a gated config must check/skip the same sections under both
+    // schedules, step for step.
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(16, config.vocab, 16, 9);
+    let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+    let mut seq = build(
+        &config,
+        ProtectionConfig::with_frequencies(0.5, 0.5, 0.5),
+        1,
+    );
+    let mut par = build(
+        &config,
+        ProtectionConfig::with_frequencies(0.5, 0.5, 0.5),
+        4,
+    );
+    for step in 0..4 {
+        let a = seq.train_step(&batch);
+        let b = par.train_step(&batch);
+        assert_eq!(
+            a.report.sections_checked, b.report.sections_checked,
+            "step {step}"
+        );
+        assert_eq!(
+            a.report.sections_skipped, b.report.sections_skipped,
+            "step {step}"
+        );
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "step {step}");
+    }
+}
+
+#[test]
+fn workers_never_exceed_batch_size() {
+    let config = tiny();
+    let ds = SyntheticMrpc::generate(4, config.vocab, 16, 9);
+    let batch: Vec<&Example> = ds.examples.iter().take(2).collect();
+    let mut tr = build(&config, ProtectionConfig::off(), 16);
+    let out = tr.train_step(&batch);
+    assert_eq!(out.workers, 2, "fan-out wider than the batch is waste");
+}

@@ -11,6 +11,8 @@
 //! `collect` semantics; combined with the per-trial seed derivation in
 //! `attn_fault::campaign`, outputs are independent of scheduling order.
 
+use std::cell::Cell;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -20,8 +22,19 @@ pub mod prelude {
     };
 }
 
-/// Worker count: one per logical CPU, overridable via `RAYON_NUM_THREADS`.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of its closure (the shim's analogue of running inside a
+    /// sized pool).
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count: one per logical CPU, overridable via `RAYON_NUM_THREADS`,
+/// and further overridden inside a [`ThreadPool::install`] scope.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
+        return n;
+    }
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.parse::<usize>() {
             if n >= 1 {
@@ -32,6 +45,76 @@ pub fn current_num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Builder for a sized [`ThreadPool`] (API-compatible subset of rayon's).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default (auto) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the pool's worker count (rayon convention: 0 means auto).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. The shim spawns workers per parallel call rather
+    /// than up front, so building never fails; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// Error type mirroring rayon's (the shim never produces it).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A sized worker pool. The shim holds no threads of its own: `install`
+/// scopes a worker-count override that the parallel iterators read when
+/// they fan out, so nested pools compose and the override cannot leak.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` with every parallel iterator inside it fanning out over
+    /// this pool's worker count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        // Restore on unwind too, so a panicking closure cannot leave the
+        // override stuck on this thread.
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.threads))));
+        f()
+    }
 }
 
 /// Run `f(index, item)` for every item, fanning out over a scoped thread
@@ -309,5 +392,45 @@ mod tests {
         let mut data = [0u8; 10];
         data.par_chunks_mut(4).for_each(|c| c.fill(7));
         assert!(data.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn thread_pool_install_scopes_worker_count() {
+        let outer = crate::current_num_threads();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(crate::current_num_threads(), 3);
+            let inner = crate::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap();
+            inner.install(|| assert_eq!(crate::current_num_threads(), 2));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+        assert_eq!(crate::current_num_threads(), outer);
+    }
+
+    #[test]
+    fn thread_pool_zero_means_auto() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn install_restores_override_on_panic() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(99_999)
+            .build()
+            .unwrap();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_ne!(crate::current_num_threads(), 99_999);
     }
 }
