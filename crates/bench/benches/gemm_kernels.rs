@@ -1,0 +1,68 @@
+//! Criterion bench for the packed register-tiled GEMM kernels: naive vs
+//! tiled vs fused-encode, over sizes spanning attention (per-head scores,
+//! hidden projections) and FFN (expansion) shapes. The `bench_gemm` binary
+//! emits the machine-readable `BENCH_gemm.json` companion.
+
+use attn_tensor::gemm::{gemm_encode_cols_into, matmul, matmul_naive, matmul_nt};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(5);
+    let mut group = c.benchmark_group("gemm");
+    for &(m, k, n) in &[
+        (64, 64, 64),
+        (128, 128, 128),
+        (64, 512, 128),
+        (256, 256, 256),
+    ] {
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        group.throughput(Throughput::Elements(2 * (m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| black_box(matmul_naive(black_box(a), black_box(b)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tiled", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| black_box(matmul(black_box(a), black_box(b)))),
+        );
+        let mut c_aug = Matrix::zeros(m + 2, n);
+        group.bench_with_input(
+            BenchmarkId::new("fused-encode", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| {
+                bch.iter(|| {
+                    gemm_encode_cols_into(black_box(a).view(), b.view(), c_aug.view_mut());
+                    black_box(&c_aug);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nt_k_heavy(c: &mut Criterion) {
+    let mut rng = TensorRng::seed_from(9);
+    let mut group = c.benchmark_group("gemm_nt_k_heavy");
+    // The shape class the old NT kernel streamed unblocked: modest output,
+    // large inner dimension (e.g. dY·Wᵀ in a wide FFN backward).
+    for &(m, k, n) in &[(64, 2048, 64), (96, 3072, 96)] {
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(n, k, -1.0, 1.0);
+        group.throughput(Throughput::Elements(2 * (m * n * k) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("tiled-nt", format!("{m}x{k}x{n}")),
+            &(&a, &b),
+            |bch, (a, b)| bch.iter(|| black_box(matmul_nt(black_box(a), black_box(b)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_nt_k_heavy);
+criterion_main!(benches);

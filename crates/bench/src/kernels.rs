@@ -1,0 +1,56 @@
+//! Shared kernel-level measurements: the fused-vs-standalone encoding
+//! comparison used by both `bench_gemm` (machine-readable floors) and
+//! `fig9_encoding_throughput` (human-readable table), so the definition of
+//! the "standalone" baseline can never diverge between the two.
+
+use crate::timing::measure;
+use attn_tensor::gemm::{gemm_encode_cols_into, matmul};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use attnchecker::checksum::col_checksums;
+use std::hint::black_box;
+
+/// One fused-vs-standalone encoding measurement at a GEMM shape.
+#[derive(Debug, Clone, Copy)]
+pub struct EncodeOverhead {
+    /// Fastest plain (unprotected) product time, milliseconds.
+    pub plain_ms: f64,
+    /// Overhead ratio of fused encode-in-GEMM vs the plain product.
+    pub fused: f64,
+    /// Overhead ratio of standalone encode-then-GEMM (sweep + augmented
+    /// copy + bigger GEMM — what every section entry paid before fusion)
+    /// vs the plain product.
+    pub standalone: f64,
+}
+
+/// Measure the `m×k×n` column-encoding overhead pair (fastest-run
+/// statistics over `trials` measured runs).
+pub fn measure_encode_overhead(
+    m: usize,
+    k: usize,
+    n: usize,
+    trials: usize,
+    seed: u64,
+) -> EncodeOverhead {
+    let mut rng = TensorRng::seed_from(seed);
+    let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+    let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+    let mut c_aug = Matrix::zeros(m + 2, n);
+    let plain = measure(2, trials, || {
+        black_box(matmul(black_box(&a), &b));
+    });
+    let fused = measure(2, trials, || {
+        gemm_encode_cols_into(black_box(&a).view(), b.view(), c_aug.view_mut());
+        black_box(&c_aug);
+    });
+    let standalone = measure(2, trials, || {
+        let cs = col_checksums(black_box(&a));
+        let aug = a.vstack(&cs);
+        black_box(matmul(&aug, &b));
+    });
+    EncodeOverhead {
+        plain_ms: plain.min.as_secs_f64() * 1e3,
+        fused: fused.min.as_secs_f64() / plain.min.as_secs_f64() - 1.0,
+        standalone: standalone.min.as_secs_f64() / plain.min.as_secs_f64() - 1.0,
+    }
+}

@@ -21,11 +21,13 @@
 //! | `fig12_scale_projection` | Fig 12 — multi-billion-parameter scale |
 //! | `sec55_correction_cost` | §5.5 — correction-path overheads |
 
+pub mod kernels;
 pub mod setup;
 pub mod stepbench;
 pub mod table;
 pub mod timing;
 
+pub use kernels::{measure_encode_overhead, EncodeOverhead};
 pub use setup::{build_trainer, dataset_for, dataset_full_seq, trials_from_env};
 pub use stepbench::{measure_interleaved, StepTimes};
 pub use table::TextTable;

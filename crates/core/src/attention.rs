@@ -5,7 +5,8 @@
 //! The six attention GEMMs are grouped into sections so that every section
 //! tolerates one fault, wherever it strikes:
 //!
-//! * **S_AS** `{X·W_Q, X·W_K, Q·Kᵀ}` — `X` is column-encoded once; `Q` and
+//! * **S_AS** `{X·W_Q, X·W_K, Q·Kᵀ}` — `X`'s column encoding rides inside
+//!   the projection GEMMs' packing pass (fused entry, §4.6); `Q` and
 //!   `K` inherit column checksums through the fused GEMMs; `AS = Q·Kᵀ`
 //!   arrives with *both* borders (K's column checksums transpose into AS's
 //!   row checksums). Detection is **delayed** to AS: a 0D fault in `Q`
@@ -29,7 +30,6 @@ use crate::checked::CheckedMatrix;
 use crate::config::ProtectionConfig;
 use crate::report::{AbftReport, SectionId};
 use crate::section::{replay_nn, ForwardCtx, GuardedSection};
-use attn_tensor::gemm;
 use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
@@ -326,11 +326,12 @@ impl ProtectedAttention {
             GuardedSection::begin(SectionId::Output, &self.config, ctx.toggles.s_o, ctx.report);
 
         // ------------------------------------------------ section S_AS
-        // X is column-encoded once; Q and K inherit the checksums through
-        // their projection GEMMs.
-        let xc = s_as.encode_cols(x);
-        let mut q = s_as.gemm(&xc, &s_as.operand(&w.wq));
-        let mut k = s_as.gemm(&xc, &s_as.operand(&w.wk));
+        // X enters the section through fused encode-and-multiply: its
+        // column-checksum projections accumulate inside each projection
+        // GEMM's packing pass, and Q and K inherit the riding checksums —
+        // no standalone encode sweep over X, no augmented copy.
+        let mut q = s_as.gemm_encode_cols(x, &s_as.operand(&w.wq));
+        let mut k = s_as.gemm_encode_cols(x, &s_as.operand(&w.wk));
         q.add_bias(&w.bq);
         k.add_bias(&w.bk);
         ctx.fire(
@@ -370,7 +371,7 @@ impl ProtectedAttention {
         }
 
         let mut scores_cache = Vec::with_capacity(heads);
-        let mut ap_checked: Vec<CheckedMatrix> = Vec::with_capacity(heads);
+        let mut ap_mats: Vec<Matrix> = Vec::with_capacity(heads);
         for h in 0..heads {
             let qh = q.slice_cols(h * d, (h + 1) * d);
             let kh = k.slice_cols(h * d, (h + 1) * d);
@@ -393,21 +394,24 @@ impl ProtectedAttention {
                 }
                 let lo = h * d;
                 det.refine(&mut as_h, |r, c| {
-                    gemm::dot(&q.logical_row(r)[lo..lo + d], &k.logical_row(c)[lo..lo + d]) * scale
+                    replay_nn(&q.logical_row(r)[lo..lo + d], |kk| {
+                        k.logical_row(c)[lo + kk]
+                    }) * scale
                 });
             }
             det.absorb(ctx.report);
 
             // Leave the checksummed region: mask + softmax are nonlinear.
-            // The re-encoded AP is S_CL's left operand.
-            let ap_c = s_cl.exit_reencode_cols(&as_h, |as_mat| {
+            // AP stays plain here; its re-encoding rides inside the fused
+            // `AP·V` GEMM that re-enters S_CL below.
+            let ap_m = s_cl.exit_cols(&as_h, |as_mat| {
                 if let Some(m) = mask {
                     apply_additive_mask(as_mat, m);
                 }
                 scores_cache.push(as_mat.clone());
                 softmax_rows_inplace(as_mat);
             });
-            ap_checked.push(ap_c);
+            ap_mats.push(ap_m);
         }
 
         // ------------------------------------------------ section S_CL
@@ -417,7 +421,10 @@ impl ProtectedAttention {
         for h in 0..heads {
             let wv_h = w.wv.submatrix(0, w.hidden, h * d, (h + 1) * d);
             let bv_h = &w.bv[h * d..(h + 1) * d];
-            let mut v_h = s_cl.gemm(&x_plain, &s_cl.encode_rows(&wv_h));
+            // W_V's per-head slice enters through the row-side fused
+            // encode: its row-checksum projections accumulate inside the
+            // `X·W_V` packing pass and ride into V.
+            let mut v_h = s_cl.gemm_encode_rows(&x_plain, &wv_h);
             v_h.add_bias(bv_h);
             ctx.fire(
                 FaultSite {
@@ -436,7 +443,10 @@ impl ProtectedAttention {
                 heal_v(&mut v_h, ctx.report);
             }
 
-            let mut cl_h = s_cl.gemm(&ap_checked[h], &v_h);
+            // AP re-enters the checksummed region inside the fused GEMM:
+            // its column encoding (the old standalone re-encode sweep
+            // after softmax) accumulates in this product's packing pass.
+            let mut cl_h = s_cl.gemm_encode_cols(&ap_mats[h], &v_h);
             ctx.fire(
                 FaultSite {
                     op: AttnOp::CL,
@@ -450,10 +460,8 @@ impl ProtectedAttention {
                     // Heal the cached V the same way Q/K are healed.
                     heal_v(&mut v_h, ctx.report);
                 }
-                let ap = &ap_checked[h];
-                det.refine(&mut cl_h, |r, c| {
-                    replay_nn(ap.logical_row(r), |kk| v_h.get(kk, c))
-                });
+                let ap = &ap_mats[h];
+                det.refine(&mut cl_h, |r, c| replay_nn(ap.row(r), |kk| v_h.get(kk, c)));
             }
             det.absorb(ctx.report);
             v_cols.push(v_h.logical());
@@ -462,8 +470,9 @@ impl ProtectedAttention {
         let cl_merged = CheckedMatrix::concat_cols(&cl_blocks);
 
         // ------------------------------------------------ section S_O
-        let cl_for_o = s_o.adopt_cols(&cl_merged);
-        let mut o = s_o.gemm(&cl_for_o, &s_o.operand(&w.wo));
+        // CL is inherited from S_CL: ride its checksums when present,
+        // fused-encode on entry when S_O is active but S_CL was skipped.
+        let mut o = s_o.gemm_adopt_cols(&cl_merged, &s_o.operand(&w.wo));
         o.add_bias(&w.bo);
         ctx.fire(
             FaultSite {
@@ -475,7 +484,7 @@ impl ProtectedAttention {
         let mut det = s_o.detect(&mut o, usize::MAX);
         if det.fixes() > 0 {
             det.refine(&mut o, |r, c| {
-                replay_nn(cl_for_o.logical_row(r), |kk| w.wo[(kk, c)]) + w.bo[c]
+                replay_nn(cl_merged.logical_row(r), |kk| w.wo[(kk, c)]) + w.bo[c]
             });
         }
         det.absorb(ctx.report);
@@ -489,8 +498,6 @@ impl ProtectedAttention {
                 v_mat.row_mut(r)[h * d..(h + 1) * d].copy_from_slice(vh.row(r));
             }
         }
-        let ap_cache: Vec<Matrix> = ap_checked.iter().map(|m| m.logical()).collect();
-
         AttnForward {
             output: o.logical(),
             cache: AttnCache {
@@ -499,7 +506,7 @@ impl ProtectedAttention {
                 k: k_mat,
                 v: v_mat,
                 scores: scores_cache,
-                ap: ap_cache,
+                ap: ap_mats,
                 cl: cl_merged.logical(),
             },
         }

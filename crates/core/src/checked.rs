@@ -46,12 +46,17 @@ pub struct CheckedMatrix {
 impl CheckedMatrix {
     /// Wrap a plain matrix with no checksums.
     pub fn from_plain(data: &Matrix) -> Self {
+        Self::from_plain_owned(data.clone())
+    }
+
+    /// Wrap an owned plain matrix with no checksums (no copy).
+    pub fn from_plain_owned(data: Matrix) -> Self {
         Self {
             rows: data.rows(),
             cols: data.cols(),
             has_col_cs: false,
             has_row_cs: false,
-            buf: data.clone(),
+            buf: data,
         }
     }
 
@@ -271,6 +276,108 @@ impl CheckedMatrix {
             cols: other.rows,
             has_col_cs: self.has_col_cs,
             has_row_cs: other.has_col_cs,
+            buf,
+        }
+    }
+
+    /// Plain-left product `A · B` over a borrowed plain matrix: the
+    /// no-entry counterpart of [`Self::matmul_encode_cols`], used by
+    /// inactive sections so the operand is never cloned into a wrap.
+    /// `B`'s row checksums (if any) still ride through.
+    ///
+    /// # Panics
+    /// Panics if `b` carries column checksums or on dimension mismatch.
+    pub fn matmul_plain(a: &Matrix, b: &CheckedMatrix) -> CheckedMatrix {
+        assert!(
+            !b.has_col_cs,
+            "matmul_plain: right operand must not carry column checksums"
+        );
+        assert_eq!(a.cols(), b.rows, "matmul_plain: inner dimension");
+        let mut buf = Matrix::zeros(a.rows(), b.buf.cols());
+        gemm::matmul_into(a.view(), b.buf.view(), buf.view_mut());
+        CheckedMatrix {
+            rows: a.rows(),
+            cols: b.cols,
+            has_col_cs: false,
+            has_row_cs: b.has_row_cs,
+            buf,
+        }
+    }
+
+    /// Plain-right counterpart of [`Self::matmul_plain`]: `A · B` over a
+    /// borrowed plain right operand (no wrap, no clone); `A`'s column
+    /// checksums (if any) still ride through.
+    ///
+    /// # Panics
+    /// Panics if `a` carries row checksums or on dimension mismatch.
+    pub fn matmul_plain_rhs(a: &CheckedMatrix, b: &Matrix) -> CheckedMatrix {
+        assert!(
+            !a.has_row_cs,
+            "matmul_plain_rhs: left operand must not carry row checksums"
+        );
+        assert_eq!(a.cols, b.rows(), "matmul_plain_rhs: inner dimension");
+        let mut buf = Matrix::zeros(a.buf.rows(), b.cols());
+        gemm::matmul_into(a.buf.view(), b.view(), buf.view_mut());
+        CheckedMatrix {
+            rows: a.rows,
+            cols: b.cols(),
+            has_col_cs: a.has_col_cs,
+            has_row_cs: false,
+            buf,
+        }
+    }
+
+    /// Fused encode-and-multiply: the column-checksummed product
+    /// `[A; v1ᵀA; v2ᵀA] · B` computed in one kernel pass over *plain* `a`.
+    ///
+    /// Bit-identical to `CheckedMatrix::encode_cols(a, Fused).matmul(b)` —
+    /// the encoder block contract guarantees the checksum projections, and
+    /// per-element independence guarantees the data region — but without
+    /// the standalone encode sweep over `a` or the augmented-copy
+    /// allocation: the projections accumulate inside the GEMM's packing
+    /// pass (`attn_tensor::gemm::gemm_encode_cols_into`). `b`'s row
+    /// checksums (if any) ride through as usual, corner included.
+    ///
+    /// # Panics
+    /// Panics if `b` carries column checksums or on dimension mismatch.
+    pub fn matmul_encode_cols(a: &Matrix, b: &CheckedMatrix) -> CheckedMatrix {
+        assert!(
+            !b.has_col_cs,
+            "matmul_encode_cols: right operand must not carry column checksums"
+        );
+        assert_eq!(a.cols(), b.rows, "matmul_encode_cols: inner dimension");
+        let mut buf = Matrix::zeros(a.rows() + 2, b.buf.cols());
+        gemm::gemm_encode_cols_into(a.view(), b.buf.view(), buf.view_mut());
+        CheckedMatrix {
+            rows: a.rows(),
+            cols: b.cols,
+            has_col_cs: true,
+            has_row_cs: b.has_row_cs,
+            buf,
+        }
+    }
+
+    /// Fused encode-and-multiply, row side: the row-checksummed product
+    /// `A · [B | B·v1 | B·v2]` computed in one kernel pass over *plain*
+    /// `b`. Bit-identical to `a.matmul(&CheckedMatrix::encode_rows(b,
+    /// Fused))` without the standalone encode sweep over `b`. `a`'s column
+    /// checksums (if any) ride through, corner included.
+    ///
+    /// # Panics
+    /// Panics if `a` carries row checksums or on dimension mismatch.
+    pub fn matmul_encode_rows(a: &CheckedMatrix, b: &Matrix) -> CheckedMatrix {
+        assert!(
+            !a.has_row_cs,
+            "matmul_encode_rows: left operand must not carry row checksums"
+        );
+        assert_eq!(a.cols, b.rows(), "matmul_encode_rows: inner dimension");
+        let mut buf = Matrix::zeros(a.buf.rows(), b.cols() + 2);
+        gemm::gemm_encode_rows_into(a.buf.view(), b.view(), buf.view_mut());
+        CheckedMatrix {
+            rows: a.rows,
+            cols: b.cols(),
+            has_col_cs: a.has_col_cs,
+            has_row_cs: true,
             buf,
         }
     }
@@ -636,6 +743,51 @@ mod tests {
             .matmul_nt(&ck)
             .buf()
             .approx_eq(cq.matmul_nt_separate(&ck).buf(), 1e-4, 1e-4));
+    }
+
+    #[test]
+    fn fused_encode_cols_is_bit_identical_to_encode_then_gemm() {
+        let mut rng = TensorRng::seed_from(31);
+        // Sizes straddling the MC row-block and KC k-block edges, plus a
+        // row-checksummed right operand (corner case included).
+        for &(m, k, n) in &[(1, 1, 1), (6, 8, 5), (70, 150, 9), (130, 260, 33)] {
+            let a = rand(&mut rng, m, k);
+            let b = rand(&mut rng, k, n);
+            let cb = CheckedMatrix::encode_rows(&b, Strategy::Fused);
+            for rhs in [CheckedMatrix::from_plain(&b), cb] {
+                let fused = CheckedMatrix::matmul_encode_cols(&a, &rhs);
+                let staged = CheckedMatrix::encode_cols(&a, Strategy::Fused).matmul(&rhs);
+                assert_eq!(fused.buf(), staged.buf(), "{m}x{k}x{n}");
+                assert_eq!(fused.has_row_checksums(), staged.has_row_checksums());
+                assert!(fused.has_col_checksums());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_encode_rows_is_bit_identical_to_encode_then_gemm() {
+        let mut rng = TensorRng::seed_from(37);
+        for &(m, k, n) in &[(1, 1, 1), (5, 9, 6), (9, 140, 80), (33, 70, 130)] {
+            let a = rand(&mut rng, m, k);
+            let b = rand(&mut rng, k, n);
+            let ca = CheckedMatrix::encode_cols(&a, Strategy::Fused);
+            for lhs in [CheckedMatrix::from_plain(&a), ca] {
+                let fused = CheckedMatrix::matmul_encode_rows(&lhs, &b);
+                let staged = lhs.matmul(&CheckedMatrix::encode_rows(&b, Strategy::Fused));
+                assert_eq!(fused.buf(), staged.buf(), "{m}x{k}x{n}");
+                assert_eq!(fused.has_col_checksums(), staged.has_col_checksums());
+                assert!(fused.has_row_checksums());
+            }
+        }
+    }
+
+    #[test]
+    fn from_plain_owned_avoids_reencoding() {
+        let mut rng = TensorRng::seed_from(41);
+        let a = rand(&mut rng, 3, 4);
+        let m = CheckedMatrix::from_plain_owned(a.clone());
+        assert_eq!(m.logical(), a);
+        assert!(!m.has_col_checksums() && !m.has_row_checksums());
     }
 
     #[test]

@@ -23,9 +23,18 @@
 //! * GEMM steps — [`GuardedSection::gemm`] / [`GuardedSection::gemm_nt`]
 //!   dispatch on the configured [`Strategy`] and let checksums ride through
 //!   the product.
-//! * exit-and-re-encode — [`GuardedSection::exit_reencode_cols`] leaves the
-//!   checksummed region for a nonlinear step (softmax, GELU, masking) and
-//!   re-encodes the result.
+//! * fused entry steps — [`GuardedSection::gemm_encode_cols`] /
+//!   [`GuardedSection::gemm_encode_rows`] /
+//!   [`GuardedSection::gemm_adopt_cols`] enter the checksummed region *in*
+//!   the GEMM: the operand's encoding accumulates inside the kernel's
+//!   packing pass (paper §4.6), bit-identical to encode-then-multiply but
+//!   without the standalone sweep. This is how `S_AS`, `S_CL`, `S_O` and
+//!   `S_FFN` run on the hot path.
+//! * exit-and-re-encode — [`GuardedSection::exit_cols`] leaves the
+//!   checksummed region for a nonlinear step (softmax, GELU, masking),
+//!   returning plain data whose re-encoding rides in the next fused GEMM;
+//!   [`GuardedSection::exit_reencode_cols`] is the eager variant for
+//!   callers that need the encoded matrix itself.
 //! * detection — [`GuardedSection::detect`] runs the two-sided correction
 //!   protocol and returns a [`Detection`] that the caller refines to exact
 //!   bits ([`Detection::refine`]) and folds into the report
@@ -226,6 +235,84 @@ impl GuardedSection {
         }
     }
 
+    /// Fused encode-and-multiply entry step: equivalent to
+    /// `self.gemm(&self.encode_cols(a), b)` — bit for bit — but under
+    /// [`Strategy::Fused`] the encode sweep rides inside the GEMM's
+    /// packing pass ([`CheckedMatrix::matmul_encode_cols`]), so entering a
+    /// section costs no standalone pass over the operand and no augmented
+    /// copy. Under [`Strategy::Separate`] it reproduces the unfused
+    /// baseline (naive two-pass encode + separate checksum kernels), and
+    /// it degrades to the plain product when the section is inactive.
+    pub fn gemm_encode_cols(&self, a: &Matrix, b: &CheckedMatrix) -> CheckedMatrix {
+        if !self.active {
+            // Borrowed plain product: no wrap, no operand clone.
+            return CheckedMatrix::matmul_plain(a, b);
+        }
+        match self.strategy {
+            Strategy::Fused => CheckedMatrix::matmul_encode_cols(a, b),
+            Strategy::Separate => {
+                CheckedMatrix::encode_cols(a, Strategy::Separate).matmul_separate(b)
+            }
+        }
+    }
+
+    /// Row-side fused encode-and-multiply: equivalent to
+    /// `self.gemm(a, &self.encode_rows(b))` with the encode sweep riding
+    /// inside the GEMM — how each per-head `W_V` slice enters `S_CL`
+    /// without its own encoding pass.
+    pub fn gemm_encode_rows(&self, a: &CheckedMatrix, b: &Matrix) -> CheckedMatrix {
+        if !self.active {
+            // Borrowed plain product: no wrap, no operand clone.
+            return CheckedMatrix::matmul_plain_rhs(a, b);
+        }
+        match self.strategy {
+            Strategy::Fused => CheckedMatrix::matmul_encode_rows(a, b),
+            Strategy::Separate => {
+                a.matmul_separate(&CheckedMatrix::encode_rows(b, Strategy::Separate))
+            }
+        }
+    }
+
+    /// Fused adopt-and-multiply for a left operand inherited from an
+    /// upstream section: checksums ride when already present, the fused
+    /// entry encode runs when this section is active but the operand is
+    /// unprotected, and the plain product is computed otherwise —
+    /// `self.gemm(&self.adopt_cols(a), b)` without the standalone
+    /// re-encode sweep.
+    ///
+    /// # Panics
+    /// Panics when `a` carries row checksums (they would corrupt the
+    /// product's inner dimension, exactly as in [`Self::gemm`]).
+    pub fn gemm_adopt_cols(&self, a: &CheckedMatrix, b: &CheckedMatrix) -> CheckedMatrix {
+        assert!(
+            !a.has_row_checksums(),
+            "gemm_adopt_cols: left operand must not carry row checksums"
+        );
+        if self.active && a.has_col_checksums() {
+            self.gemm(a, b)
+        } else if self.active {
+            // buf() is exactly the logical data when no checksums are
+            // present, so no extraction copy is needed.
+            self.gemm_encode_cols(a.buf(), b)
+        } else if a.has_col_checksums() {
+            CheckedMatrix::matmul_plain(&a.logical(), b)
+        } else {
+            a.matmul(b)
+        }
+    }
+
+    /// Leave the checksummed region for a nonlinear step and return the
+    /// *plain* result: `f` mutates the logical data (softmax, GELU,
+    /// masking, caching …). Checksums cannot survive a nonlinearity; with
+    /// fused encoding the re-entry encode rides inside the next
+    /// [`Self::gemm_encode_cols`] instead of a standalone
+    /// [`Self::exit_reencode_cols`] sweep.
+    pub fn exit_cols(&self, m: &CheckedMatrix, f: impl FnOnce(&mut Matrix)) -> Matrix {
+        let mut data = m.logical();
+        f(&mut data);
+        data
+    }
+
     /// Leave the checksummed region for a nonlinear step and re-enter it:
     /// `f` mutates the logical data (softmax, GELU, masking, caching …) and
     /// the result is column-encoded under this section's strategy (plain
@@ -376,13 +463,27 @@ impl Detection {
     }
 }
 
-/// Exact replay of one element of a row-major `A·B` product: the same
-/// `kk`-ordered f32 accumulation as `gemm::matmul_into`, so the result is
-/// bit-identical to what the original GEMM produced for that cell.
+/// Exact replay of one element of an `op(A)·op(B)` product under the
+/// packed kernel's accumulation-order contract: a fresh `f32` partial per
+/// [`KC`]-sized `k`-block (`kk` ascending within the block), partials
+/// combined in block order on top of zero — exactly how
+/// `attn_tensor::gemm` accumulates every output element, for all of the
+/// NN/NT/TN layouts. The result is therefore bit-identical to what the
+/// original GEMM produced for that cell.
+///
+/// [`KC`]: attn_tensor::gemm::KC
 pub fn replay_nn(a_row: &[f32], b_col: impl Fn(usize) -> f32) -> f32 {
+    use attn_tensor::gemm::KC;
     let mut acc = 0.0f32;
-    for (kk, &av) in a_row.iter().enumerate() {
-        acc += av * b_col(kk);
+    let mut p0 = 0usize;
+    while p0 < a_row.len() {
+        let pend = (p0 + KC).min(a_row.len());
+        let mut partial = 0.0f32;
+        for (kk, &av) in a_row[p0..pend].iter().enumerate() {
+            partial += av * b_col(p0 + kk);
+        }
+        acc += partial;
+        p0 = pend;
     }
     acc
 }
@@ -557,6 +658,91 @@ mod tests {
         assert!(!off.adopt_cols(&enc).has_col_checksums());
         assert!(!off.adopt_cols(&plain).has_col_checksums());
         assert_eq!(on.adopt_cols(&plain).logical(), x);
+    }
+
+    #[test]
+    fn fused_entry_steps_match_encode_then_gemm() {
+        let mut rng = TensorRng::seed_from(11);
+        let x = rng.normal_matrix(9, 12, 1.0);
+        let w = rng.normal_matrix(12, 7, 1.0);
+        for active in [false, true] {
+            let (sec, _) = section(active);
+            let staged_c = sec.gemm(&sec.encode_cols(&x), &sec.operand(&w));
+            let fused_c = sec.gemm_encode_cols(&x, &sec.operand(&w));
+            assert_eq!(fused_c.buf(), staged_c.buf(), "cols, active={active}");
+            let staged_r = sec.gemm(&sec.operand(&x), &sec.encode_rows(&w));
+            let fused_r = sec.gemm_encode_rows(&sec.operand(&x), &w);
+            assert_eq!(fused_r.buf(), staged_r.buf(), "rows, active={active}");
+        }
+    }
+
+    #[test]
+    fn fused_entry_matches_separate_strategy_baseline() {
+        let mut rng = TensorRng::seed_from(12);
+        let x = rng.normal_matrix(6, 8, 1.0);
+        let w = rng.normal_matrix(8, 5, 1.0);
+        let mut report = AbftReport::default();
+        let sec = GuardedSection::begin(
+            SectionId::Output,
+            &ProtectionConfig::full_unoptimized(),
+            true,
+            &mut report,
+        );
+        let staged = sec.gemm(&sec.encode_cols(&x), &sec.operand(&w));
+        let fused = sec.gemm_encode_cols(&x, &sec.operand(&w));
+        assert_eq!(fused.buf(), staged.buf());
+    }
+
+    #[test]
+    fn gemm_adopt_cols_covers_all_four_cases() {
+        let mut rng = TensorRng::seed_from(13);
+        let x = rng.normal_matrix(5, 6, 1.0);
+        let w = rng.normal_matrix(6, 4, 1.0);
+        let enc = CheckedMatrix::encode_cols(&x, Strategy::Fused);
+        let plain = CheckedMatrix::from_plain(&x);
+        for active in [false, true] {
+            let (sec, _) = section(active);
+            for a in [&plain, &enc] {
+                let got = sec.gemm_adopt_cols(a, &sec.operand(&w));
+                let want = sec.gemm(&sec.adopt_cols(a), &sec.operand(&w));
+                assert_eq!(got.buf(), want.buf(), "active={active}");
+                assert_eq!(got.has_col_checksums(), active);
+            }
+        }
+    }
+
+    #[test]
+    fn exit_cols_applies_nonlinearity_and_returns_plain_data() {
+        let mut rng = TensorRng::seed_from(14);
+        let x = rng.normal_matrix(4, 4, 1.0);
+        let (sec, _) = section(true);
+        let enc = sec.encode_cols(&x);
+        let out = sec.exit_cols(&enc, |m| {
+            for v in m.data_mut() {
+                *v = v.tanh();
+            }
+        });
+        assert_eq!(out, x.map(|v| v.tanh()));
+    }
+
+    #[test]
+    fn replay_nn_reproduces_kernel_bits_across_kc_blocks() {
+        use attn_tensor::gemm::KC;
+        let mut rng = TensorRng::seed_from(15);
+        let k = 2 * KC + 19;
+        let x = rng.normal_matrix(3, k, 1.0);
+        let w = rng.normal_matrix(k, 4, 1.0);
+        let c = gemm::matmul(&x, &w);
+        for r in 0..3 {
+            for col in 0..4 {
+                let replayed = replay_nn(x.row(r), |kk| w[(kk, col)]);
+                assert_eq!(
+                    replayed.to_bits(),
+                    c[(r, col)].to_bits(),
+                    "({r},{col}): replay must hit the kernel's exact bits"
+                );
+            }
+        }
     }
 
     #[test]

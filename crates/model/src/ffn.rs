@@ -18,6 +18,7 @@ use attn_tensor::ops::{gelu, gelu_backward, gelu_matrix};
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 use attnchecker::attention::AttnOp;
+use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::SectionId;
 use attnchecker::section::{ForwardCtx, GuardedSection};
@@ -84,14 +85,17 @@ impl FeedForward {
             // divides by.
             return self.forward_tape(x);
         }
-        let xc = sec.encode_cols(x);
+        // The block input enters S_FFN through the fused encode path of
+        // `ProtectedLinear`: no standalone encode sweep over `x`.
+        let xc = sec.operand(x);
         let (pre, x_tape) = self.lin1.forward_guarded_tape(&xc, &sec, ctx);
-        // GELU is nonlinear: exit the checksummed region and re-encode.
-        let act = sec.exit_reencode_cols(&pre, |m| {
+        // GELU is nonlinear: exit the checksummed region; the result's
+        // re-encoding rides inside the contraction GEMM's packing pass.
+        let act = CheckedMatrix::from_plain_owned(sec.exit_cols(&pre, |m| {
             for v in m.data_mut() {
                 *v = gelu(*v);
             }
-        });
+        }));
         let (y, act_tape) = self.lin2.forward_guarded_tape(&act, &sec, ctx);
         (
             y.logical(),

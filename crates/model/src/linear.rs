@@ -124,10 +124,13 @@ impl ProtectedLinear {
         }
     }
 
-    /// Stateless guarded forward over an already-encoded operand `xc` (so
-    /// chains can pass checksummed products straight through). Returns the
-    /// checked output — post-detection, post-correction — for the next
-    /// chain step, plus the logical input tape for backward.
+    /// Stateless guarded forward over `xc` — either an already-encoded
+    /// operand (checksummed products pass straight through and ride) or a
+    /// plain wrap, in which case the operand *enters* the section through
+    /// the fused encode-and-multiply path: its column encoding accumulates
+    /// inside the GEMM's packing pass instead of a standalone sweep.
+    /// Returns the checked output — post-detection, post-correction — for
+    /// the next chain step, plus the logical input tape for backward.
     pub fn forward_guarded_tape(
         &self,
         xc: &CheckedMatrix,
@@ -136,7 +139,12 @@ impl ProtectedLinear {
     ) -> (CheckedMatrix, Matrix) {
         let w = &self.inner.w.value;
         let bias = self.inner.b.bias();
-        let mut y = sec.gemm(xc, &sec.operand(w));
+        let mut y = if xc.has_col_checksums() {
+            sec.gemm(xc, &sec.operand(w))
+        } else {
+            // buf() is exactly the logical data for a plain wrap.
+            sec.gemm_encode_cols(xc.buf(), &sec.operand(w))
+        };
         y.add_bias(bias);
         ctx.fire(
             FaultSite {

@@ -49,6 +49,15 @@ pub struct StepOutcome {
     pub ffn_time: Duration,
     /// Worker threads the step fanned batch items over.
     pub workers: usize,
+    /// GEMM/encoding workspace-arena allocation events on the calling
+    /// thread during this step (see
+    /// `attn_tensor::workspace::thread_alloc_events`). The arena warms up
+    /// over the first step(s); a steady-state step is allocation-free on
+    /// the GEMM/encode hot path, so this settles to 0 — the property the
+    /// zero-alloc regression test asserts. With `workers > 1` the fanned-
+    /// out items allocate on their own worker threads, which this
+    /// caller-thread counter intentionally does not include.
+    pub ws_allocs: u64,
 }
 
 /// One batch item's contribution to a training step, produced on whichever
@@ -167,6 +176,7 @@ impl Trainer {
         assert!(!batch.is_empty());
         let toggles = self.next_toggles();
         let workers = self.parallelism.min(batch.len());
+        let ws0 = attn_tensor::workspace::thread_alloc_events();
         let t0 = Instant::now();
 
         let inv = 1.0 / batch.len() as f32;
@@ -227,6 +237,7 @@ impl Trainer {
             attention_time,
             ffn_time,
             workers,
+            ws_allocs: attn_tensor::workspace::thread_alloc_events() - ws0,
         }
     }
 
@@ -427,6 +438,25 @@ mod tests {
         // exceed the wall step time but never step_time × workers (each
         // worker's busy window fits inside the step).
         assert!(out.attention_time + out.ffn_time <= out.step_time * out.workers as u32);
+    }
+
+    #[test]
+    fn steady_state_step_is_gemm_allocation_free() {
+        // The acceptance property of the workspace arena: after the warm-up
+        // step(s) fill the thread-local pool, a training step performs no
+        // heap allocation inside GEMM or checksum encoding — every packing
+        // panel and checksum staging buffer is a pool hit.
+        let (mut tr, ds, _) = tiny_trainer(ProtectionConfig::full());
+        let batch: Vec<&Example> = ds.examples.iter().take(4).collect();
+        let _ = tr.train_step(&batch); // warm the arena
+        let _ = tr.train_step(&batch); // settle best-fit reuse
+        for step in 0..3 {
+            let out = tr.train_step(&batch);
+            assert_eq!(
+                out.ws_allocs, 0,
+                "steady-state step {step} allocated GEMM/encode workspace"
+            );
+        }
     }
 
     #[test]

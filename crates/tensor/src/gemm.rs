@@ -1,4 +1,4 @@
-//! Blocked, parallel GEMM kernels.
+//! Packed, cache-blocked, register-tiled GEMM kernels.
 //!
 //! These kernels stand in for cuBLAS in the paper's setup. Three layout
 //! variants cover everything attention and backprop need:
@@ -7,19 +7,77 @@
 //! * [`matmul_nt`]   — `C = A · Bᵀ`     (e.g. `Q · Kᵀ`, `dY · Wᵀ`)
 //! * [`matmul_tn`]   — `C = Aᵀ · B`     (e.g. `Xᵀ · dY` for weight grads)
 //!
-//! The `*_into` forms write into caller-provided views so batched tensors
-//! ([`crate::Batch3`]) can run one GEMM per slot without allocation. All
-//! kernels parallelise over output rows with rayon once the flop count
-//! crosses [`PAR_FLOP_THRESHOLD`].
+//! All three run through **one** shared kernel: operands are packed into
+//! contiguous micro-panels ([`crate::pack`]) block by block
+//! ([`MC`]`×`[`KC`] for `op(A)`, [`KC`]`×`[`NC`] for `op(B)`), and an
+//! [`MR`]`×`[`NR`] register-tile microkernel accumulates each output tile.
+//! The packing step absorbs the transposes, which is what gives the NT
+//! path the k-blocking the old row-streaming implementation lacked.
 //!
-//! IEEE-754 special values (INF/NaN) propagate through these kernels exactly
-//! as they would through cuBLAS — multiplication and addition are performed
-//! in the natural order — which is what the fault-propagation study relies
-//! on.
+//! # Fused checksum encoding
+//!
+//! [`gemm_encode_cols_into`] and [`gemm_encode_rows_into`] produce an
+//! ABFT-augmented product in the same pass: the operand's checksum
+//! projections accumulate *inside the packing loop* (the packing already
+//! streams every element through registers), and the checksum border of
+//! the product is then a 2-row (2-column) product through the same
+//! kernel — bit-identical to encoding the operand first and multiplying
+//! the augmented matrix, without the standalone encode sweep or the
+//! augmented-copy allocation. This is the paper's §4.6 fusion: "pack the
+//! checksum with the operand matrix such that the checksum can be updated
+//! together with the original operation".
+//!
+//! # The accumulation-order contract
+//!
+//! Exact post-correction replay (`attnchecker::section::replay_nn`)
+//! depends on reproducing each output element bit-for-bit, so the
+//! accumulation order is a documented contract:
+//!
+//! * element `C[i, j]` is accumulated per `k`-block: for each [`KC`]-sized
+//!   block (ascending), a fresh `f32` partial sums `a[i,kk]·b[kk,j]` with
+//!   `kk` ascending, and the partial is added to the (zero-initialised)
+//!   output — `C[i,j] = ((0 + p₀) + p₁) + …`;
+//! * each element's value depends only on row `i` of `op(A)`, column `j`
+//!   of `op(B)`, and `k` — never on `m`, `n`, the tile the element landed
+//!   in, or the worker count (every element is produced by exactly one
+//!   tile, and tiles don't interact), which is why results are
+//!   bit-identical at any rayon pool size and why an augmented
+//!   (checksum-bordered) product carries the same data bits as the plain
+//!   one;
+//! * fused column checksums accumulate rows ascending within each [`MC`]
+//!   row-block and combine block partials in block order (columns/[`NC`]
+//!   for row checksums) — mirrored by `attnchecker::checksum`'s
+//!   standalone encoders.
+//!
+//! IEEE-754 special values (INF/NaN) propagate exactly as they would
+//! through cuBLAS — zero elements are never skipped (a sparsity shortcut
+//! would mask `0 × NaN = NaN`), and padding lanes multiply real data only
+//! by themselves, never replacing it — which the fault-propagation study
+//! relies on.
+//!
+//! Packing panels and checksum staging come from the thread-local
+//! [`crate::workspace`] arena, so a steady-state caller performs no heap
+//! allocation inside these kernels.
 
 use crate::matrix::Matrix;
+use crate::pack::{
+    accum_col_cs, accum_row_cs, pack_a_block, pack_b_block, ColCsAccum, RowCsAccum, Src,
+};
 use crate::view::{MatMut, MatRef};
+use crate::workspace;
 use rayon::prelude::*;
+
+/// Rows of one register tile (micro-panel height of packed `op(A)`).
+pub const MR: usize = 4;
+/// Columns of one register tile (micro-panel width of packed `op(B)`).
+pub const NR: usize = 8;
+/// Row-block edge: rows of `op(A)` packed (and parallelised) per tile.
+pub const MC: usize = 64;
+/// Column-block edge: columns of `op(B)` packed per tile.
+pub const NC: usize = 64;
+/// Cache-block edge for the k dimension — also the partial-sum block size
+/// of the accumulation-order contract (see module docs).
+pub const KC: usize = 128;
 
 /// Minimum `m*n*k` before the kernels split work across threads.
 ///
@@ -30,8 +88,16 @@ use rayon::prelude::*;
 /// the batch/campaign level, where tasks are tens of milliseconds.
 pub const PAR_FLOP_THRESHOLD: usize = 256 * 256 * 256;
 
-/// Cache-block edge for the k dimension.
-const KC: usize = 128;
+/// Shared threshold decision for all kernels. The product is formed in
+/// `u128` so pathological shapes (huge `k` times huge `n`) cannot wrap
+/// `usize` and silently serialise — or worse, parallelise a tiny GEMM.
+#[inline]
+pub fn exceeds_par_threshold(m: usize, n: usize, k: usize) -> bool {
+    (m as u128)
+        .saturating_mul(n as u128)
+        .saturating_mul(k as u128)
+        >= PAR_FLOP_THRESHOLD as u128
+}
 
 /// `C = A · B` into a fresh matrix.
 ///
@@ -73,43 +139,15 @@ pub fn matmul_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     assert_eq!(k, b.rows(), "matmul: inner dims {} vs {}", k, b.rows());
     assert_eq!(m, c.rows(), "matmul: output rows");
     assert_eq!(n, c.cols(), "matmul: output cols");
-
-    c.fill(0.0);
-    let a_data = a.data();
-    let b_data = b.data();
-
-    let row_kernel = |i: usize, c_row: &mut [f32]| {
-        // ikj ordering: stream B rows, accumulate into the C row.
-        // Vectorises well and keeps B traffic sequential.
-        //
-        // Zero A elements are NOT skipped: sparsity shortcuts would mask
-        // NaN/INF propagation (0 * NaN = NaN), and the fault studies rely
-        // on these kernels having faithful IEEE-754 semantics.
-        for kb in (0..k).step_by(KC) {
-            let kend = (kb + KC).min(k);
-            for kk in kb..kend {
-                let aik = a_data[i * k + kk];
-                let b_row = &b_data[kk * n..kk * n + n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
-                }
-            }
-        }
-    };
-
-    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
-        c.data()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| row_kernel(i, c_row));
-    } else {
-        for (i, c_row) in c.data().chunks_mut(n).enumerate() {
-            row_kernel(i, c_row);
-        }
-    }
+    let (av, bv) = (src_n(a), src_n(b));
+    gemm_driver(av, bv, m, n, k, c.data(), n, Fuse::None);
 }
 
 /// `C = A · Bᵀ` writing into `c`.
+///
+/// The transpose is absorbed by the packing step, so the NT path gets the
+/// same KC-blocking (and register tiling) as the NN path — large inner
+/// dimensions no longer stream whole rows through an unblocked dot.
 ///
 /// # Panics
 /// Panics on any dimension mismatch.
@@ -119,28 +157,8 @@ pub fn matmul_nt_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     assert_eq!(k, b.cols(), "matmul_nt: inner dims {} vs {}", k, b.cols());
     assert_eq!(m, c.rows(), "matmul_nt: output rows");
     assert_eq!(n, c.cols(), "matmul_nt: output cols");
-
-    let a_data = a.data();
-    let b_data = b.data();
-
-    let row_kernel = |i: usize, c_row: &mut [f32]| {
-        let a_row = &a_data[i * k..i * k + k];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..j * k + k];
-            *cv = dot(a_row, b_row);
-        }
-    };
-
-    if m * n * k >= PAR_FLOP_THRESHOLD && m > 1 {
-        c.data()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| row_kernel(i, c_row));
-    } else {
-        for (i, c_row) in c.data().chunks_mut(n).enumerate() {
-            row_kernel(i, c_row);
-        }
-    }
+    let (av, bv) = (src_n(a), src_t(b));
+    gemm_driver(av, bv, m, n, k, c.data(), n, Fuse::None);
 }
 
 /// `C = Aᵀ · B` writing into `c`.
@@ -153,43 +171,411 @@ pub fn matmul_tn_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
     assert_eq!(r, b.rows(), "matmul_tn: inner dims {} vs {}", r, b.rows());
     assert_eq!(m, c.rows(), "matmul_tn: output rows");
     assert_eq!(n, c.cols(), "matmul_tn: output cols");
+    let (av, bv) = (src_t(a), src_n(b));
+    gemm_driver(av, bv, m, n, r, c.data(), n, Fuse::None);
+}
 
-    c.fill(0.0);
-    let a_data = a.data();
-    let b_data = b.data();
+/// Fused encode-and-multiply, column side: writes the augmented product
+/// `[A; v1ᵀA; v2ᵀA] · B` into the `(m+2) × n` output `c`.
+///
+/// Rows `0..m` are the plain product `A·B` (bit-identical to
+/// [`matmul_into`]); rows `m..m+2` are the riding column checksums
+/// `(v1ᵀA)·B` / `(v2ᵀA)·B`. The checksum projections of `A` accumulate
+/// inside the packing pass — no standalone encode sweep, no augmented
+/// operand copy — and are bit-identical to
+/// `attnchecker::checksum::col_checksums(A)` by the shared block contract.
+///
+/// # Panics
+/// Panics unless `c.rows() == a.rows() + 2`, `c.cols() == b.cols()`, and
+/// `a.cols() == b.rows()`.
+pub fn gemm_encode_cols_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm_encode_cols: inner dims");
+    assert_eq!(m + 2, c.rows(), "gemm_encode_cols: output rows");
+    assert_eq!(n, c.cols(), "gemm_encode_cols: output cols");
+    let mut cs = workspace::take(2 * k);
+    {
+        let (av, bv) = (src_n(a), src_n(b));
+        let cd = c.data();
+        gemm_driver(av, bv, m, n, k, &mut cd[..m * n], n, Fuse::Cols(&mut cs));
+        // Checksum border: CS_A (2 × k) · B as a lean streaming product.
+        // It follows the same per-element KC-block contract as the packed
+        // kernel — so the border is bit-identical to two extra rows of an
+        // augmented A — but streams B once, without re-packing.
+        let (cs_row, rest) = cd[m * n..].split_at_mut(n);
+        encode_border_cols(&cs, b.data(), k, n, cs_row, &mut rest[..n]);
+    }
+}
 
-    if m * n * r >= PAR_FLOP_THRESHOLD && m > 1 {
-        c.data()
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, c_row)| {
-                // C[i, :] = sum_t A[t, i] * B[t, :]
-                for t in 0..r {
-                    let ati = a_data[t * m + i];
-                    let b_row = &b_data[t * n..t * n + n];
-                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                        *cv += ati * bv;
+/// Streaming `[v1ᵀA; v2ᵀA] · B` border product: column stripes held in
+/// registers across each KC block (per-element accumulation order is
+/// exactly the packed kernel's contract). `inline(never)` for the same
+/// register-allocation reason as the microkernel.
+#[inline(never)]
+fn encode_border_cols(
+    cs: &[f32],
+    b_data: &[f32],
+    k: usize,
+    n: usize,
+    cs_row: &mut [f32],
+    csw_row: &mut [f32],
+) {
+    const STRIPE: usize = 8;
+    let mut j0 = 0usize;
+    while j0 < n {
+        let jw = STRIPE.min(n - j0);
+        let mut out0 = [0.0f32; STRIPE];
+        let mut out1 = [0.0f32; STRIPE];
+        let mut p0 = 0usize;
+        while p0 < k {
+            let pend = (p0 + KC).min(k);
+            let mut part0 = [0.0f32; STRIPE];
+            let mut part1 = [0.0f32; STRIPE];
+            for kk in p0..pend {
+                let av = cs[kk];
+                let awv = cs[k + kk];
+                let brow = &b_data[kk * n + j0..kk * n + j0 + jw];
+                if jw == STRIPE {
+                    for (j, &bv) in brow.iter().enumerate().take(STRIPE) {
+                        part0[j] += av * bv;
+                        part1[j] += awv * bv;
+                    }
+                } else {
+                    for (j, &bv) in brow.iter().enumerate() {
+                        part0[j] += av * bv;
+                        part1[j] += awv * bv;
                     }
                 }
-            });
-    } else {
-        // Sequential: outer-product accumulation keeps both A and B streams
-        // sequential (better than per-output-row gather for small m).
-        let c_data = c.data();
-        for t in 0..r {
-            let a_row = &a_data[t * m..t * m + m];
-            let b_row = &b_data[t * n..t * n + n];
-            for (i, &ati) in a_row.iter().enumerate() {
-                let c_row = &mut c_data[i * n..i * n + n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += ati * bv;
+            }
+            for j in 0..jw {
+                out0[j] += part0[j];
+                out1[j] += part1[j];
+            }
+            p0 = pend;
+        }
+        cs_row[j0..j0 + jw].copy_from_slice(&out0[..jw]);
+        csw_row[j0..j0 + jw].copy_from_slice(&out1[..jw]);
+        j0 += STRIPE;
+    }
+}
+
+/// Fused encode-and-multiply, row side: writes the augmented product
+/// `A · [B | B·v1 | B·v2]` into the `m × (n+2)` output `c`.
+///
+/// Columns `0..n` are the plain product; columns `n..n+2` are the riding
+/// row checksums `A·(B·v1)` / `A·(B·v2)`. `B`'s row-checksum projections
+/// accumulate inside the packing pass and are bit-identical to
+/// `attnchecker::checksum::row_checksums(B)` by the shared block contract.
+///
+/// # Panics
+/// Panics unless `c.rows() == a.rows()`, `c.cols() == b.cols() + 2`, and
+/// `a.cols() == b.rows()`.
+pub fn gemm_encode_rows_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm_encode_rows: inner dims");
+    assert_eq!(m, c.rows(), "gemm_encode_rows: output rows");
+    assert_eq!(n + 2, c.cols(), "gemm_encode_rows: output cols");
+    let mut rs = workspace::take(2 * k);
+    {
+        let (av, bv) = (src_n(a), src_n(b));
+        let ldc = n + 2;
+        let cd = c.data();
+        gemm_driver(av, bv, m, n, k, &mut cd[..], ldc, Fuse::Rows(&mut rs));
+        // Checksum border: A · RS_B (m × 2) as a lean streaming product
+        // under the same per-element KC-block contract — bit-identical to
+        // two extra augmented columns, with A's rows read once.
+        let a_data = a.data();
+        for i in 0..m {
+            let arow = &a_data[i * k..i * k + k];
+            let mut acc0 = 0.0f32;
+            let mut acc1 = 0.0f32;
+            let mut p0 = 0usize;
+            while p0 < k {
+                let pend = (p0 + KC).min(k);
+                let mut part0 = 0.0f32;
+                let mut part1 = 0.0f32;
+                for (kk, &av) in arow[p0..pend].iter().enumerate() {
+                    part0 += av * rs[p0 + kk];
+                    part1 += av * rs[k + p0 + kk];
                 }
+                acc0 += part0;
+                acc1 += part1;
+                p0 = pend;
+            }
+            cd[i * ldc + n] = acc0;
+            cd[i * ldc + n + 1] = acc1;
+        }
+    }
+}
+
+#[inline]
+fn src_n(v: MatRef<'_>) -> Src<'_> {
+    Src {
+        data: v.data(),
+        ld: v.cols().max(1),
+        trans: false,
+    }
+}
+
+#[inline]
+fn src_t(v: MatRef<'_>) -> Src<'_> {
+    Src {
+        data: v.data(),
+        ld: v.cols().max(1),
+        trans: true,
+    }
+}
+
+/// Which fused encoding (if any) a driver invocation performs. The slices
+/// receive `[Σ | Σw]` over the full k dimension.
+enum Fuse<'a> {
+    None,
+    /// Column checksums of `op(A)` (length `2·k`).
+    Cols(&'a mut [f32]),
+    /// Row checksums of `op(B)` (length `2·k`).
+    Rows(&'a mut [f32]),
+}
+
+/// Raw output cursor shared across tile tasks. Tiles write disjoint
+/// `(row, col)` regions, so concurrent use is sound.
+#[derive(Clone, Copy)]
+struct DstPtr {
+    ptr: *mut f32,
+    ldc: usize,
+}
+
+unsafe impl Send for DstPtr {}
+unsafe impl Sync for DstPtr {}
+
+/// Raw staging cursor for per-block checksum partials (disjoint block
+/// slices per tile task).
+#[derive(Clone, Copy)]
+struct StagePtr {
+    ptr: *mut f32,
+}
+
+unsafe impl Send for StagePtr {}
+unsafe impl Sync for StagePtr {}
+
+#[derive(Clone, Copy, PartialEq)]
+enum FuseKind {
+    None,
+    Cols,
+    Rows,
+}
+
+/// The shared kernel: `C[0..m, 0..n] = op(A) · op(B)` written at row
+/// stride `ldc` into `c` (which must hold `(m-1)·ldc + n` elements), with
+/// optional fused checksum accumulation.
+///
+/// Work is split over a deterministic 2D grid of `MC × NC` output tiles;
+/// each tile packs its own operand panels and owns a disjoint output
+/// region, so results are bit-identical at any worker count.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
+fn gemm_driver(
+    a: Src<'_>,
+    b: Src<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    c: &mut [f32],
+    ldc: usize,
+    fuse: Fuse<'_>,
+) {
+    debug_assert!(m == 0 || c.len() >= (m - 1) * ldc + n);
+    // The output is accumulated block-partial by block-partial on top of
+    // zero (the documented contract), so clear the owned region first.
+    for r in 0..m {
+        c[r * ldc..r * ldc + n].fill(0.0);
+    }
+    let (kind, out) = match fuse {
+        Fuse::None => (FuseKind::None, None),
+        Fuse::Cols(o) => (FuseKind::Cols, Some(o)),
+        Fuse::Rows(o) => (FuseKind::Rows, Some(o)),
+    };
+    if let Some(o) = &out {
+        debug_assert_eq!(o.len(), 2 * k);
+    }
+    if m == 0 || n == 0 {
+        if let Some(o) = out {
+            o.fill(0.0);
+        }
+        return;
+    }
+    let n_ib = m.div_ceil(MC);
+    let n_jb = n.div_ceil(NC);
+    // Per-block checksum staging: one `[Σ(k) | Σw(k)]` pair per row-block
+    // (Cols) or column-block (Rows), reduced in block order afterwards so
+    // the combination order never depends on scheduling.
+    let stage_blocks = match kind {
+        FuseKind::None => 0,
+        FuseKind::Cols => n_ib,
+        FuseKind::Rows => n_jb,
+    };
+    // No staging checkout at all for plain products — the common case
+    // stays off the arena entirely.
+    let mut stage = (stage_blocks > 0).then(|| workspace::take(stage_blocks * 2 * k));
+    let dst = DstPtr {
+        ptr: c.as_mut_ptr(),
+        ldc,
+    };
+    let stage_ptr = StagePtr {
+        ptr: stage
+            .as_mut()
+            .map_or(std::ptr::NonNull::<f32>::dangling().as_ptr(), |s| {
+                s.as_mut_slice().as_mut_ptr()
+            }),
+    };
+
+    let tiles = n_ib * n_jb;
+    let run_tile = |t: usize| {
+        let (ib, jb) = (t / n_jb, t % n_jb);
+        compute_tile(a, b, m, n, k, dst, ib, jb, kind, stage_ptr);
+    };
+    if exceeds_par_threshold(m, n, k) && tiles > 1 {
+        (0..tiles).into_par_iter().for_each(run_tile);
+    } else {
+        for t in 0..tiles {
+            run_tile(t);
+        }
+    }
+
+    // Deterministic reduction of the per-block partials, block order
+    // ascending — the other half of the encoder block contract.
+    if let Some(o) = out {
+        let stage = stage
+            .as_ref()
+            .expect("staging exists whenever fuse is requested");
+        o.fill(0.0);
+        let (sum, wsum) = o.split_at_mut(k);
+        for blk in 0..stage_blocks {
+            let part = &stage[blk * 2 * k..(blk + 1) * 2 * k];
+            for kk in 0..k {
+                sum[kk] += part[kk];
+                wsum[kk] += part[k + kk];
             }
         }
     }
 }
 
-/// Dense dot product with 4-lane unrolling.
+/// Compute one `MC × NC` output tile: pack the operand panels per
+/// [`KC`]-block and run the register microkernel over the tile's
+/// micro-panel grid, accumulating straight into the output region.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
+fn compute_tile(
+    a: Src<'_>,
+    b: Src<'_>,
+    m: usize,
+    n: usize,
+    k: usize,
+    dst: DstPtr,
+    ib: usize,
+    jb: usize,
+    fuse: FuseKind,
+    stage: StagePtr,
+) {
+    let i0 = ib * MC;
+    let mc = MC.min(m - i0);
+    let j0 = jb * NC;
+    let nc = NC.min(n - j0);
+    let a_panels = mc.div_ceil(MR);
+    let b_panels = nc.div_ceil(NR);
+    let kc_cap = KC.min(k.max(1));
+    let mut ap = workspace::take(a_panels * MR * kc_cap);
+    let mut bp = workspace::take(b_panels * NR * kc_cap);
+
+    // Fused checksum partials for this tile's block. Only the first tile
+    // along the non-encoded dimension accumulates (the checksum of op(A)
+    // must be fed once, not once per column tile) — regions are disjoint
+    // per block index, so the raw slice reconstruction is sound.
+    let mut col_cs = (fuse == FuseKind::Cols && jb == 0).then(|| {
+        let s = unsafe { std::slice::from_raw_parts_mut(stage.ptr.add(ib * 2 * k), 2 * k) };
+        let (sum, wsum) = s.split_at_mut(k);
+        ColCsAccum { sum, wsum }
+    });
+    let mut row_cs = (fuse == FuseKind::Rows && ib == 0).then(|| {
+        let s = unsafe { std::slice::from_raw_parts_mut(stage.ptr.add(jb * 2 * k), 2 * k) };
+        let (sum, wsum) = s.split_at_mut(k);
+        RowCsAccum { sum, wsum }
+    });
+
+    let mut p0 = 0usize;
+    while p0 < k {
+        let kc = KC.min(k - p0);
+        pack_b_block(b, p0, kc, j0, nc, &mut bp);
+        if let Some(acc) = row_cs.as_mut() {
+            accum_row_cs(b, p0, kc, j0, nc, acc);
+        }
+        pack_a_block(a, i0, mc, p0, kc, &mut ap);
+        if let Some(acc) = col_cs.as_mut() {
+            accum_col_cs(a, i0, mc, p0, kc, acc);
+        }
+        for jp in 0..b_panels {
+            let nr = NR.min(nc - jp * NR);
+            let bpan = &bp[jp * kc * NR..(jp + 1) * kc * NR];
+            for ipan in 0..a_panels {
+                let mr = MR.min(mc - ipan * MR);
+                let apan = &ap[ipan * kc * MR..(ipan + 1) * kc * MR];
+                let mut acc = [[0.0f32; NR]; MR];
+                microkernel(apan, bpan, &mut acc);
+                unsafe {
+                    writeback_add(dst, i0 + ipan * MR, j0 + jp * NR, mr, nr, &acc);
+                }
+            }
+        }
+        p0 += kc;
+    }
+}
+
+/// The register microkernel: `acc[r][j] += Σ_k apan[k·MR+r] · bpan[k·NR+j]`
+/// over one packed panel pair. One accumulator per element, `k` ascending —
+/// the per-block partial of the accumulation-order contract. ILP comes
+/// from the `MR × NR` independent accumulators, never from splitting a
+/// single element's sum.
+///
+/// `inline(never)` is load-bearing: as a standalone function LLVM keeps
+/// the whole `MR × NR` accumulator tile in vector registers; inlined into
+/// the tile loop it spills the tile to the stack every `k` step, costing
+/// ~6× throughput (measured 3.5 vs 20 GFLOP/s at 256³).
+#[inline(never)]
+fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (ak, bk) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+        for (accr, &av) in acc.iter_mut().zip(ak) {
+            for (cv, &bv) in accr.iter_mut().zip(bk) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Add the valid region of a register tile into the output.
+///
+/// # Safety
+/// The caller must guarantee the addressed region lies within the output
+/// buffer and is not written by any other concurrent tile (the 2D grid
+/// gives every tile a disjoint region).
+unsafe fn writeback_add(
+    dst: DstPtr,
+    i0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    acc: &[[f32; NR]; MR],
+) {
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        let row = std::slice::from_raw_parts_mut(dst.ptr.add((i0 + r) * dst.ldc + j0), nr);
+        for (cv, &v) in row.iter_mut().zip(&accr[..nr]) {
+            *cv += v;
+        }
+    }
+}
+
+/// Dense dot product with 4-lane unrolling. Retained as a free-standing
+/// utility (reductions, tests); note its lane-split accumulation order is
+/// **not** the GEMM contract — exact replay must use
+/// `attnchecker::section::replay_nn` instead.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
@@ -357,5 +743,193 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+
+    // ---------------- tiled-kernel and fused-encoding additions ----------
+
+    /// Bit-exact reference for the accumulation-order contract of one
+    /// output element.
+    fn contract_dot(a_row: &[f32], b_col: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (ab, bb) in a_row.chunks(KC).zip(b_col.chunks(KC)) {
+            let mut p = 0.0f32;
+            for (&av, &bv) in ab.iter().zip(bb) {
+                p += av * bv;
+            }
+            acc += p;
+        }
+        acc
+    }
+
+    #[test]
+    fn elements_follow_the_kc_block_contract() {
+        // k spans several KC blocks; every element must equal the blocked
+        // partial-sum reference bit-for-bit.
+        let mut rng = TensorRng::seed_from(29);
+        let (m, k, n) = (5, 2 * KC + 37, 6);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        let c = matmul(&a, &b);
+        let bt = b.transpose();
+        for i in 0..m {
+            for j in 0..n {
+                let expect = contract_dot(a.row(i), bt.row(j));
+                assert_eq!(
+                    c[(i, j)].to_bits(),
+                    expect.to_bits(),
+                    "element ({i},{j}) broke the accumulation contract"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nt_and_tn_share_the_contract() {
+        let mut rng = TensorRng::seed_from(31);
+        let k = KC + 51;
+        let a = rand_mat(&mut rng, 4, k);
+        let b = rand_mat(&mut rng, 3, k);
+        let c = matmul_nt(&a, &b);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(
+                    c[(i, j)].to_bits(),
+                    contract_dot(a.row(i), b.row(j)).to_bits()
+                );
+            }
+        }
+        let at = rand_mat(&mut rng, k, 4);
+        let bt = rand_mat(&mut rng, k, 3);
+        let ct = matmul_tn(&at, &bt);
+        let at_t = at.transpose();
+        let bt_t = bt.transpose();
+        for i in 0..4 {
+            for j in 0..3 {
+                assert_eq!(
+                    ct[(i, j)].to_bits(),
+                    contract_dot(at_t.row(i), bt_t.row(j)).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn element_bits_do_not_depend_on_neighbour_rows() {
+        // Augmented (checksum-bordered) operands must carry the same data
+        // bits as the plain product: per-element independence of m.
+        let mut rng = TensorRng::seed_from(37);
+        let a = rand_mat(&mut rng, 9, 70);
+        let b = rand_mat(&mut rng, 70, 11);
+        let c_full = matmul(&a, &b);
+        let a_top = a.submatrix(0, 4, 0, 70);
+        let c_top = matmul(&a_top, &b);
+        for i in 0..4 {
+            for j in 0..11 {
+                assert_eq!(c_full[(i, j)].to_bits(), c_top[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn encode_cols_matches_manual_composition() {
+        let mut rng = TensorRng::seed_from(41);
+        for &(m, k, n) in &[(1, 1, 1), (5, 7, 4), (70, 150, 66), (130, 300, 9)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let mut c = Matrix::zeros(m + 2, n);
+            gemm_encode_cols_into(a.view(), b.view(), c.view_mut());
+            // Data region is the plain product, bit for bit.
+            let plain = matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(c[(i, j)].to_bits(), plain[(i, j)].to_bits(), "{m}x{k}x{n}");
+                }
+            }
+            // Checksum rows approximate v1ᵀ(A·B) up to GEMM round-off.
+            for j in 0..n {
+                let col_sum: f32 = (0..m).map(|i| plain[(i, j)]).sum();
+                assert!(
+                    (c[(m, j)] - col_sum).abs() <= 1e-3 + 1e-3 * col_sum.abs(),
+                    "{m}x{k}x{n} col {j}: {} vs {col_sum}",
+                    c[(m, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn encode_rows_matches_manual_composition() {
+        let mut rng = TensorRng::seed_from(43);
+        for &(m, k, n) in &[(1, 1, 1), (6, 9, 5), (80, 140, 70)] {
+            let a = rand_mat(&mut rng, m, k);
+            let b = rand_mat(&mut rng, k, n);
+            let mut c = Matrix::zeros(m, n + 2);
+            gemm_encode_rows_into(a.view(), b.view(), c.view_mut());
+            let plain = matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(c[(i, j)].to_bits(), plain[(i, j)].to_bits(), "{m}x{k}x{n}");
+                }
+            }
+            for i in 0..m {
+                let row_sum: f32 = (0..n).map(|j| plain[(i, j)]).sum();
+                assert!(
+                    (c[(i, n)] - row_sum).abs() <= 1e-3 + 1e-3 * row_sum.abs(),
+                    "{m}x{k}x{n} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_sized_dims_are_handled() {
+        // k = 0: the empty sum is +0.0 everywhere.
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul(&a, &b);
+        assert!(c.data().iter().all(|&x| x == 0.0));
+        let mut ce = Matrix::full(5, 4, f32::NAN);
+        gemm_encode_cols_into(a.view(), b.view(), ce.view_mut());
+        assert!(ce.data().iter().all(|&x| x == 0.0));
+        // m = 0 encode: only checksum rows exist, and they are zero.
+        let a0 = Matrix::zeros(0, 3);
+        let b0 = rand_mat(&mut TensorRng::seed_from(47), 3, 4);
+        let mut c0 = Matrix::full(2, 4, f32::NAN);
+        gemm_encode_cols_into(a0.view(), b0.view(), c0.view_mut());
+        assert!(c0.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn steady_state_gemm_is_allocation_free() {
+        let mut rng = TensorRng::seed_from(53);
+        let a = rand_mat(&mut rng, 33, 140);
+        let b = rand_mat(&mut rng, 140, 21);
+        let mut c = Matrix::zeros(33, 21);
+        let mut ce = Matrix::zeros(35, 21);
+        // Warm the arena with the exact kernel shapes…
+        matmul_into(a.view(), b.view(), c.view_mut());
+        gemm_encode_cols_into(a.view(), b.view(), ce.view_mut());
+        let before = crate::workspace::thread_alloc_events();
+        for _ in 0..5 {
+            matmul_into(a.view(), b.view(), c.view_mut());
+            gemm_encode_cols_into(a.view(), b.view(), ce.view_mut());
+        }
+        assert_eq!(
+            crate::workspace::thread_alloc_events(),
+            before,
+            "steady-state GEMM must not allocate"
+        );
+    }
+
+    #[test]
+    fn par_threshold_helper_does_not_overflow() {
+        // usize::MAX³ wraps any fixed-width product; the helper must
+        // saturate instead of panicking (debug) or wrapping to a tiny
+        // value (release).
+        assert!(exceeds_par_threshold(usize::MAX, usize::MAX, usize::MAX));
+        assert!(exceeds_par_threshold(usize::MAX, 1, usize::MAX));
+        assert!(!exceeds_par_threshold(2, 2, 2));
+        assert!(exceeds_par_threshold(256, 256, 256));
+        assert!(!exceeds_par_threshold(256, 256, 255));
     }
 }

@@ -11,9 +11,13 @@
 //!   allocation.
 //! * [`Batch3`] — a contiguous `[n, rows, cols]` batch of matrices (one slot
 //!   per `batch × head` in attention).
-//! * Blocked, [rayon]-parallel GEMM kernels in [`gemm`], including the
-//!   transposed variants needed by attention (`Q·Kᵀ`) and backprop
-//!   (`Aᵀ·B`).
+//! * Packed, cache-blocked, register-tiled, [rayon]-parallel GEMM kernels
+//!   in [`gemm`] — including the transposed variants needed by attention
+//!   (`Q·Kᵀ`) and backprop (`Aᵀ·B`), and fused checksum-encoding entry
+//!   points (`gemm_encode_cols_into` / `gemm_encode_rows_into`) whose
+//!   encoding rides inside the packing pass ([`pack`]).
+//! * A thread-local scratch arena in [`workspace`] that makes the GEMM and
+//!   encoding hot path allocation-free in steady state.
 //! * Neural-network primitive ops in [`ops`] (numerically-stable softmax,
 //!   layer norm, GELU, bias, masking).
 //! * Deterministic RNG helpers in [`rng`] (Box–Muller normal sampling,
@@ -27,9 +31,11 @@ pub mod error;
 pub mod gemm;
 pub mod matrix;
 pub mod ops;
+pub mod pack;
 pub mod reduce;
 pub mod rng;
 pub mod view;
+pub mod workspace;
 
 pub use batch::Batch3;
 pub use error::ShapeError;

@@ -1,0 +1,272 @@
+//! Operand panel packing for the register-tiled GEMM, with optional fused
+//! checksum accumulation.
+//!
+//! The packed kernel (see [`crate::gemm`]) never reads operands directly
+//! from their row-major storage inside the microkernel. Instead each
+//! `MC × KC` block of `op(A)` and `KC × NC` block of `op(B)` is first
+//! copied into a contiguous *panel* layout:
+//!
+//! * A-panels: micro-panels of [`MR`] rows, stored k-major —
+//!   `ap[panel][kk * MR + r]` — so the microkernel reads one contiguous
+//!   `MR`-wide column slice per `k` step.
+//! * B-panels: micro-panels of [`NR`] columns, stored k-major —
+//!   `bp[panel][kk * NR + j]`.
+//!
+//! Ragged edges are zero-padded to full micro-panels, which keeps the
+//! microkernel branch-free; padded lanes are simply never written back.
+//!
+//! **Fused encoding.** Packing already streams every element of the
+//! operand through registers, so the ABFT checksum projections (`v1 = 1`,
+//! `v2 = [1, 2, …]`) accumulate here at near-zero marginal cost — this is
+//! the CPU analogue of the paper's §4.6 encoder that produces both sums
+//! from a single staged read. The accumulation order this establishes —
+//! rows visited ascending within an `MC` row-block (columns ascending
+//! within an `NC` column-block for row checksums), block partials combined
+//! in block order — is a documented contract: the standalone encoders in
+//! `attnchecker::checksum` reproduce it bit-for-bit so fused and
+//! standalone encodings are interchangeable.
+
+use crate::gemm::{MR, NR};
+
+/// Weighted-checksum weight of row/column `i` (1-based, the `v2` vector).
+///
+/// Canonical definition shared with `attnchecker::checksum::weight` — the
+/// fused in-packing encoder and the standalone encoders must agree bitwise.
+#[inline]
+pub fn checksum_weight(i: usize) -> f32 {
+    (i + 1) as f32
+}
+
+/// Read-only operand described by its storage, leading dimension, and
+/// whether the *logical* operand is the transpose of storage.
+#[derive(Clone, Copy)]
+pub(crate) struct Src<'a> {
+    pub data: &'a [f32],
+    /// Leading dimension of the row-major storage.
+    pub ld: usize,
+    /// When true, logical element `(r, c)` reads `data[c * ld + r]`.
+    pub trans: bool,
+}
+
+impl Src<'_> {
+    /// Logical element `(r, c)` of `op(X)`.
+    #[inline(always)]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        if self.trans {
+            self.data[c * self.ld + r]
+        } else {
+            self.data[r * self.ld + c]
+        }
+    }
+}
+
+/// Fused column-checksum accumulator: per-k-column running `(Σ, Σw)` sums
+/// for one `MC` row-block of `op(A)`. Slices span the *full* k dimension;
+/// packing a `(i0, p0)` block touches indices `p0..p0+kc`.
+pub(crate) struct ColCsAccum<'a> {
+    pub sum: &'a mut [f32],
+    pub wsum: &'a mut [f32],
+}
+
+/// Fused row-checksum accumulator: per-k-row running `(Σ, Σw)` sums for
+/// one `NC` column-block of `op(B)`.
+pub(crate) struct RowCsAccum<'a> {
+    pub sum: &'a mut [f32],
+    pub wsum: &'a mut [f32],
+}
+
+/// Pack `op(A)[i0..i0+mc, p0..p0+kc]` into MR-row micro-panels.
+///
+/// `ap[..panels * kc * MR]` is fully overwritten (padding rows written as
+/// zero). Pure copy — the fused checksum accumulation runs as its own
+/// cache-hot sweep ([`accum_col_cs`]) so this loop stays vectorizable.
+pub(crate) fn pack_a_block(a: Src<'_>, i0: usize, mc: usize, p0: usize, kc: usize, ap: &mut [f32]) {
+    let panels = mc.div_ceil(MR);
+    debug_assert!(ap.len() >= panels * kc * MR);
+    for panel in 0..panels {
+        let r0 = panel * MR;
+        let valid = MR.min(mc - r0);
+        let dst = &mut ap[panel * kc * MR..(panel + 1) * kc * MR];
+        for kk in 0..kc {
+            let col = &mut dst[kk * MR..kk * MR + MR];
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = if r < valid {
+                    a.at(i0 + r0 + r, p0 + kk)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Pack `op(B)[p0..p0+kc, j0..j0+nc]` into NR-column micro-panels
+/// (pure copy; see [`accum_row_cs`] for the fused checksum sweep).
+pub(crate) fn pack_b_block(b: Src<'_>, p0: usize, kc: usize, j0: usize, nc: usize, bp: &mut [f32]) {
+    let panels = nc.div_ceil(NR);
+    debug_assert!(bp.len() >= panels * kc * NR);
+    for panel in 0..panels {
+        let c0 = panel * NR;
+        let valid = NR.min(nc - c0);
+        let dst = &mut bp[panel * kc * NR..(panel + 1) * kc * NR];
+        for kk in 0..kc {
+            let row = &mut dst[kk * NR..kk * NR + NR];
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = if j < valid {
+                    b.at(p0 + kk, j0 + c0 + j)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Fused column-checksum sweep over `op(A)[i0..i0+mc, p0..p0+kc]`, run
+/// back-to-back with [`pack_a_block`] while the block is cache-hot.
+///
+/// Accumulation order is the encoder block contract: rows ascending per
+/// column within the block (the row-major sweep vectorises across `kk`
+/// without changing any column's add order).
+pub(crate) fn accum_col_cs(
+    a: Src<'_>,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    acc: &mut ColCsAccum<'_>,
+) {
+    let sum = &mut acc.sum[p0..p0 + kc];
+    let wsum = &mut acc.wsum[p0..p0 + kc];
+    for r in i0..i0 + mc {
+        let w = checksum_weight(r);
+        if a.trans {
+            for kk in 0..kc {
+                let v = a.at(r, p0 + kk);
+                sum[kk] += v;
+                wsum[kk] += w * v;
+            }
+        } else {
+            let row = &a.data[r * a.ld + p0..r * a.ld + p0 + kc];
+            for ((s, ws), &v) in sum.iter_mut().zip(wsum.iter_mut()).zip(row) {
+                *s += v;
+                *ws += w * v;
+            }
+        }
+    }
+}
+
+/// Fused row-checksum sweep over `op(B)[p0..p0+kc, j0..j0+nc]` — columns
+/// ascending per row (sequential horizontal sums: the add order *is* the
+/// contract, so no lane splitting).
+pub(crate) fn accum_row_cs(
+    b: Src<'_>,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    acc: &mut RowCsAccum<'_>,
+) {
+    for kk in p0..p0 + kc {
+        let mut s = acc.sum[kk];
+        let mut ws = acc.wsum[kk];
+        if b.trans {
+            for j in j0..j0 + nc {
+                let v = b.at(kk, j);
+                s += v;
+                ws += checksum_weight(j) * v;
+            }
+        } else {
+            let row = &b.data[kk * b.ld + j0..kk * b.ld + j0 + nc];
+            for (j, &v) in row.iter().enumerate() {
+                s += v;
+                ws += checksum_weight(j0 + j) * v;
+            }
+        }
+        acc.sum[kk] = s;
+        acc.wsum[kk] = ws;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_matrix(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|i| i as f32).collect()
+    }
+
+    #[test]
+    fn pack_a_layout_and_padding() {
+        // 3×4 block packed with MR-row panels: panel 0 holds rows 0..MR.
+        let data = seq_matrix(3, 4);
+        let a = Src {
+            data: &data,
+            ld: 4,
+            trans: false,
+        };
+        let panels = 3usize.div_ceil(MR);
+        let mut ap = vec![f32::NAN; panels * 4 * MR];
+        pack_a_block(a, 0, 3, 0, 4, &mut ap);
+        // Element (r, kk) lives at panel(r/MR): kk*MR + r%MR.
+        for r in 0..3 {
+            for kk in 0..4 {
+                let panel = r / MR;
+                let got = ap[panel * 4 * MR + kk * MR + r % MR];
+                assert_eq!(got, data[r * 4 + kk], "({r},{kk})");
+            }
+        }
+        // Padding rows are exactly zero.
+        if 3 % MR != 0 {
+            for kk in 0..4 {
+                for r in 3..MR {
+                    assert_eq!(ap[kk * MR + r], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_transposed_reads_storage_transpose() {
+        // op(B) = Bᵀ where B is 5×3 row-major: logical (kk, j) = B[j, kk].
+        let data = seq_matrix(5, 3);
+        let b = Src {
+            data: &data,
+            ld: 3,
+            trans: true,
+        };
+        let panels = 5usize.div_ceil(NR);
+        let mut bp = vec![f32::NAN; panels * 3 * NR];
+        pack_b_block(b, 0, 3, 0, 5, &mut bp);
+        for kk in 0..3 {
+            for j in 0..5 {
+                let panel = j / NR;
+                let got = bp[panel * 3 * NR + kk * NR + j % NR];
+                assert_eq!(got, data[j * 3 + kk], "({kk},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_col_checksums_match_direct_sums() {
+        let data = seq_matrix(7, 5);
+        let a = Src {
+            data: &data,
+            ld: 5,
+            trans: false,
+        };
+        let mut sum = vec![0.0f32; 5];
+        let mut wsum = vec![0.0f32; 5];
+        let mut acc = ColCsAccum {
+            sum: &mut sum,
+            wsum: &mut wsum,
+        };
+        accum_col_cs(a, 0, 7, 0, 5, &mut acc);
+        for c in 0..5 {
+            let expect: f32 = (0..7).map(|r| data[r * 5 + c]).sum();
+            let wexpect: f32 = (0..7).map(|r| checksum_weight(r) * data[r * 5 + c]).sum();
+            assert_eq!(sum[c], expect, "col {c}");
+            assert_eq!(wsum[c], wexpect, "col {c} weighted");
+        }
+    }
+}

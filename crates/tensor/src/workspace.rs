@@ -1,0 +1,186 @@
+//! Thread-local scratch arena for the GEMM/encoding hot path.
+//!
+//! Every packed-GEMM invocation needs transient buffers: A/B panel packing
+//! stores, checksum staging rows, and small scratch matrices. Allocating
+//! those per call would put `malloc` on the innermost training path — the
+//! exact overhead the paper's fused kernels avoid on the GPU by staging in
+//! shared memory. This arena makes the steady state allocation-free:
+//!
+//! * [`take`] checks a buffer out of a **thread-local pool** (best-fit by
+//!   capacity) and returns an RAII [`WsBuf`] that puts it back on drop.
+//! * Only a checkout that no pooled buffer can satisfy touches the global
+//!   allocator; each such event bumps a per-thread counter readable via
+//!   [`thread_alloc_events`]. After a warm-up pass over a fixed workload
+//!   (e.g. one training step), every later identical pass replays the same
+//!   checkout sequence against a pool that already holds every buffer it
+//!   needs, so the counter stops moving — the property the trainer's
+//!   steady-state test asserts.
+//!
+//! The pool is deliberately thread-local rather than shared: checkouts are
+//! lock-free and contention cannot exist. The warm-pool property therefore
+//! holds per *persistent* thread — the sequential trainer's calling thread
+//! in particular. The vendored rayon shim spawns fresh scoped threads per
+//! parallel region, so arenas on its workers (parallel-grid GEMM tiles,
+//! `set_parallelism > 1` batch items) are rebuilt each region; with real
+//! rayon's persistent pool threads the same code is warm there too.
+//! Buffers are `f32` vectors zero-filled on checkout (`resize` within
+//! capacity — no allocation) so callers never observe stale scratch.
+
+use std::cell::{Cell, RefCell};
+
+/// Upper bound on pooled buffers per thread; beyond this, returned buffers
+/// are simply freed. Generous compared to the maximum number of live
+/// checkouts any kernel performs (a handful), so steady-state workloads
+/// never evict.
+const MAX_POOLED: usize = 64;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Scratch buffer checked out of the thread-local arena; returned to the
+/// pool when dropped. Dereferences to `[f32]` of exactly the requested
+/// length, zero-filled.
+pub struct WsBuf {
+    data: Vec<f32>,
+}
+
+impl WsBuf {
+    /// The checked-out scratch as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The checked-out scratch as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl std::ops::Deref for WsBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for WsBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Drop for WsBuf {
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        // The pool can be gone during thread teardown; dropping the buffer
+        // is the correct fallback.
+        let _ = POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(data);
+            }
+        });
+    }
+}
+
+/// Check a zero-filled `len`-element scratch buffer out of this thread's
+/// arena. Reuses the smallest pooled buffer whose capacity fits (no
+/// allocation); only on a pool miss does it allocate, bumping the
+/// per-thread counter behind [`thread_alloc_events`].
+pub fn take(len: usize) -> WsBuf {
+    let mut data = POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        let mut best: Option<usize> = None;
+        for (i, b) in pool.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| b.capacity() < pool[j].capacity()) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => pool.swap_remove(i),
+            None => {
+                ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
+                Vec::with_capacity(len)
+            }
+        }
+    });
+    data.clear();
+    data.resize(len, 0.0); // within capacity: never reallocates
+    WsBuf { data }
+}
+
+/// Number of arena checkouts on *this thread* that had to hit the global
+/// allocator since the thread started. Stable across two identical
+/// workloads ⇔ the second one ran allocation-free.
+pub fn thread_alloc_events() -> u64 {
+    ALLOC_EVENTS.with(|c| c.get())
+}
+
+/// Buffers currently parked in this thread's pool (diagnostics/tests).
+pub fn pooled_buffers() -> usize {
+    POOL.with(|p| p.borrow().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_requested_len() {
+        let mut b = take(37);
+        assert_eq!(b.len(), 37);
+        assert!(b.iter().all(|&x| x == 0.0));
+        b[5] = 9.0;
+        drop(b);
+        // The dirty buffer goes back to the pool but comes out zeroed.
+        let b2 = take(37);
+        assert!(b2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn steady_state_reuse_is_allocation_free() {
+        // Warm the pool with the exact checkout pattern…
+        {
+            let _a = take(100);
+            let _b = take(200);
+        }
+        let before = thread_alloc_events();
+        // …then replay it: every checkout must be served from the pool.
+        for _ in 0..10 {
+            let _a = take(100);
+            let _b = take(200);
+        }
+        assert_eq!(
+            thread_alloc_events(),
+            before,
+            "steady state must not allocate"
+        );
+    }
+
+    #[test]
+    fn smaller_request_reuses_larger_buffer() {
+        {
+            let _b = take(500);
+        }
+        let before = thread_alloc_events();
+        let b = take(50);
+        assert_eq!(b.len(), 50);
+        assert_eq!(thread_alloc_events(), before);
+    }
+
+    #[test]
+    fn concurrent_checkouts_are_distinct() {
+        let mut a = take(16);
+        let mut b = take(16);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 2.0);
+    }
+}

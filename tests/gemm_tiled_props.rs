@@ -1,0 +1,285 @@
+//! Property tests for the packed register-tiled GEMM kernels: numerical
+//! agreement with the naive reference, bit-determinism at any rayon worker
+//! count, IEEE-754 propagation faithfulness (no zero-skipping shortcuts),
+//! the fused-encoding ≡ encode-then-GEMM bit identity, and the
+//! accumulation-order contract that exact post-correction replay
+//! (`attnchecker::section::replay_nn`) depends on.
+
+use attn_tensor::gemm::{
+    self, gemm_encode_cols_into, gemm_encode_rows_into, matmul, matmul_naive, matmul_nt, matmul_tn,
+    KC, MC,
+};
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+use attnchecker::checked::CheckedMatrix;
+use attnchecker::config::Strategy as AbftStrategy;
+use attnchecker::section::replay_nn;
+use proptest::prelude::*;
+
+fn matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-5.0f32..5.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Run `f` inside a rayon pool of `threads` workers.
+fn with_pool<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("test pool")
+        .install(f)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) The tiled kernel agrees with the triple-loop reference within
+    /// accumulation round-off, across sizes straddling MR/NR/MC/NC edges.
+    #[test]
+    fn tiled_matches_naive(a in matrix(1..40, 1..40), n in 1usize..40, seed in 0u64..1000) {
+        let mut rng = TensorRng::seed_from(seed);
+        let b = rng.uniform_matrix(a.cols(), n, -2.0, 2.0);
+        let c = matmul(&a, &b);
+        let r = matmul_naive(&a, &b);
+        let scale = a.cols() as f32;
+        prop_assert!(c.approx_eq(&r, 1e-4, 1e-4 * scale.max(1.0)));
+    }
+
+    /// The NT and TN layouts match their explicit-transpose compositions —
+    /// including inner dimensions that span several KC blocks (the shape
+    /// class the old NT kernel streamed unblocked).
+    #[test]
+    fn nt_tn_match_transposed_compositions(
+        m in 1usize..12,
+        n in 1usize..12,
+        k in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let bt = rng.uniform_matrix(n, k, -1.0, 1.0);
+        let c = matmul_nt(&a, &bt);
+        let r = matmul_naive(&a, &bt.transpose());
+        prop_assert!(c.approx_eq(&r, 1e-4, 1e-4 * (k as f32)));
+
+        let at = rng.uniform_matrix(k, m, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let c2 = matmul_tn(&at, &b);
+        let r2 = matmul_naive(&at.transpose(), &b);
+        prop_assert!(c2.approx_eq(&r2, 1e-4, 1e-4 * (k as f32)));
+    }
+
+    /// (b) Small-size determinism: worker count can never change bits
+    /// (below the parallel threshold the grid is sequential, so this is
+    /// the trivial half of the property — the load-bearing half is the
+    /// dedicated large-matrix test below).
+    #[test]
+    fn pool_size_is_invisible_small(a in matrix(1..20, 1..20), n in 1usize..20) {
+        let b = Matrix::from_fn(a.cols(), n, |r, c| ((r * 5 + c) % 9) as f32 / 3.0 - 1.0);
+        let c1 = with_pool(1, || matmul(&a, &b));
+        let c3 = with_pool(3, || matmul(&a, &b));
+        prop_assert!(bits_equal(&c1, &c3));
+    }
+
+    /// (c) IEEE propagation faithfulness: a NaN anywhere in A poisons
+    /// exactly its output row — and a *zero* in A multiplied by a NaN in B
+    /// still produces NaN (`0 × NaN = NaN`), which a sparsity shortcut
+    /// would silently skip.
+    #[test]
+    fn nan_propagation_is_faithful(
+        m in 1usize..20,
+        k in 1usize..150,
+        n in 1usize..20,
+        rf in 0.0f64..1.0,
+        kf in 0.0f64..1.0,
+    ) {
+        let r0 = ((rf * m as f64) as usize).min(m - 1);
+        let k0 = ((kf * k as f64) as usize).min(k - 1);
+        // NaN in A.
+        let mut a = Matrix::full(m, k, 1.0);
+        a[(r0, k0)] = f32::NAN;
+        let b = Matrix::full(k, n, 1.0);
+        let c = matmul(&a, &b);
+        for j in 0..n {
+            prop_assert!(c[(r0, j)].is_nan(), "row {r0} col {j} escaped NaN");
+        }
+        for r in 0..m {
+            if r != r0 {
+                prop_assert!(c.row(r).iter().all(|x| x.is_finite()));
+            }
+        }
+        // Zero in A against NaN in B: no zero-skipping allowed.
+        let mut az = Matrix::full(m, k, 1.0);
+        az[(r0, k0)] = 0.0;
+        let mut bz = Matrix::full(k, n, 1.0);
+        bz[(k0, 0)] = f32::NAN;
+        let cz = matmul(&az, &bz);
+        prop_assert!(cz[(r0, 0)].is_nan(), "0 * NaN must stay NaN");
+    }
+
+    /// INF propagates with its sign through every layout.
+    #[test]
+    fn inf_propagation_keeps_sign(
+        m in 1usize..10,
+        k in 1usize..60,
+        n in 1usize..10,
+        negative in 0usize..2,
+    ) {
+        let inf = if negative == 1 { f32::NEG_INFINITY } else { f32::INFINITY };
+        let mut a = Matrix::full(m, k, 1.0);
+        a[(0, 0)] = inf;
+        let b = Matrix::full(k, n, 1.0);
+        let c = matmul(&a, &b);
+        for j in 0..n {
+            prop_assert_eq!(c[(0, j)], inf);
+        }
+    }
+
+    /// Fused-encoding output is bit-identical to encode-then-GEMM, across
+    /// sizes spanning the MC/KC block edges and both checksum sides.
+    #[test]
+    fn fused_encoding_equals_encode_then_gemm(
+        m in 1usize..150,
+        k in 1usize..40,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -2.0, 2.0);
+        let b = rng.uniform_matrix(k, n, -2.0, 2.0);
+
+        let mut fused_c = Matrix::zeros(m + 2, n);
+        gemm_encode_cols_into(a.view(), b.view(), fused_c.view_mut());
+        let staged_c = CheckedMatrix::encode_cols(&a, AbftStrategy::Fused)
+            .matmul(&CheckedMatrix::from_plain(&b));
+        prop_assert!(bits_equal(&fused_c, staged_c.buf()), "cols side");
+
+        let mut fused_r = Matrix::zeros(m, n + 2);
+        gemm_encode_rows_into(a.view(), b.view(), fused_r.view_mut());
+        let staged_r = CheckedMatrix::from_plain(&a)
+            .matmul(&CheckedMatrix::encode_rows(&b, AbftStrategy::Fused));
+        prop_assert!(bits_equal(&fused_r, staged_r.buf()), "rows side");
+    }
+
+    /// The exact-replay contract: `replay_nn` reproduces any product
+    /// element bit-for-bit, for inner dimensions crossing KC blocks.
+    #[test]
+    fn replay_reproduces_kernel_bits(
+        m in 1usize..8,
+        k in 1usize..300,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = TensorRng::seed_from(seed);
+        let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+        let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+        let c = matmul(&a, &b);
+        for r in 0..m {
+            for j in 0..n {
+                let replayed = replay_nn(a.row(r), |kk| b[(kk, j)]);
+                prop_assert_eq!(replayed.to_bits(), c[(r, j)].to_bits(), "({}, {})", r, j);
+            }
+        }
+    }
+}
+
+/// (b), load-bearing half: a GEMM large enough to cross
+/// [`gemm::PAR_FLOP_THRESHOLD`] runs on the parallel 2D tile grid, and its
+/// every output bit is identical at 1, 3, and 8 workers (the tile
+/// partition is deterministic and tiles never interact). Covers all three
+/// layouts plus the fused encode.
+#[test]
+fn parallel_grid_is_bit_deterministic_across_worker_counts() {
+    assert!(gemm::exceeds_par_threshold(272, 252, 256));
+    let mut rng = TensorRng::seed_from(99);
+    let a = rng.uniform_matrix(272, 256, -1.0, 1.0);
+    let b = rng.uniform_matrix(256, 252, -1.0, 1.0);
+    let bt = b.transpose();
+    let at = a.transpose();
+
+    let reference = with_pool(1, || matmul(&a, &b));
+    let reference_enc = with_pool(1, || {
+        let mut c = Matrix::zeros(274, 252);
+        gemm_encode_cols_into(a.view(), b.view(), c.view_mut());
+        c
+    });
+    for threads in [3usize, 8] {
+        let c = with_pool(threads, || matmul(&a, &b));
+        assert!(
+            bits_equal(&c, &reference),
+            "matmul bits differ at {threads} workers"
+        );
+        let cnt = with_pool(threads, || matmul_nt(&a, &bt));
+        assert!(
+            bits_equal(&cnt, &reference),
+            "matmul_nt bits differ at {threads} workers"
+        );
+        let ctn = with_pool(threads, || matmul_tn(&at, &b));
+        assert!(
+            bits_equal(&ctn, &reference),
+            "matmul_tn bits differ at {threads} workers"
+        );
+        let enc = with_pool(threads, || {
+            let mut c = Matrix::zeros(274, 252);
+            gemm_encode_cols_into(a.view(), b.view(), c.view_mut());
+            c
+        });
+        assert!(
+            bits_equal(&enc, &reference_enc),
+            "fused encode bits differ at {threads} workers"
+        );
+    }
+}
+
+/// The NN/NT/TN layouts share one accumulation contract: for identical
+/// logical operands they produce identical bits.
+#[test]
+fn layouts_share_one_contract() {
+    let mut rng = TensorRng::seed_from(7);
+    let a = rng.uniform_matrix(9, 2 * KC + 31, -1.0, 1.0);
+    let b = rng.uniform_matrix(2 * KC + 31, 11, -1.0, 1.0);
+    let nn = matmul(&a, &b);
+    let nt = matmul_nt(&a, &b.transpose());
+    let tn = matmul_tn(&a.transpose(), &b);
+    assert!(bits_equal(&nn, &nt), "NT disagrees with NN bitwise");
+    assert!(bits_equal(&nn, &tn), "TN disagrees with NN bitwise");
+}
+
+/// The standalone encoders mirror the in-packing block contract even when
+/// the operand spans several MC row-blocks — the hinge of the
+/// fused-vs-standalone bit identity.
+#[test]
+fn standalone_encoder_matches_fused_projection_across_blocks() {
+    use attnchecker::checksum::col_checksums;
+    let mut rng = TensorRng::seed_from(13);
+    let a = rng.uniform_matrix(3 * MC + 17, 9, -1.0, 1.0);
+    let id = Matrix::identity(9);
+    // Identity right operand: the fused border *is* CS_A itself.
+    let mut c = Matrix::zeros(a.rows() + 2, 9);
+    gemm_encode_cols_into(a.view(), id.view(), c.view_mut());
+    let cs = col_checksums(&a);
+    for j in 0..9 {
+        // The border went through the streaming product against I, which
+        // multiplies each projection by exactly 1.0 and sums one term per
+        // KC block — equal to the projection value itself only up to the
+        // block re-summation, so compare the projections numerically.
+        assert!(
+            (c[(a.rows(), j)] - cs[(0, j)]).abs() <= 1e-3 * (1.0 + cs[(0, j)].abs()),
+            "projection {j} drifted"
+        );
+    }
+}
