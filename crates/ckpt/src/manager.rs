@@ -38,13 +38,38 @@ pub struct CheckpointManager {
 
 impl CheckpointManager {
     /// Create (and if needed, mkdir) a manager rooted at `dir`.
+    ///
+    /// Rescans `dir` for existing `ckpt-*.atnc` files so a restarted
+    /// process *resumes* the checkpoint sequence — `counter` continues
+    /// after the highest index on disk and `last_checkpoint` points at it —
+    /// instead of silently overwriting `ckpt-000000.atnc`. Leftover
+    /// `*.atnc.tmp` files (a crash mid-[`Self::save`]) are removed: the
+    /// rename in `save` is the commit point, so a `.tmp` is by definition
+    /// a torn write.
     pub fn new(dir: impl AsRef<Path>) -> io::Result<Self> {
         fs::create_dir_all(dir.as_ref())?;
-        Ok(Self {
-            dir: dir.as_ref().to_path_buf(),
-            counter: 0,
-            last: None,
-        })
+        let dir = dir.as_ref().to_path_buf();
+        let mut newest: Option<(u64, PathBuf)> = None;
+        for entry in fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".atnc.tmp") {
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            if let Some(idx) = parse_checkpoint_index(name) {
+                if newest.as_ref().is_none_or(|(best, _)| idx > *best) {
+                    newest = Some((idx, path));
+                }
+            }
+        }
+        let (counter, last) = match newest {
+            Some((idx, path)) => (idx + 1, Some(path)),
+            None => (0, None),
+        };
+        Ok(Self { dir, counter, last })
     }
 
     /// Path of the most recent checkpoint, if any.
@@ -54,15 +79,31 @@ impl CheckpointManager {
 
     /// Serialise the trainer state to a new checkpoint file; returns
     /// `(path, bytes written, elapsed)`.
+    ///
+    /// The write is atomic: data goes to `ckpt-*.atnc.tmp`, is fsynced,
+    /// and only then renamed to the final name (followed by a directory
+    /// fsync so the rename itself is durable). A crash at any point leaves
+    /// either the complete previous state or a leftover `.tmp` that
+    /// [`Self::new`] discards on restart — never a torn `.atnc` a restore
+    /// would load as corrupt model state.
     pub fn save(&mut self, trainer: &mut Trainer) -> io::Result<(PathBuf, usize, Duration)> {
         let t0 = Instant::now();
         let t = trainer.optim.t;
         let data = snapshot_model(&mut trainer.model, t);
         let path = self.dir.join(format!("ckpt-{:06}.atnc", self.counter));
+        let tmp = self.dir.join(format!("ckpt-{:06}.atnc.tmp", self.counter));
         self.counter += 1;
-        let mut f = fs::File::create(&path)?;
-        f.write_all(&data)?;
-        f.sync_all()?;
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        // Persist the rename: fsync the directory entry (best-effort on
+        // platforms where directories cannot be opened for sync).
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
         self.last = Some(path.clone());
         Ok((path, data.len(), t0.elapsed()))
     }
@@ -113,6 +154,16 @@ impl CheckpointManager {
             outcome,
         ))
     }
+}
+
+/// Parse the index out of a `ckpt-NNNNNN.atnc` file name; `None` for
+/// anything else (including `.tmp` leftovers).
+fn parse_checkpoint_index(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".atnc")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 #[cfg(test)]
@@ -211,5 +262,88 @@ mod tests {
         let mgr = CheckpointManager::new(&dir).unwrap();
         assert!(mgr.load_last(&mut tr).is_err());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_counter_and_last_checkpoint() {
+        let (mut tr, ds) = tiny_trainer();
+        let dir = tmp_dir("restart");
+        let batch: Vec<_> = ds.examples.iter().take(2).collect();
+
+        let first_path;
+        {
+            let mut mgr = CheckpointManager::new(&dir).unwrap();
+            let _ = tr.train_step(&batch);
+            let (p0, _, _) = mgr.save(&mut tr).unwrap();
+            first_path = p0;
+            let _ = tr.train_step(&batch);
+            let (p1, _, _) = mgr.save(&mut tr).unwrap();
+            assert_eq!(mgr.last_checkpoint(), Some(p1.as_path()));
+        } // "process exit"
+
+        // A fresh manager over the same directory resumes the sequence.
+        let mut mgr = CheckpointManager::new(&dir).unwrap();
+        let resumed = mgr.last_checkpoint().expect("rescan finds checkpoints");
+        assert!(resumed.to_string_lossy().ends_with("ckpt-000001.atnc"));
+
+        // The pre-restart state is loadable, and the next save does not
+        // overwrite any existing checkpoint.
+        mgr.load_last(&mut tr).unwrap();
+        assert_eq!(tr.optim.t, 2);
+        let (p2, _, _) = mgr.save(&mut tr).unwrap();
+        assert!(p2.to_string_lossy().ends_with("ckpt-000002.atnc"));
+        assert!(first_path.exists(), "restart must not clobber ckpt-000000");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_discarded_on_restart() {
+        let (mut tr, ds) = tiny_trainer();
+        let dir = tmp_dir("staletmp");
+        let batch: Vec<_> = ds.examples.iter().take(2).collect();
+        {
+            let mut mgr = CheckpointManager::new(&dir).unwrap();
+            let _ = tr.train_step(&batch);
+            let _ = mgr.save(&mut tr).unwrap();
+        }
+        // Simulate a crash mid-save: a torn temp file next to a good one.
+        let torn = dir.join("ckpt-000001.atnc.tmp");
+        fs::write(&torn, b"partial garbage").unwrap();
+
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        assert!(!torn.exists(), "torn .tmp must be discarded");
+        // The torn write is not the resume point; the good checkpoint is.
+        let last = mgr.last_checkpoint().unwrap().to_string_lossy().to_string();
+        assert!(last.ends_with("ckpt-000000.atnc"), "{last}");
+        mgr.load_last(&mut tr).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_tmp_behind() {
+        let (mut tr, ds) = tiny_trainer();
+        let dir = tmp_dir("notmp");
+        let batch: Vec<_> = ds.examples.iter().take(2).collect();
+        let mut mgr = CheckpointManager::new(&dir).unwrap();
+        let _ = tr.train_step(&batch);
+        let (path, _, _) = mgr.save(&mut tr).unwrap();
+        assert!(path.exists());
+        let tmps: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(tmps.is_empty(), "save must rename its temp file away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_checkpoint_index_accepts_only_real_checkpoints() {
+        assert_eq!(parse_checkpoint_index("ckpt-000000.atnc"), Some(0));
+        assert_eq!(parse_checkpoint_index("ckpt-000123.atnc"), Some(123));
+        assert_eq!(parse_checkpoint_index("ckpt-000001.atnc.tmp"), None);
+        assert_eq!(parse_checkpoint_index("ckpt-.atnc"), None);
+        assert_eq!(parse_checkpoint_index("ckpt-12a4.atnc"), None);
+        assert_eq!(parse_checkpoint_index("other.atnc"), None);
     }
 }

@@ -60,6 +60,28 @@ impl CheckedMatrix {
         }
     }
 
+    /// Assemble a checked matrix from an externally produced augmented
+    /// buffer. The decode path runs GEMMs over borrowed KV-cache views
+    /// (`attn_tensor::kv::KvBuf`) and builds the product buffer directly,
+    /// so it cannot go through the owned-operand constructors above.
+    pub(crate) fn from_augmented(
+        rows: usize,
+        cols: usize,
+        has_col_cs: bool,
+        has_row_cs: bool,
+        buf: Matrix,
+    ) -> Self {
+        debug_assert_eq!(buf.rows(), rows + if has_col_cs { 2 } else { 0 });
+        debug_assert_eq!(buf.cols(), cols + if has_row_cs { 2 } else { 0 });
+        Self {
+            rows,
+            cols,
+            has_col_cs,
+            has_row_cs,
+            buf,
+        }
+    }
+
     /// Encode column checksums (two appended rows).
     pub fn encode_cols(data: &Matrix, strategy: Strategy) -> Self {
         let cs = match strategy {

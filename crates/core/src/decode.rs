@@ -1,0 +1,808 @@
+//! ABFT-protected autoregressive decode: single-query attention over a
+//! checksummed KV cache.
+//!
+//! Training protects attention one full `seq × seq` forward at a time;
+//! serving appends one token per step and re-reads the whole prefix. This
+//! module keeps every decode-time GEMM inside the same three guarded
+//! sections as the training forward — `S_AS` (Q/K projections + the
+//! appended `q·Kᵀ` score row), `S_CL` (V projection + `ap·V`), `S_O`
+//! (output projection) — with three decode-specific twists:
+//!
+//! * **Incremental cache encoding.** [`AttnKvCache`] stores per-head K
+//!   blocks with their two column-checksum rows physically pinned after
+//!   the data rows (a [`KvBuf`] tail — the `CheckedMatrix`-augmented
+//!   layout, so the cache *is* the GEMM operand), and per-head V blocks
+//!   with the two row-checksum columns inline in each row. Appending a
+//!   token updates K's column checksums in place — O(d) per token, not an
+//!   O(seq·d) re-encode — and V rows carry the checksums ridden out of
+//!   their producing projection GEMM.
+//! * **Verify-on-append.** The training forward heals `Q`/`K`/`V` lazily,
+//!   at the section's delayed detection point. A decode step instead heals
+//!   them *eagerly*, before the K/V rows join the cache: cache rows are
+//!   long-lived state reused by every future step, and a surviving extreme
+//!   value would both poison all later score rows and be folded into the
+//!   incremental checksums, making it permanently invisible. The score,
+//!   context, and output GEMMs keep the delayed-detection shape.
+//! * **The blocked accumulation contract.** Every decode GEMM runs the
+//!   same packed kernels (and therefore the same per-element KC-blocked
+//!   accumulation order) as the full forward, so a decoded step is
+//!   **bit-identical** to re-running the full protected forward over the
+//!   grown prefix — the parity property `tests/decode_parity.rs` pins —
+//!   and exact replay restores corrected elements to their original bits.
+
+use crate::attention::{AttentionWeights, AttnOp, FaultSite, ProtectedAttention};
+use crate::checked::CheckedMatrix;
+use crate::checksum::weight;
+use crate::config::ProtectionConfig;
+use crate::report::SectionId;
+use crate::section::{replay_nn, ForwardCtx, GuardedSection};
+use attn_tensor::gemm::{self, NC};
+use attn_tensor::kv::KvBuf;
+use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
+use attn_tensor::Matrix;
+
+/// Per-session, per-layer KV cache with incrementally maintained checksums.
+#[derive(Debug)]
+pub struct AttnKvCache {
+    heads: usize,
+    d: usize,
+    /// Per-head key blocks, `len × d` data rows + 2 pinned column-checksum
+    /// tail rows when checksummed.
+    k: Vec<KvBuf>,
+    /// Per-head value blocks; rows are `d + 2` wide when checksummed (data
+    /// followed by the row-checksum pair), `d` wide otherwise.
+    v: Vec<KvBuf>,
+    /// Whether checksum borders are maintained (protection not hard-off).
+    checksummed: bool,
+}
+
+impl AttnKvCache {
+    /// Empty cache for a `hidden`-wide, `heads`-headed attention block.
+    /// `checksummed` controls whether ABFT borders are maintained; an
+    /// unprotected serving path skips them entirely.
+    ///
+    /// # Panics
+    /// Panics when `heads` does not divide `hidden`.
+    pub fn new(hidden: usize, heads: usize, checksummed: bool) -> Self {
+        assert!(
+            heads > 0 && hidden.is_multiple_of(heads),
+            "heads must divide hidden"
+        );
+        let d = hidden / heads;
+        let k_tail = if checksummed { 2 } else { 0 };
+        let v_width = d + if checksummed { 2 } else { 0 };
+        Self {
+            heads,
+            d,
+            k: (0..heads).map(|_| KvBuf::new(d, k_tail)).collect(),
+            v: (0..heads).map(|_| KvBuf::new(v_width, 0)).collect(),
+            checksummed,
+        }
+    }
+
+    /// Cache sized for `attn`, checksummed unless protection is hard-off.
+    pub fn for_attention(attn: &ProtectedAttention) -> Self {
+        Self::new(
+            attn.weights.hidden,
+            attn.weights.heads,
+            !attn.config.is_off(),
+        )
+    }
+
+    /// Cached tokens.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.k[0].rows()
+    }
+
+    /// True before the first append.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Head count.
+    #[inline]
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Per-head width.
+    #[inline]
+    pub fn head_dim(&self) -> usize {
+        self.d
+    }
+
+    /// Whether checksum borders are maintained.
+    #[inline]
+    pub fn checksummed(&self) -> bool {
+        self.checksummed
+    }
+
+    /// Append one (verified) full-width key row, splitting it per head and
+    /// folding each element into the pinned column checksums — O(hidden)
+    /// total, independent of the cached prefix length.
+    pub fn append_k(&mut self, k_row: &[f32]) {
+        assert_eq!(k_row.len(), self.heads * self.d, "append_k: width");
+        for (h, kb) in self.k.iter_mut().enumerate() {
+            let seg = &k_row[h * self.d..(h + 1) * self.d];
+            let idx = kb.push_row(seg);
+            if self.checksummed {
+                let w = weight(idx);
+                for (t0, &v) in kb.tail_row_mut(0).iter_mut().zip(seg) {
+                    *t0 += v;
+                }
+                for (t1, &v) in kb.tail_row_mut(1).iter_mut().zip(seg) {
+                    *t1 += w * v;
+                }
+            }
+        }
+    }
+
+    /// Append one head's (verified) value row. When the producing GEMM ran
+    /// guarded, `v_h` carries ridden row checksums and they are stored
+    /// as-is; otherwise (section gated off this step, but the cache still
+    /// checksummed) the pair is recomputed under the blocked encoder
+    /// contract so later guarded steps can ride it.
+    ///
+    /// # Panics
+    /// Panics on width mismatch or when called with head rows out of sync
+    /// with [`Self::append_k`].
+    pub fn append_v(&mut self, head: usize, v_h: &CheckedMatrix) {
+        assert_eq!(v_h.rows(), 1, "append_v: one row per token");
+        assert_eq!(v_h.cols(), self.d, "append_v: head width");
+        let vb = &mut self.v[head];
+        if !self.checksummed {
+            vb.push_row(v_h.logical_row(0));
+            return;
+        }
+        if v_h.has_row_checksums() {
+            // Data + ridden (checksum, weighted checksum), already laid
+            // out contiguously in the augmented buffer row.
+            vb.push_row(v_h.buf().row(0));
+        } else {
+            let data = v_h.logical_row(0);
+            let (s, ws) = row_checksum_blocked(data);
+            let mut row = Vec::with_capacity(self.d + 2);
+            row.extend_from_slice(data);
+            row.push(s);
+            row.push(ws);
+            vb.push_row(&row);
+        }
+    }
+
+    /// Seed the cache from full-forward K/V activations (`seq × hidden`,
+    /// post-correction — e.g. the prefill tape), row by row, so the cache
+    /// state is exactly what `seq` decode appends would have produced.
+    pub fn seed(&mut self, k: &Matrix, v: &Matrix) {
+        assert_eq!(k.cols(), self.heads * self.d);
+        assert_eq!((k.rows(), k.cols()), (v.rows(), v.cols()));
+        for r in 0..k.rows() {
+            self.append_k(k.row(r));
+            for h in 0..self.heads {
+                let seg = &v.row(r)[h * self.d..(h + 1) * self.d];
+                let vm = CheckedMatrix::from_plain_owned(Matrix::from_vec(1, self.d, seg.to_vec()));
+                self.append_v(h, &vm);
+            }
+        }
+    }
+
+    /// Key element `(token, kk)` of `head` — the replay view of the cache.
+    #[inline]
+    pub fn k_at(&self, head: usize, token: usize, kk: usize) -> f32 {
+        self.k[head].at(token, kk)
+    }
+
+    /// Value element `(token, c)` of `head`.
+    #[inline]
+    pub fn v_at(&self, head: usize, token: usize, c: usize) -> f32 {
+        self.v[head].at(token, c)
+    }
+
+    /// The appended score row `q_h · K_hᵀ` over the grown cache, computed
+    /// with the packed NT kernel directly over the cache view. `q_h`'s
+    /// column checksums (3 buffer rows) ride through; the cache's pinned
+    /// column-checksum tail transposes into the row's row checksums — the
+    /// single-query image of `S_AS` acquiring both borders.
+    pub fn score_row(&self, q_h: &CheckedMatrix, head: usize) -> CheckedMatrix {
+        assert_eq!(q_h.rows(), 1, "score_row: single query");
+        assert_eq!(q_h.cols(), self.d, "score_row: head width");
+        let kb = &self.k[head];
+        let len = kb.rows();
+        assert!(len > 0, "score_row: empty cache");
+        let (b_view, row_cs) = if self.checksummed {
+            (kb.view(), true)
+        } else {
+            (kb.data_view(), false)
+        };
+        let mut buf = Matrix::zeros(q_h.buf().rows(), b_view.rows());
+        gemm::matmul_nt_into(q_h.buf().view(), b_view, buf.view_mut());
+        CheckedMatrix::from_augmented(1, len, q_h.has_col_checksums(), row_cs, buf)
+    }
+
+    /// The appended context row `ap · V_h` over the grown cache. When
+    /// `active`, `ap`'s column encoding rides inside the GEMM's packing
+    /// pass (the fused §4.6 entry, single-row image) and the cache rows'
+    /// inline row checksums ride through to the product.
+    pub fn context_row(&self, ap: &Matrix, head: usize, active: bool) -> CheckedMatrix {
+        assert_eq!(ap.rows(), 1, "context_row: single query");
+        let vb = &self.v[head];
+        assert_eq!(ap.cols(), vb.rows(), "context_row: prefix length");
+        let width = vb.cols();
+        if active {
+            let mut buf = Matrix::zeros(3, width);
+            gemm::gemm_encode_cols_into(ap.view(), vb.data_view(), buf.view_mut());
+            CheckedMatrix::from_augmented(1, self.d, true, self.checksummed, buf)
+        } else {
+            let mut buf = Matrix::zeros(1, width);
+            gemm::matmul_into(ap.view(), vb.data_view(), buf.view_mut());
+            if self.checksummed {
+                // Drop the riding checksum columns: an unguarded step
+                // returns plain data, exactly like the inactive training
+                // sections.
+                CheckedMatrix::from_plain(&buf.submatrix(0, 1, 0, self.d))
+            } else {
+                CheckedMatrix::from_plain_owned(buf)
+            }
+        }
+    }
+
+    /// Worst absolute disagreement between the maintained K column
+    /// checksums and a from-scratch recomputation over the cached rows
+    /// (diagnostics/tests: bounds incremental drift).
+    pub fn max_k_checksum_drift(&self) -> f32 {
+        assert!(self.checksummed, "unchecksummed cache has no borders");
+        let mut worst = 0.0f32;
+        for kb in &self.k {
+            for c in 0..kb.cols() {
+                let mut s = 0.0f64;
+                let mut ws = 0.0f64;
+                for r in 0..kb.rows() {
+                    let v = kb.at(r, c) as f64;
+                    s += v;
+                    ws += weight(r) as f64 * v;
+                }
+                worst = worst
+                    .max((kb.tail_row(0)[c] - s as f32).abs())
+                    .max((kb.tail_row(1)[c] - ws as f32).abs());
+            }
+        }
+        worst
+    }
+}
+
+/// `(checksum, weighted checksum)` of one row under the NC-blocked encoder
+/// contract (see `crate::checksum::row_checksums`).
+fn row_checksum_blocked(row: &[f32]) -> (f32, f32) {
+    let mut s = 0.0f32;
+    let mut ws = 0.0f32;
+    for c0 in (0..row.len()).step_by(NC) {
+        let cend = (c0 + NC).min(row.len());
+        let mut ps = 0.0f32;
+        let mut pws = 0.0f32;
+        for (c, &v) in row[c0..cend].iter().enumerate() {
+            ps += v;
+            pws += weight(c0 + c) * v;
+        }
+        s += ps;
+        ws += pws;
+    }
+    (s, ws)
+}
+
+/// Borrowed view of one attention block's parameters, for the decode hot
+/// path: one of these is built per step from wherever the parameters
+/// already live (`attn_model`'s `Param`s, an [`AttentionWeights`]), so a
+/// decoded token never pays a `hidden × hidden` weight-snapshot clone per
+/// layer.
+#[derive(Clone, Copy)]
+pub struct AttentionWeightsRef<'a> {
+    /// Model width.
+    pub hidden: usize,
+    /// Head count (must divide `hidden`).
+    pub heads: usize,
+    /// Query projection, `hidden × hidden`.
+    pub wq: &'a Matrix,
+    /// Key projection.
+    pub wk: &'a Matrix,
+    /// Value projection.
+    pub wv: &'a Matrix,
+    /// Output projection.
+    pub wo: &'a Matrix,
+    /// Query bias.
+    pub bq: &'a [f32],
+    /// Key bias.
+    pub bk: &'a [f32],
+    /// Value bias.
+    pub bv: &'a [f32],
+    /// Output bias.
+    pub bo: &'a [f32],
+}
+
+impl AttentionWeightsRef<'_> {
+    /// Per-head width.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+impl<'a> From<&'a AttentionWeights> for AttentionWeightsRef<'a> {
+    fn from(w: &'a AttentionWeights) -> Self {
+        Self {
+            hidden: w.hidden,
+            heads: w.heads,
+            wq: &w.wq,
+            wk: &w.wk,
+            wv: &w.wv,
+            wo: &w.wo,
+            bq: &w.bq,
+            bk: &w.bk,
+            bv: &w.bv,
+            bo: &w.bo,
+        }
+    }
+}
+
+impl ProtectedAttention {
+    /// One protected autoregressive decode step — see the free
+    /// [`decode_step`] this delegates to (borrowing the owned weights).
+    pub fn decode_step(
+        &self,
+        x: &Matrix,
+        cache: &mut AttnKvCache,
+        ctx: &mut ForwardCtx<'_, '_>,
+    ) -> Matrix {
+        decode_step(&(&self.weights).into(), &self.config, x, cache, ctx)
+    }
+}
+
+/// One protected autoregressive decode step: append token `x`
+/// (`1 × hidden`, the block input row) to `cache` and return the
+/// attention output row (`1 × hidden`).
+///
+/// `ctx.mask`, when present, must be the **single mask row** of the new
+/// token over the grown prefix (`1 × (len+1)`), e.g. row `len` of the
+/// causal or local-banded mask — not the full `seq × seq` matrix the
+/// training forward takes. `ctx.toggles`/`ctx.hook`/`ctx.report` have
+/// their usual meaning; hooks fire at the same [`FaultSite`]s as the
+/// training forward, on the single-row matrices.
+///
+/// Fault-free, the returned row is bit-identical to row `len` of
+/// [`ProtectedAttention::forward_ctx`] over the grown prefix (see the
+/// module docs for why the contract holds); after an injected extreme
+/// value in any of the six decode GEMMs it is *still* bit-identical, via
+/// checksum correction plus exact replay.
+///
+/// # Panics
+/// Panics on shape mismatches (input width, cache geometry, mask row).
+#[allow(clippy::needless_range_loop)] // head index drives several buffers
+pub fn decode_step(
+    w: &AttentionWeightsRef<'_>,
+    config: &ProtectionConfig,
+    x: &Matrix,
+    cache: &mut AttnKvCache,
+    ctx: &mut ForwardCtx<'_, '_>,
+) -> Matrix {
+    {
+        assert_eq!(x.rows(), 1, "decode_step: one token per step");
+        assert_eq!(x.cols(), w.hidden, "decode_step: input width");
+        assert_eq!(cache.heads(), w.heads, "decode_step: cache geometry");
+        assert_eq!(
+            cache.head_dim(),
+            w.head_dim(),
+            "decode_step: cache geometry"
+        );
+        let d = w.head_dim();
+        let scale = 1.0 / (d as f32).sqrt();
+        let new_len = cache.len() + 1;
+        let mask = ctx.mask;
+        if let Some(m) = mask {
+            assert_eq!(
+                (m.rows(), m.cols()),
+                (1, new_len),
+                "decode_step: mask must be one row over the grown prefix"
+            );
+        }
+
+        let s_as = GuardedSection::begin(
+            SectionId::AttentionScore,
+            config,
+            ctx.toggles.s_as,
+            ctx.report,
+        );
+        let s_cl = GuardedSection::begin(
+            SectionId::ContextLayer,
+            config,
+            ctx.toggles.s_cl,
+            ctx.report,
+        );
+        let s_o = GuardedSection::begin(SectionId::Output, config, ctx.toggles.s_o, ctx.report);
+
+        // ------------------------------------------------ section S_AS
+        // Single-query projections through the fused encode entry: the
+        // row's column checksums accumulate inside the GEMM packing pass.
+        let mut q = s_as.gemm_encode_cols(x, &s_as.operand(w.wq));
+        let mut k = s_as.gemm_encode_cols(x, &s_as.operand(w.wk));
+        q.add_bias(w.bq);
+        k.add_bias(w.bk);
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::Q,
+                head: None,
+            },
+            &mut q,
+        );
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::K,
+                head: None,
+            },
+            &mut k,
+        );
+        // Verify-on-append (see module docs): heal eagerly — K joins
+        // long-lived cache state this step, Q feeds every head's score row.
+        if s_as.active() {
+            s_as.heal_operand_cols(ctx.report, &mut q, usize::MAX, |_r, c| {
+                replay_nn(x.row(0), |kk| w.wq[(kk, c)]) + w.bq[c]
+            });
+            s_as.heal_operand_cols(ctx.report, &mut k, usize::MAX, |_r, c| {
+                replay_nn(x.row(0), |kk| w.wk[(kk, c)]) + w.bk[c]
+            });
+        }
+        cache.append_k(k.logical_row(0));
+
+        let mut ap_rows: Vec<Matrix> = Vec::with_capacity(w.heads);
+        for h in 0..w.heads {
+            let qh = q.slice_cols(h * d, (h + 1) * d);
+            let mut as_row = cache.score_row(&qh, h);
+            as_row.scale_inplace(scale);
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::AS,
+                    head: Some(h),
+                },
+                &mut as_row,
+            );
+            let mut det = s_as.detect(&mut as_row, h);
+            if det.detections() > 0 {
+                det.refine(&mut as_row, |_r, c| {
+                    replay_nn(qh.logical_row(0), |kk| cache.k_at(h, c, kk)) * scale
+                });
+            }
+            det.absorb(ctx.report);
+
+            // Leave the checksummed region: mask + softmax are nonlinear;
+            // the re-encoding rides inside the fused `ap·V` entry below.
+            let ap = s_cl.exit_cols(&as_row, |m| {
+                if let Some(mrow) = mask {
+                    apply_additive_mask(m, mrow);
+                }
+                softmax_rows_inplace(m);
+            });
+            ap_rows.push(ap);
+        }
+
+        // ------------------------------------------------ section S_CL
+        let x_plain = s_cl.operand(x);
+        let mut cl_blocks = Vec::with_capacity(w.heads);
+        for h in 0..w.heads {
+            let wv_h = w.wv.submatrix(0, w.hidden, h * d, (h + 1) * d);
+            let bv_h = &w.bv[h * d..(h + 1) * d];
+            let mut v_h = s_cl.gemm_encode_rows(&x_plain, &wv_h);
+            v_h.add_bias(bv_h);
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::V,
+                    head: Some(h),
+                },
+                &mut v_h,
+            );
+            // Verify-on-append: the V row joins the cache now.
+            if s_cl.active() && v_h.has_row_checksums() {
+                s_cl.heal_operand_rows(ctx.report, &mut v_h, h, |_r, c| {
+                    replay_nn(x.row(0), |kk| wv_h[(kk, c)]) + bv_h[c]
+                });
+            }
+            cache.append_v(h, &v_h);
+
+            let mut cl_row = cache.context_row(&ap_rows[h], h, s_cl.active());
+            ctx.fire(
+                FaultSite {
+                    op: AttnOp::CL,
+                    head: Some(h),
+                },
+                &mut cl_row,
+            );
+            let mut det = s_cl.detect(&mut cl_row, h);
+            if det.detections() > 0 {
+                let ap = &ap_rows[h];
+                det.refine(&mut cl_row, |_r, c| {
+                    replay_nn(ap.row(0), |kk| cache.v_at(h, kk, c))
+                });
+            }
+            det.absorb(ctx.report);
+            cl_blocks.push(cl_row.drop_row_checksums());
+        }
+        let cl_merged = CheckedMatrix::concat_cols(&cl_blocks);
+
+        // ------------------------------------------------ section S_O
+        let mut o = s_o.gemm_adopt_cols(&cl_merged, &s_o.operand(w.wo));
+        o.add_bias(w.bo);
+        ctx.fire(
+            FaultSite {
+                op: AttnOp::O,
+                head: None,
+            },
+            &mut o,
+        );
+        let mut det = s_o.detect(&mut o, usize::MAX);
+        if det.fixes() > 0 {
+            det.refine(&mut o, |_r, c| {
+                replay_nn(cl_merged.logical_row(0), |kk| w.wo[(kk, c)]) + w.bo[c]
+            });
+        }
+        det.absorb(ctx.report);
+        o.logical()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // step index t addresses parallel row/prefix structures
+mod tests {
+    use super::*;
+    use crate::attention::{AttentionWeights, ForwardOptions, SectionToggles};
+    use crate::config::ProtectionConfig;
+    use crate::report::AbftReport;
+    use attn_fault::FaultKind;
+    use attn_tensor::ops::causal_mask;
+    use attn_tensor::rng::TensorRng;
+
+    fn setup(seq: usize, hidden: usize, heads: usize) -> (Matrix, ProtectedAttention) {
+        let mut rng = TensorRng::seed_from(77);
+        let w = AttentionWeights::random(hidden, heads, &mut rng);
+        let x = rng.normal_matrix(seq, hidden, 0.5);
+        (x, ProtectedAttention::new(w, ProtectionConfig::full()))
+    }
+
+    fn decode_all(
+        attn: &ProtectedAttention,
+        x: &Matrix,
+        masked: bool,
+        toggles: SectionToggles,
+    ) -> (Vec<Matrix>, AbftReport) {
+        let mut cache = AttnKvCache::for_attention(attn);
+        let mut report = AbftReport::default();
+        let mut rows = Vec::new();
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mask_row = masked.then(|| Matrix::zeros(1, t + 1));
+            let mut ctx = ForwardCtx {
+                mask: mask_row.as_ref(),
+                toggles,
+                hook: None,
+                report: &mut report,
+            };
+            rows.push(attn.decode_step(&x_row, &mut cache, &mut ctx));
+        }
+        (rows, report)
+    }
+
+    #[test]
+    fn decode_rows_are_bit_identical_to_full_forward_over_each_prefix() {
+        let (x, attn) = setup(9, 32, 4);
+        let (rows, report) = decode_all(&attn, &x, false, SectionToggles::all());
+        assert!(
+            report.is_quiet(),
+            "fault-free decode must be quiet: {report}"
+        );
+        for t in 0..x.rows() {
+            let prefix = x.submatrix(0, t + 1, 0, x.cols());
+            let mut r = AbftReport::default();
+            let full = attn.forward(&prefix, ForwardOptions::default(), &mut r);
+            let full_row = full.output.row(t);
+            let dec_row = rows[t].row(0);
+            for (c, (a, b)) in dec_row.iter().zip(full_row).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "t={t} c={c}: decode {a} vs full {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_parity_holds_with_causal_mask_rows() {
+        let (x, attn) = setup(7, 24, 3);
+        let mut cache = AttnKvCache::for_attention(&attn);
+        let mut report = AbftReport::default();
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let full_mask = causal_mask(t + 1);
+            let mask_row = full_mask.submatrix(t, t + 1, 0, t + 1);
+            let mut ctx = ForwardCtx {
+                mask: Some(&mask_row),
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut report,
+            };
+            let dec = attn.decode_step(&x_row, &mut cache, &mut ctx);
+
+            let prefix = x.submatrix(0, t + 1, 0, x.cols());
+            let mut r = AbftReport::default();
+            let full = attn.forward(
+                &prefix,
+                ForwardOptions {
+                    mask: Some(&full_mask),
+                    ..Default::default()
+                },
+                &mut r,
+            );
+            assert_eq!(
+                dec.row(0).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                full.output
+                    .row(t)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_parity_holds_with_sections_gated_off() {
+        // Per-step frequency gating must not perturb logical values: an
+        // unguarded decode step is bit-transparent, like inactive training
+        // sections.
+        let (x, attn) = setup(6, 16, 2);
+        let (all_rows, _) = decode_all(&attn, &x, false, SectionToggles::all());
+        let (none_rows, report) = decode_all(&attn, &x, false, SectionToggles::none());
+        assert_eq!(report.sections_checked, 0);
+        for (t, (a, b)) in all_rows.iter().zip(&none_rows).enumerate() {
+            assert_eq!(a, b, "t={t}: gated-off step diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_k_checksums_track_the_cache() {
+        let (x, attn) = setup(24, 32, 4);
+        let mut cache = AttnKvCache::for_attention(&attn);
+        let mut report = AbftReport::default();
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut report,
+            };
+            let _ = attn.decode_step(&x_row, &mut cache, &mut ctx);
+        }
+        assert_eq!(cache.len(), 24);
+        let drift = cache.max_k_checksum_drift();
+        assert!(drift < 1e-3, "incremental checksum drift {drift}");
+    }
+
+    fn inject_then_check(op: AttnOp, kind: FaultKind) {
+        let (x, attn) = setup(8, 32, 4);
+        let (clean_rows, _) = decode_all(&attn, &x, false, SectionToggles::all());
+
+        let mut cache = AttnKvCache::for_attention(&attn);
+        let mut report = AbftReport::default();
+        let strike_at = 5usize; // a mid-sequence step with a grown cache
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut fired = false;
+            let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+                let right = site.op == op && (site.head.is_none() || site.head == Some(1));
+                if right && !fired {
+                    fired = true;
+                    let (r, c) = (0, m.cols() * 2 / 3);
+                    let old = m.get(r, c);
+                    m.set(r, c, kind.apply(old));
+                }
+            };
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: (t == strike_at).then_some(&mut hook as _),
+                report: &mut report,
+            };
+            let out = attn.decode_step(&x_row, &mut cache, &mut ctx);
+            assert_eq!(
+                out, clean_rows[t],
+                "{op:?}/{kind:?} t={t}: corrected decode must match fault-free bits; {report}"
+            );
+            if t == strike_at {
+                assert!(fired, "hook never fired for {op:?}");
+            }
+        }
+        assert!(
+            report.correction_count() > 0,
+            "{op:?}/{kind:?}: no corrections recorded"
+        );
+        assert_eq!(report.unrecovered, 0, "{op:?}/{kind:?}");
+    }
+
+    #[test]
+    fn decode_corrects_inf_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::Inf);
+        }
+    }
+
+    #[test]
+    fn decode_corrects_nan_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::NaN);
+        }
+    }
+
+    #[test]
+    fn decode_corrects_near_inf_at_every_site() {
+        for op in AttnOp::ALL {
+            inject_then_check(op, FaultKind::NearInf);
+        }
+    }
+
+    #[test]
+    fn unprotected_decode_lets_faults_poison_the_cache() {
+        let (x, attn) = setup(6, 16, 2);
+        let off = ProtectedAttention::new(attn.weights.clone(), ProtectionConfig::off());
+        let mut cache = AttnKvCache::for_attention(&off);
+        assert!(!cache.checksummed());
+        let mut report = AbftReport::default();
+        let mut poisoned = false;
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut hook = |site: FaultSite, m: &mut CheckedMatrix| {
+                if site.op == AttnOp::K {
+                    m.set(0, 3, f32::NAN);
+                }
+            };
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::none(),
+                hook: (t == 2).then_some(&mut hook as _),
+                report: &mut report,
+            };
+            let out = off.decode_step(&x_row, &mut cache, &mut ctx);
+            if t >= 2 {
+                poisoned |= !out.all_finite();
+            }
+        }
+        assert!(poisoned, "unprotected NaN in K must reach decode outputs");
+        assert_eq!(report.correction_count(), 0);
+    }
+
+    #[test]
+    fn seeded_cache_continues_bit_identically() {
+        // Prefill via the full forward, seed the cache from its K/V tape,
+        // then decode the tail — the parity contract across the seam.
+        let (x, attn) = setup(10, 32, 4);
+        let (all_decoded, _) = decode_all(&attn, &x, false, SectionToggles::all());
+
+        let prefill = 6usize;
+        let prefix = x.submatrix(0, prefill, 0, x.cols());
+        let mut r = AbftReport::default();
+        let full = attn.forward(&prefix, ForwardOptions::default(), &mut r);
+        let mut cache = AttnKvCache::for_attention(&attn);
+        cache.seed(&full.cache.k, &full.cache.v);
+        assert_eq!(cache.len(), prefill);
+
+        let mut report = AbftReport::default();
+        for t in prefill..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut report,
+            };
+            let out = attn.decode_step(&x_row, &mut cache, &mut ctx);
+            assert_eq!(out, all_decoded[t], "t={t}: seam broke bit parity");
+        }
+        assert!(report.is_quiet());
+    }
+}

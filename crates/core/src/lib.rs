@@ -60,6 +60,7 @@ pub mod batched;
 pub mod checked;
 pub mod checksum;
 pub mod config;
+pub mod decode;
 pub mod detect;
 pub mod eec;
 pub mod policy;
@@ -68,6 +69,7 @@ pub mod section;
 
 pub use checked::CheckedMatrix;
 pub use config::{AbftConfig, FrequencyGate, ProtectionConfig, Strategy};
+pub use decode::AttnKvCache;
 pub use eec::{eec_correct_vector, VectorVerdict};
 pub use policy::ProtectionPolicy;
 pub use report::AbftReport;

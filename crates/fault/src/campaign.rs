@@ -52,9 +52,13 @@ impl CampaignStats {
     }
 
     /// Point estimate of the success probability.
+    ///
+    /// Returns [`f64::NAN`] for an empty campaign: `0/0` has no point
+    /// estimate, and reporting `0.0` would make a campaign that never ran
+    /// indistinguishable from one where every trial failed.
     pub fn rate(&self) -> f64 {
         if self.trials == 0 {
-            0.0
+            f64::NAN
         } else {
             self.successes as f64 / self.trials as f64
         }
@@ -75,9 +79,14 @@ impl CampaignStats {
         ((centre - half).max(0.0), (centre + half).min(1.0))
     }
 
-    /// Formatted percentage, e.g. `"97.3%"`.
+    /// Formatted percentage, e.g. `"97.3%"`; `"n/a"` for an empty campaign
+    /// (visibly distinct from an all-failure `"0.0%"`).
     pub fn percent(&self) -> String {
-        format!("{:.1}%", 100.0 * self.rate())
+        if self.trials == 0 {
+            "n/a".into()
+        } else {
+            format!("{:.1}%", 100.0 * self.rate())
+        }
     }
 }
 
@@ -144,10 +153,15 @@ mod tests {
     }
 
     #[test]
-    fn empty_stats_are_safe() {
-        let s = CampaignStats::from_outcomes(&[]);
-        assert_eq!(s.rate(), 0.0);
-        let (lo, hi) = s.wilson_95();
+    fn empty_stats_are_visibly_distinct_from_all_failure() {
+        let empty = CampaignStats::from_outcomes(&[]);
+        assert!(empty.rate().is_nan(), "0/0 has no point estimate");
+        assert_eq!(empty.percent(), "n/a");
+        let (lo, hi) = empty.wilson_95();
         assert_eq!((lo, hi), (0.0, 1.0));
+
+        let all_failed = CampaignStats::from_outcomes(&[false, false]);
+        assert_eq!(all_failed.rate(), 0.0);
+        assert_eq!(all_failed.percent(), "0.0%");
     }
 }

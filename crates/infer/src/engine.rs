@@ -1,0 +1,395 @@
+//! The decoding engine: session lifecycle, batching, protection pacing.
+
+use crate::sampling::{sample_token, Sampling};
+use crate::session::DecodeSession;
+use attn_model::model::{InjectionSpec, TransformerModel};
+use attn_tensor::rng::TensorRng;
+use attnchecker::config::ProtectionConfig;
+use attnchecker::policy::ProtectionPolicy;
+use attnchecker::report::AbftReport;
+use rayon::prelude::*;
+
+/// ABFT-protected autoregressive decoding engine.
+///
+/// Owns the model and the [`ProtectionPolicy`] whose frequency gates pace
+/// section checks across decode steps (one toggle set per engine step,
+/// shared by every session in a batch — the serving image of the trainer's
+/// per-step gating). Sessions are isolated: each carries its own KV
+/// caches, sampling RNG, and report, so a batch step fans them over a
+/// sized rayon pool and reduces in fixed order — generated tokens, logits,
+/// and reports are bit-identical at any worker count.
+pub struct DecodeEngine {
+    model: TransformerModel,
+    policy: ProtectionPolicy,
+    parallelism: usize,
+    pool: Option<rayon::ThreadPool>,
+    next_id: u64,
+}
+
+impl DecodeEngine {
+    /// Wrap a causal model for serving.
+    ///
+    /// # Panics
+    /// Panics when the architecture cannot decode, or when
+    /// `num_classes != vocab` — generation feeds sampled ids back as
+    /// inputs, so the classifier head must span the vocabulary.
+    pub fn new(model: TransformerModel) -> Self {
+        assert!(
+            model.supports_decode(),
+            "DecodeEngine requires a causal architecture (GPT-2 / GPT-Neo)"
+        );
+        assert_eq!(
+            model.config.num_classes, model.config.vocab,
+            "DecodeEngine requires an LM-shaped head (num_classes == vocab)"
+        );
+        let policy = ProtectionPolicy::new(model.blocks[0].attn.protection);
+        Self {
+            model,
+            policy,
+            parallelism: 1,
+            pool: None,
+            next_id: 0,
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &TransformerModel {
+        &self.model
+    }
+
+    /// Fan batch steps over `workers` threads (clamped to ≥ 1). Purely a
+    /// throughput knob: per-session isolation plus fixed-order reduction
+    /// keep every result bit-identical at any setting.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+        self.pool = (self.parallelism > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.parallelism)
+                .build()
+                .expect("decode thread pool")
+        });
+    }
+
+    /// Worker threads batch steps fan out over.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Change the protection config on the model and the pacing policy
+    /// together. Affects new sessions and future steps; an existing
+    /// session keeps the cache layout (checksummed or not) it was opened
+    /// with.
+    pub fn set_protection(&mut self, protection: ProtectionConfig) {
+        self.model.set_protection(protection);
+        self.policy.sync_config(protection);
+    }
+
+    /// Open a session: prefill `prompt` through the full protected forward
+    /// (seeding the KV caches from its post-correction tape) and arm the
+    /// next-token logits. `seed` initialises the session's private
+    /// sampling RNG.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or out-of-vocabulary ids.
+    pub fn open_session(&mut self, prompt: &[usize], seed: u64) -> DecodeSession {
+        let toggles = self.policy.next_toggles();
+        let mut report = AbftReport::default();
+        let mut state = self.model.new_decode_state();
+        let logits = self.model.prefill(prompt, &mut state, toggles, &mut report);
+        let id = self.next_id;
+        self.next_id += 1;
+        DecodeSession {
+            id,
+            tokens: prompt.to_vec(),
+            prompt_len: prompt.len(),
+            report,
+            state,
+            logits,
+            rng: TensorRng::seed_from(seed),
+        }
+    }
+
+    /// Advance one session by one token: sample from the armed logits,
+    /// decode the sampled token through the protected KV-cached step, and
+    /// re-arm. Returns the sampled token.
+    pub fn step(&mut self, session: &mut DecodeSession, sampling: Sampling) -> usize {
+        self.step_injected(session, sampling, None)
+    }
+
+    /// [`Self::step`] with an optional fault injection into one decode-time
+    /// GEMM — the serving image of `Trainer::train_step_injected`.
+    pub fn step_injected(
+        &mut self,
+        session: &mut DecodeSession,
+        sampling: Sampling,
+        inject: Option<&InjectionSpec>,
+    ) -> usize {
+        let toggles = self.policy.next_toggles();
+        let token = sample_token(&session.logits, sampling, &mut session.rng);
+        session.tokens.push(token);
+        session.logits = self.model.decode_step(
+            token,
+            &mut session.state,
+            toggles,
+            inject,
+            &mut session.report,
+        );
+        token
+    }
+
+    /// Advance every session by one token, fanned over the engine pool.
+    /// One toggle set is drawn for the whole batch step; results are read
+    /// back in input order, so the outcome is bit-identical to stepping
+    /// the sessions sequentially. Returns the sampled token per session,
+    /// in order.
+    ///
+    /// Sessions are stepped **in place** — they are never moved out of the
+    /// caller's slice, so even if one session panics (e.g. its position
+    /// table is exhausted; see [`Self::capacity_left`]) the others remain
+    /// owned by the caller and can continue.
+    pub fn step_batch(&mut self, sessions: &mut [DecodeSession], sampling: Sampling) -> Vec<usize> {
+        if sessions.is_empty() {
+            return Vec::new();
+        }
+        let toggles = self.policy.next_toggles();
+        let model = &self.model;
+        let run = |s: &mut DecodeSession| {
+            let token = sample_token(&s.logits, sampling, &mut s.rng);
+            s.tokens.push(token);
+            s.logits = model.decode_step(token, &mut s.state, toggles, None, &mut s.report);
+        };
+        if self.parallelism > 1 && sessions.len() > 1 {
+            let pool = self.pool.as_ref().expect("pool built by set_parallelism");
+            pool.install(|| {
+                sessions
+                    .par_chunks_mut(1)
+                    .for_each(|chunk| run(&mut chunk[0]))
+            });
+        } else {
+            sessions.iter_mut().for_each(run);
+        }
+        sessions
+            .iter()
+            .map(|s| *s.tokens.last().expect("session stepped"))
+            .collect()
+    }
+
+    /// How many more tokens `session` can decode before the model's
+    /// position table is exhausted (decoding past it panics). Callers
+    /// batching sessions of unequal length can drain a session from the
+    /// batch when this reaches 0.
+    pub fn capacity_left(&self, session: &DecodeSession) -> usize {
+        let table = self.model.embedding.pos.value.rows() - self.model.embedding.pos_offset;
+        table.saturating_sub(session.position())
+    }
+
+    /// Generate `n` tokens on one session; returns them in order.
+    pub fn generate(
+        &mut self,
+        session: &mut DecodeSession,
+        n: usize,
+        sampling: Sampling,
+    ) -> Vec<usize> {
+        (0..n).map(|_| self.step(session, sampling)).collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // step index addresses parallel reference structures
+mod tests {
+    use super::*;
+    use attn_fault::{run_campaign, CampaignStats, FaultKind};
+    use attn_model::model::ModelConfig;
+    use attn_tensor::Matrix;
+    use attnchecker::attention::{AttnOp, SectionToggles};
+
+    fn lm_model(protection: ProtectionConfig) -> TransformerModel {
+        let mut rng = TensorRng::seed_from(17);
+        let mut cfg = ModelConfig::gpt2();
+        cfg.hidden = 32;
+        cfg.heads = 2;
+        cfg.layers = 2;
+        cfg.vocab = 48;
+        cfg.num_classes = 48; // LM-shaped head
+        cfg.max_seq = 32;
+        TransformerModel::new(cfg, protection, &mut rng)
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn greedy_generation_matches_full_forward_recompute() {
+        // Engine-level parity: each armed logits row must equal the full
+        // protected forward over the session's whole token history.
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let prompt = [3usize, 11, 7, 29];
+        let mut session = engine.open_session(&prompt, 1);
+        for _ in 0..8 {
+            let _ = engine.step(&mut session, Sampling::Greedy);
+            let mut r = AbftReport::default();
+            let (full, _) =
+                engine
+                    .model()
+                    .forward_tape(&session.tokens, SectionToggles::none(), None, &mut r);
+            assert_eq!(
+                bits(session.logits()),
+                bits(&full),
+                "tokens={:?}",
+                session.tokens
+            );
+        }
+        assert_eq!(session.generated().len(), 8);
+        assert!(session.report.is_quiet());
+    }
+
+    #[test]
+    fn batched_decode_is_bit_identical_at_any_worker_count() {
+        let prompts: [&[usize]; 4] = [&[1, 2, 3], &[40, 4], &[9, 9, 9, 9, 9], &[17]];
+        let run = |workers: usize| {
+            let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+            engine.set_parallelism(workers);
+            let mut sessions: Vec<DecodeSession> = prompts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| engine.open_session(p, 100 + i as u64))
+                .collect();
+            let mut all_tokens = Vec::new();
+            for _ in 0..6 {
+                all_tokens.push(engine.step_batch(&mut sessions, Sampling::Temperature(0.9)));
+            }
+            let logits: Vec<Vec<u32>> = sessions.iter().map(|s| bits(s.logits())).collect();
+            let reports: Vec<_> = sessions.iter().map(|s| s.report.clone()).collect();
+            (all_tokens, logits, reports)
+        };
+        let base = run(1);
+        for workers in [2, 4, 7] {
+            assert_eq!(run(workers), base, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn sessions_keep_their_order_and_ids_across_batched_steps() {
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        engine.set_parallelism(3);
+        let mut sessions: Vec<DecodeSession> = (0..5)
+            .map(|i| engine.open_session(&[i + 1], i as u64))
+            .collect();
+        let ids: Vec<u64> = sessions.iter().map(|s| s.id).collect();
+        let toks = engine.step_batch(&mut sessions, Sampling::Greedy);
+        assert_eq!(toks.len(), 5);
+        assert_eq!(ids, sessions.iter().map(|s| s.id).collect::<Vec<_>>());
+        for (s, &t) in sessions.iter().zip(&toks) {
+            assert_eq!(*s.tokens.last().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn protected_and_unprotected_sessions_agree_when_fault_free() {
+        let mut on = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let mut off = DecodeEngine::new(lm_model(ProtectionConfig::off()));
+        let prompt = [5usize, 23, 2];
+        let mut sa = on.open_session(&prompt, 9);
+        let mut sb = off.open_session(&prompt, 9);
+        let ta = on.generate(&mut sa, 6, Sampling::Greedy);
+        let tb = off.generate(&mut sb, 6, Sampling::Greedy);
+        assert_eq!(ta, tb, "protection must not change fault-free decoding");
+        assert_eq!(bits(sa.logits()), bits(sb.logits()));
+    }
+
+    #[test]
+    fn injection_campaign_over_decode_steps_is_fully_corrected() {
+        // The Table-4-style campaign, pointed at serving: random extreme
+        // faults in random decode-time GEMMs, every one detected and
+        // exactly corrected (logits match the fault-free run bit for bit).
+        let model = lm_model(ProtectionConfig::full());
+        let prompt = [7usize, 31, 13, 2];
+        let steps = 5usize;
+
+        // Fault-free reference logits per step.
+        let reference: Vec<Vec<u32>> = {
+            let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+            let mut s = engine.open_session(&prompt, 42);
+            (0..steps)
+                .map(|_| {
+                    let _ = engine.step(&mut s, Sampling::Greedy);
+                    bits(s.logits())
+                })
+                .collect()
+        };
+
+        const SITES: [AttnOp; 8] = [
+            AttnOp::Q,
+            AttnOp::K,
+            AttnOp::V,
+            AttnOp::AS,
+            AttnOp::CL,
+            AttnOp::O,
+            AttnOp::Ffn1,
+            AttnOp::Ffn2,
+        ];
+        const KINDS: [FaultKind; 4] = [
+            FaultKind::Inf,
+            FaultKind::NegInf,
+            FaultKind::NaN,
+            FaultKind::NearInf,
+        ];
+        let outcomes = run_campaign(2024, 48, |_, rng| {
+            let spec = InjectionSpec {
+                layer: rng.index(model.config.layers),
+                op: SITES[rng.index(SITES.len())],
+                head: rng.index(model.config.heads),
+                row: rng.index(8),
+                col: rng.index(64),
+                kind: KINDS[rng.index(KINDS.len())],
+            };
+            let strike = rng.index(steps);
+            let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+            let mut s = engine.open_session(&prompt, 42);
+            let mut ok = true;
+            for step in 0..steps {
+                let inject = (step == strike).then_some(&spec);
+                let _ = engine.step_injected(&mut s, Sampling::Greedy, inject);
+                ok &= bits(s.logits()) == reference[step];
+            }
+            ok && s.report.unrecovered == 0 && s.report.correction_count() > 0
+        });
+        let stats = CampaignStats::from_outcomes(&outcomes);
+        assert_eq!(
+            stats.successes,
+            stats.trials,
+            "decode campaign not fully corrected: {}",
+            stats.percent()
+        );
+    }
+
+    #[test]
+    fn unprotected_injection_poisons_generation() {
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::off()));
+        let mut s = engine.open_session(&[1usize, 2, 3], 0);
+        let spec = InjectionSpec {
+            layer: 0,
+            op: AttnOp::AS,
+            head: 0,
+            row: 0,
+            col: 1,
+            kind: FaultKind::NaN,
+        };
+        let _ = engine.step_injected(&mut s, Sampling::Greedy, Some(&spec));
+        assert!(
+            !s.logits().all_finite(),
+            "unprotected NaN must reach the logits"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn classifier_head_is_rejected() {
+        // num_classes != vocab cannot feed sampled ids back as inputs.
+        let mut rng = TensorRng::seed_from(1);
+        let cfg = ModelConfig::gpt2(); // num_classes = 2
+        let model = TransformerModel::new(cfg, ProtectionConfig::off(), &mut rng);
+        let _ = DecodeEngine::new(model);
+    }
+}

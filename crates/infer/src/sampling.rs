@@ -1,0 +1,130 @@
+//! Next-token selection from a logits row.
+
+use attn_tensor::ops::softmax_rows;
+use attn_tensor::rng::TensorRng;
+use attn_tensor::Matrix;
+
+/// Sampling strategy for [`sample_token`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampling {
+    /// Deterministic argmax (first maximum wins; NaN never wins).
+    Greedy,
+    /// Softmax at the given temperature, sampled with the session RNG.
+    /// Temperatures `<= 0` degrade to greedy.
+    Temperature(f32),
+}
+
+/// Pick the next token id from a `1 × vocab` logits row.
+///
+/// Deterministic given the logits and the RNG state: batched engines give
+/// each session its own forked RNG, so scheduling cannot perturb samples.
+///
+/// # Panics
+/// Panics on an empty logits row.
+pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) -> usize {
+    assert_eq!(logits.rows(), 1, "sample_token: one logits row");
+    assert!(logits.cols() > 0, "sample_token: empty logits");
+    match sampling {
+        Sampling::Greedy => argmax(logits.row(0)),
+        Sampling::Temperature(t) if t > 0.0 => {
+            let scaled = logits.map(|v| v / t);
+            let p = softmax_rows(&scaled);
+            let row = p.row(0);
+            // A poisoned row (NaN logits, the non-trainable-state signal)
+            // has no distribution to sample; fall back to argmax, which
+            // ignores NaNs.
+            if row.iter().any(|v| !v.is_finite()) {
+                return argmax(logits.row(0));
+            }
+            let u = rng.uniform(0.0, 1.0);
+            let mut acc = 0.0f32;
+            for (i, &pi) in row.iter().enumerate() {
+                acc += pi;
+                if u < acc {
+                    return i;
+                }
+            }
+            row.len() - 1 // round-off tail
+        }
+        Sampling::Temperature(_) => argmax(logits.row(0)),
+    }
+}
+
+/// First index of the row maximum; NaNs never win.
+fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] || row[best].is_nan() {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_first_maximum() {
+        let mut rng = TensorRng::seed_from(1);
+        let logits = Matrix::from_vec(1, 4, vec![0.1, 2.0, 2.0, -1.0]);
+        assert_eq!(sample_token(&logits, Sampling::Greedy, &mut rng), 1);
+    }
+
+    #[test]
+    fn greedy_ignores_nan() {
+        let mut rng = TensorRng::seed_from(2);
+        let logits = Matrix::from_vec(1, 3, vec![f32::NAN, 0.5, 0.1]);
+        assert_eq!(sample_token(&logits, Sampling::Greedy, &mut rng), 1);
+    }
+
+    #[test]
+    fn temperature_sampling_is_deterministic_given_rng_state() {
+        let logits = Matrix::from_vec(1, 8, (0..8).map(|i| (i as f32).sin()).collect());
+        let mut a = TensorRng::seed_from(7);
+        let mut b = TensorRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(
+                sample_token(&logits, Sampling::Temperature(0.8), &mut a),
+                sample_token(&logits, Sampling::Temperature(0.8), &mut b),
+            );
+        }
+    }
+
+    #[test]
+    fn low_temperature_concentrates_on_argmax() {
+        let mut rng = TensorRng::seed_from(3);
+        let logits = Matrix::from_vec(1, 4, vec![0.0, 5.0, 1.0, -2.0]);
+        for _ in 0..64 {
+            assert_eq!(
+                sample_token(&logits, Sampling::Temperature(0.05), &mut rng),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn zero_temperature_degrades_to_greedy() {
+        let mut rng = TensorRng::seed_from(4);
+        let logits = Matrix::from_vec(1, 3, vec![1.0, 3.0, 2.0]);
+        assert_eq!(
+            sample_token(&logits, Sampling::Temperature(0.0), &mut rng),
+            1
+        );
+    }
+
+    #[test]
+    fn high_temperature_explores() {
+        let mut rng = TensorRng::seed_from(5);
+        let logits = Matrix::from_vec(1, 4, vec![0.0, 1.0, 0.5, 0.2]);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[sample_token(&logits, Sampling::Temperature(5.0), &mut rng)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "high temperature must reach every token"
+        );
+    }
+}

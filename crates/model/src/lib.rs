@@ -14,11 +14,14 @@
 //! * [`data`] — a synthetic MRPC-style paraphrase corpus.
 //! * [`trainer`] — fine-tuning loop with non-trainable-state detection and
 //!   attention/step timing (Figs 6, 7, 11).
+//! * [`decode`] — KV-cached autoregressive decode front-end for the causal
+//!   architectures, bit-identical to the full protected forward.
 //! * [`flops`] — paper-scale flop accounting behind Table 3.
 
 pub mod attn_layer;
 pub mod block;
 pub mod data;
+pub mod decode;
 pub mod embedding;
 pub mod ffn;
 pub mod flops;
@@ -31,6 +34,7 @@ pub mod tape;
 pub mod trainer;
 
 pub use data::{Example, SyntheticMrpc};
+pub use decode::DecodeState;
 pub use model::{cross_entropy, InjectionSpec, ModelArch, ModelConfig, TransformerModel};
 pub use optim::AdamW;
 pub use param::{Grads, HasParams, Param};

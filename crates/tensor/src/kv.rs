@@ -1,0 +1,297 @@
+//! Growable append-row buffers for per-session KV caches.
+//!
+//! Autoregressive decoding appends one key/value row per generated token
+//! and multiplies against the whole cache every step. [`KvBuf`] is the
+//! storage primitive: a row-major matrix that grows by appended rows with
+//! amortised-O(1) reallocation, keeps an optional block of **tail border
+//! rows** physically pinned after the data rows (where a checksummed cache
+//! stores its two column-checksum rows, matching the
+//! `CheckedMatrix`-augmented layout GEMM kernels consume), and draws its
+//! backing store from the thread-local [`crate::workspace`] arena — a
+//! retired session returns its buffers to the pool, so the next session's
+//! cache growth replays against warm capacity instead of the global
+//! allocator.
+//!
+//! The GEMM entry points in [`crate::gemm`] take [`MatRef`] views, so a
+//! cache participates in products without being copied into an owned
+//! [`crate::Matrix`]: [`KvBuf::view`] spans data *and* tail rows (the
+//! augmented operand), [`KvBuf::data_view`] spans the data rows only.
+
+use crate::view::{MatMut, MatRef};
+use crate::workspace::{self, WsBuf};
+
+/// Row-major growable matrix with `tail` border rows pinned after the data
+/// rows. Backed by the thread-local workspace arena.
+pub struct KvBuf {
+    cols: usize,
+    rows: usize,
+    tail: usize,
+    /// Backing store; always exactly `(capacity_rows) * cols` long with
+    /// `capacity_rows >= rows + tail`.
+    buf: WsBuf,
+    capacity_rows: usize,
+}
+
+impl KvBuf {
+    /// Initial row capacity (data + tail) for a fresh buffer.
+    const INITIAL_ROWS: usize = 16;
+
+    /// An empty buffer of `cols`-wide rows with `tail` pinned border rows
+    /// (zero-initialised).
+    pub fn new(cols: usize, tail: usize) -> Self {
+        Self::with_row_capacity(cols, tail, Self::INITIAL_ROWS)
+    }
+
+    /// An empty buffer pre-sized for `capacity` total rows.
+    pub fn with_row_capacity(cols: usize, tail: usize, capacity: usize) -> Self {
+        assert!(cols > 0, "KvBuf: cols must be positive");
+        let capacity_rows = capacity.max(tail + 1);
+        Self {
+            cols,
+            rows: 0,
+            tail,
+            buf: workspace::take(capacity_rows * cols),
+            capacity_rows,
+        }
+    }
+
+    /// Appended data rows (excluding the tail border).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Pinned border rows after the data region.
+    #[inline]
+    pub fn tail(&self) -> usize {
+        self.tail
+    }
+
+    /// Total physical rows (data + tail).
+    #[inline]
+    pub fn total_rows(&self) -> usize {
+        self.rows + self.tail
+    }
+
+    /// Ensure capacity for `extra` more data rows without reallocating.
+    pub fn reserve_rows(&mut self, extra: usize) {
+        let needed = self.rows + self.tail + extra;
+        if needed <= self.capacity_rows {
+            return;
+        }
+        let new_cap = needed.max(self.capacity_rows * 2);
+        let mut bigger = workspace::take(new_cap * self.cols);
+        let live = (self.rows + self.tail) * self.cols;
+        bigger[..live].copy_from_slice(&self.buf[..live]);
+        self.buf = bigger; // old store drops back into the arena pool
+        self.capacity_rows = new_cap;
+    }
+
+    /// Append one data row before the tail border (which slides down one
+    /// slot); returns the new row's index. O(cols · (1 + tail)) plus
+    /// amortised growth.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != cols`.
+    pub fn push_row(&mut self, row: &[f32]) -> usize {
+        assert_eq!(row.len(), self.cols, "push_row: width mismatch");
+        self.reserve_rows(1);
+        let c = self.cols;
+        let idx = self.rows;
+        if self.tail > 0 {
+            // Slide the pinned border down one row slot (regions overlap
+            // only when tail > 1, copy_within handles both).
+            let start = idx * c;
+            self.buf
+                .copy_within(start..start + self.tail * c, start + c);
+        }
+        self.buf[idx * c..(idx + 1) * c].copy_from_slice(row);
+        self.rows = idx + 1;
+        idx
+    }
+
+    /// Data row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.buf[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable data row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.buf[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Tail border row `i` (0-based within the border block).
+    #[inline]
+    pub fn tail_row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.tail);
+        let r = self.rows + i;
+        &self.buf[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable tail border row `i`.
+    #[inline]
+    pub fn tail_row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.tail);
+        let r = self.rows + i;
+        &mut self.buf[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// View over data *and* tail rows — the augmented GEMM operand.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::new(
+            &self.buf[..(self.rows + self.tail) * self.cols],
+            self.rows + self.tail,
+            self.cols,
+        )
+    }
+
+    /// View over the data rows only.
+    #[inline]
+    pub fn data_view(&self) -> MatRef<'_> {
+        MatRef::new(&self.buf[..self.rows * self.cols], self.rows, self.cols)
+    }
+
+    /// Mutable view over data and tail rows.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        let total = (self.rows + self.tail) * self.cols;
+        MatMut::new(&mut self.buf[..total], self.rows + self.tail, self.cols)
+    }
+
+    /// Element of the data region at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.buf[r * self.cols + c]
+    }
+}
+
+impl std::fmt::Debug for KvBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvBuf")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("tail", &self.tail)
+            .field("capacity_rows", &self.capacity_rows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_rows_are_readable_in_order() {
+        let mut kv = KvBuf::new(3, 0);
+        for i in 0..10 {
+            let row = [i as f32, 2.0 * i as f32, -(i as f32)];
+            assert_eq!(kv.push_row(&row), i);
+        }
+        assert_eq!(kv.rows(), 10);
+        for i in 0..10 {
+            assert_eq!(kv.row(i), &[i as f32, 2.0 * i as f32, -(i as f32)]);
+        }
+        let v = kv.data_view();
+        assert_eq!((v.rows(), v.cols()), (10, 3));
+        assert_eq!(v.at(7, 1), 14.0);
+    }
+
+    #[test]
+    fn tail_rows_stay_pinned_after_data_across_growth() {
+        let mut kv = KvBuf::with_row_capacity(2, 2, 3);
+        kv.tail_row_mut(0).copy_from_slice(&[100.0, 200.0]);
+        kv.tail_row_mut(1).copy_from_slice(&[300.0, 400.0]);
+        // Push well past the initial capacity to force reallocation.
+        for i in 0..40 {
+            kv.push_row(&[i as f32, i as f32 + 0.5]);
+        }
+        assert_eq!(kv.tail_row(0), &[100.0, 200.0]);
+        assert_eq!(kv.tail_row(1), &[300.0, 400.0]);
+        // The augmented view places the border directly after the data.
+        let v = kv.view();
+        assert_eq!(v.rows(), 42);
+        assert_eq!(v.row(40), &[100.0, 200.0]);
+        assert_eq!(v.row(41), &[300.0, 400.0]);
+        assert_eq!(v.row(39), &[39.0, 39.5]);
+    }
+
+    #[test]
+    fn tail_updates_survive_interleaved_pushes() {
+        let mut kv = KvBuf::new(2, 1);
+        for i in 0..20 {
+            kv.push_row(&[1.0, 2.0]);
+            // Maintain a running column sum in the border row, the way a
+            // checksummed cache does.
+            let t = kv.tail_row_mut(0);
+            t[0] += 1.0;
+            t[1] += 2.0;
+            assert_eq!(kv.tail_row(0), &[(i + 1) as f32, 2.0 * (i + 1) as f32]);
+        }
+    }
+
+    #[test]
+    fn fresh_buffer_is_zeroed() {
+        let kv = KvBuf::with_row_capacity(4, 2, 8);
+        assert_eq!(kv.rows(), 0);
+        assert_eq!(kv.tail_row(0), &[0.0; 4]);
+        assert_eq!(kv.tail_row(1), &[0.0; 4]);
+    }
+
+    #[test]
+    fn gemm_over_cache_view_matches_owned_matrix() {
+        use crate::gemm;
+        use crate::rng::TensorRng;
+        use crate::Matrix;
+        let mut rng = TensorRng::seed_from(9);
+        let a = rng.normal_matrix(3, 5, 1.0);
+        let b = rng.normal_matrix(7, 5, 1.0);
+        let mut kv = KvBuf::new(5, 0);
+        for r in 0..7 {
+            kv.push_row(b.row(r));
+        }
+        let mut out = Matrix::zeros(3, 7);
+        gemm::matmul_nt_into(a.view(), kv.data_view(), out.view_mut());
+        assert_eq!(out, gemm::matmul_nt(&a, &b), "views must hit the same bits");
+    }
+
+    #[test]
+    fn arena_reuse_after_drop() {
+        let before = crate::workspace::thread_alloc_events();
+        {
+            let mut kv = KvBuf::with_row_capacity(8, 2, 64);
+            for _ in 0..32 {
+                kv.push_row(&[1.0; 8]);
+            }
+        }
+        // A same-shaped successor replays against the pooled buffer.
+        let mut kv = KvBuf::with_row_capacity(8, 2, 64);
+        for _ in 0..32 {
+            kv.push_row(&[2.0; 8]);
+        }
+        let after = crate::workspace::thread_alloc_events();
+        assert!(
+            after - before <= 1,
+            "second session must reuse the pooled store ({} allocs)",
+            after - before
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_push_panics() {
+        let mut kv = KvBuf::new(3, 0);
+        kv.push_row(&[1.0, 2.0]);
+    }
+}

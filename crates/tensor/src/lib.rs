@@ -29,6 +29,7 @@
 pub mod batch;
 pub mod error;
 pub mod gemm;
+pub mod kv;
 pub mod matrix;
 pub mod ops;
 pub mod pack;
@@ -39,6 +40,7 @@ pub mod workspace;
 
 pub use batch::Batch3;
 pub use error::ShapeError;
+pub use kv::KvBuf;
 pub use matrix::Matrix;
 pub use view::{MatMut, MatRef};
 

@@ -20,6 +20,16 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
 }
 
 /// In-place row softmax; see [`softmax_rows`].
+///
+/// A *fully-masked* row — every entry `-INF`, as causal/padding masks
+/// produce for padded positions during batched decode — yields a
+/// well-defined all-zero probability row: the token attends to nothing.
+/// The naive max-subtraction path would fabricate NaNs out of a
+/// well-formed mask (`exp(-INF − -INF) = NaN`), which downstream ABFT
+/// detectors could only mis-attribute to a hardware fault. Genuine fault
+/// propagation is preserved: a NaN entry still poisons its row even when
+/// every other entry is `-INF`, and `+INF` still saturates through
+/// `INF − INF = NaN` (the Table 2 transitions).
 pub fn softmax_rows_inplace(x: &mut Matrix) {
     let cols = x.cols();
     if cols == 0 {
@@ -35,10 +45,29 @@ pub fn softmax_rows_inplace(x: &mut Matrix) {
                 max = v;
             }
         }
+        if max == f32::NEG_INFINITY {
+            // Fully-masked row (or all-NaN/-INF mixture). Without finite
+            // mass the distribution is defined as all-zero; a NaN entry
+            // must keep poisoning so fault propagation stays observable.
+            let fill = if row.iter().any(|v| v.is_nan()) {
+                f32::NAN
+            } else {
+                0.0
+            };
+            row.fill(fill);
+            continue;
+        }
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
             sum += *v;
+        }
+        if sum == 0.0 {
+            // Defensive: with a finite max the max element contributes
+            // exp(0) = 1, so this cannot trigger today — but a zero
+            // exp-sum must never turn into a 1/0 row of INFs.
+            row.fill(0.0);
+            continue;
         }
         let inv = 1.0 / sum;
         for v in row.iter_mut() {
@@ -49,11 +78,19 @@ pub fn softmax_rows_inplace(x: &mut Matrix) {
 
 /// Backward of row softmax: given `y = softmax(x)` and `dy`, returns `dx`
 /// where `dx = y ⊙ (dy − rowsum(dy ⊙ y))`.
+///
+/// An all-zero `y` row (a fully-masked softmax row, see
+/// [`softmax_rows_inplace`]) is a constant function of its inputs, so its
+/// gradient is exactly zero — even against a non-finite `dy`, where the
+/// naive `0 · NaN` product would smuggle NaNs into `dx`.
 pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
     assert_eq!((y.rows(), y.cols()), (dy.rows(), dy.cols()));
     let mut dx = Matrix::zeros(y.rows(), y.cols());
     for r in 0..y.rows() {
         let yr = y.row(r);
+        if yr.iter().all(|&v| v == 0.0) {
+            continue; // fully-masked row: d(const)/dx = 0
+        }
         let dyr = dy.row(r);
         let s: f32 = yr.iter().zip(dyr).map(|(&a, &b)| a * b).sum();
         for (c, d) in dx.row_mut(r).iter_mut().enumerate() {
@@ -205,8 +242,9 @@ pub fn layer_norm_backward(
 
 /// Add an additive attention mask in place: `x[i,j] += mask[i,j]`.
 ///
-/// Masks use `-INF`-style large negatives (`MASK_NEG`) rather than literal
-/// infinity so a fully-masked row stays NaN-free after softmax.
+/// Masks here use `-INF`-style large negatives (`MASK_NEG`), but literal
+/// `-INF` masks are safe too: [`softmax_rows_inplace`] maps a fully-masked
+/// row to a well-defined all-zero probability row instead of NaNs.
 pub fn apply_additive_mask(x: &mut Matrix, mask: &Matrix) {
     assert_eq!((x.rows(), x.cols()), (mask.rows(), mask.cols()));
     for (v, &m) in x.data_mut().iter_mut().zip(mask.data()) {
@@ -307,6 +345,59 @@ mod tests {
         let y = softmax_rows(&x);
         assert!(y.row(0).iter().all(|v| v.is_nan()));
         assert!(y.row(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_fully_masked_row_is_all_zero_not_nan() {
+        // A fully -INF row (causal/padding mask over a padded position)
+        // must not fabricate NaNs — it is a well-defined "attend to
+        // nothing" row.
+        let x = Matrix::from_vec(
+            2,
+            3,
+            vec![
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                0.5,
+                0.25,
+                -1.0,
+            ],
+        );
+        let y = softmax_rows(&x);
+        assert!(y.row(0).iter().all(|&v| v == 0.0), "{:?}", y.row(0));
+        // The neighbouring genuine row is untouched.
+        let s: f32 = y.row(1).iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn softmax_single_element_neg_inf_row_is_zero() {
+        let x = Matrix::from_vec(1, 1, vec![f32::NEG_INFINITY]);
+        let y = softmax_rows(&x);
+        assert_eq!(y[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn softmax_nan_still_poisons_fully_masked_row() {
+        // The NaN-poisoning contract survives the masked-row fix: a NaN
+        // among -INF entries keeps the row NaN (fault propagation must
+        // stay observable).
+        let x = Matrix::from_vec(1, 3, vec![f32::NEG_INFINITY, f32::NAN, f32::NEG_INFINITY]);
+        let y = softmax_rows(&x);
+        assert!(y.row(0).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn softmax_backward_zero_row_has_zero_gradient() {
+        // A fully-masked forward row is constant in its inputs, so its
+        // gradient is exactly zero — even against a NaN upstream gradient.
+        let y = Matrix::from_vec(2, 3, vec![0.0, 0.0, 0.0, 0.2, 0.3, 0.5]);
+        let dy = Matrix::from_vec(2, 3, vec![f32::NAN, 1.0, f32::INFINITY, 0.1, 0.2, 0.3]);
+        let dx = softmax_rows_backward(&y, &dy);
+        assert!(dx.row(0).iter().all(|&v| v == 0.0));
+        assert!(dx.row(1).iter().all(|v| v.is_finite()));
     }
 
     #[test]

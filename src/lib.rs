@@ -7,6 +7,7 @@
 pub use attn_ckpt as ckpt;
 pub use attn_fault as fault;
 pub use attn_gpusim as gpusim;
+pub use attn_infer as infer;
 pub use attn_model as model;
 pub use attn_tensor as tensor;
 pub use attnchecker as abft;

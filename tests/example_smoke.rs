@@ -7,10 +7,11 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "adaptive_tuning",
     "fault_injection_study",
+    "protected_decode",
     "protected_ffn",
     "scale_projection",
     "train_with_protection",
