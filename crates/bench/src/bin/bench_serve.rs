@@ -1,0 +1,318 @@
+//! **Serving gateway benchmark** — synthetic traffic through the
+//! continuous-batching `attn_serve::Gateway`.
+//!
+//! Generates a deterministic arrival trace (Poisson arrivals per logical
+//! tick via Knuth's method on `TensorRng`; uniform prompt/output length
+//! distributions), replays it through the gateway while time-stamping
+//! every request at submission and completion, and reports:
+//!
+//! * end-to-end request latency p50/p99 (wall-clock and logical ticks);
+//! * gateway generated tokens/s vs a serial one-session-at-a-time
+//!   baseline on the same engine — continuous batching must retain a
+//!   floor fraction of serial throughput despite scheduling overhead;
+//! * accounting: every submitted request must come back exactly once
+//!   (completed, expired, or rejected), with its full token budget when
+//!   it finished by budget.
+//!
+//! Writes `BENCH_serve.json` into the working directory and exits
+//! non-zero when a floor regresses. Set `BENCH_SERVE_TINY=1` for the CI
+//! smoke shape (seconds; speed floors degrade to advisory, accounting
+//! floors always hard-fail).
+//!
+//! Run: `cargo run --release -p attn_bench --bin bench_serve`
+
+use attn_infer::{DecodeEngine, Sampling};
+use attn_model::model::{ModelConfig, TransformerModel};
+use attn_serve::{FinishReason, Gateway, GatewayConfig, Request, TraceEvent};
+use attn_tensor::rng::TensorRng;
+use attnchecker::config::ProtectionConfig;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Shape {
+    cfg: ModelConfig,
+    gw: GatewayConfig,
+    requests: usize,
+    /// Mean arrivals per logical tick.
+    lambda: f64,
+    prompt_range: (usize, usize),
+    max_new_range: (usize, usize),
+    /// Gateway tokens/s must retain this fraction of serial throughput.
+    floor_throughput_ratio: f64,
+}
+
+fn shape(tiny: bool) -> Shape {
+    let mut cfg = ModelConfig::gpt2();
+    if tiny {
+        cfg.hidden = 32;
+        cfg.heads = 2;
+        cfg.layers = 1;
+        cfg.vocab = 64;
+        cfg.max_seq = 32;
+    } else {
+        cfg.hidden = 64;
+        cfg.heads = 4;
+        cfg.layers = 2;
+        cfg.vocab = 128;
+        cfg.max_seq = 96;
+    }
+    cfg.num_classes = cfg.vocab;
+    Shape {
+        gw: GatewayConfig {
+            queue_depth: if tiny { 8 } else { 64 },
+            max_live: if tiny { 3 } else { 6 },
+            prefill_chunk: 4,
+            sampling: Sampling::Temperature(0.9),
+            workers: if tiny { 1 } else { 2 },
+            ..GatewayConfig::default()
+        },
+        requests: if tiny { 8 } else { 40 },
+        lambda: if tiny { 1.2 } else { 0.8 },
+        prompt_range: if tiny { (2, 6) } else { (4, 16) },
+        max_new_range: if tiny { (3, 8) } else { (8, 32) },
+        // Iteration-level batching amortises per-step overhead across
+        // sessions; even single-worker it must stay within a wide margin
+        // of the serial engine.
+        floor_throughput_ratio: 0.35,
+        cfg,
+    }
+}
+
+/// Poisson-distributed count with mean `lambda` — Knuth's product-of-
+/// uniforms method on the deterministic tensor RNG (the vendored rand
+/// shim has no distributions module).
+fn poisson(rng: &mut TensorRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.uniform(0.0, 1.0) as f64;
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn uniform_in(rng: &mut TensorRng, (lo, hi): (usize, usize)) -> usize {
+    lo + (rng.uniform(0.0, 1.0) * ((hi - lo + 1) as f32)) as usize % (hi - lo + 1)
+}
+
+/// Deterministic synthetic traffic: Poisson arrivals per tick, uniform
+/// prompt/output lengths, distinct seeds.
+fn build_trace(sh: &Shape, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = TensorRng::seed_from(seed);
+    let mut trace = Vec::with_capacity(sh.requests);
+    let mut tick = 0u64;
+    while trace.len() < sh.requests {
+        for _ in 0..poisson(&mut rng, sh.lambda) {
+            if trace.len() == sh.requests {
+                break;
+            }
+            let plen = uniform_in(&mut rng, sh.prompt_range);
+            let prompt = (0..plen)
+                .map(|_| uniform_in(&mut rng, (0, sh.cfg.vocab - 1)))
+                .collect();
+            trace.push(TraceEvent {
+                at_tick: tick,
+                request: Request {
+                    prompt,
+                    max_new: uniform_in(&mut rng, sh.max_new_range),
+                    seed: 1000 + trace.len() as u64,
+                },
+            });
+        }
+        tick += 1;
+    }
+    trace
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let tiny = std::env::var("BENCH_SERVE_TINY").is_ok_and(|v| v != "0" && !v.is_empty());
+    let sh = shape(tiny);
+    let trace = build_trace(&sh, 90210);
+    let mut rng = TensorRng::seed_from(4242);
+    let model = TransformerModel::new(sh.cfg.clone(), ProtectionConfig::full(), &mut rng);
+
+    // --- Gateway run: replay the trace manually so every request gets a
+    // wall-clock submission and completion timestamp.
+    let mut gw = Gateway::new(model, sh.gw);
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
+    let mut budgets: HashMap<u64, usize> = HashMap::new();
+    let mut completions = Vec::new();
+    let mut latencies_s = Vec::new();
+    let mut rejected = 0usize;
+    let mut next = 0usize;
+    let t0 = Instant::now();
+    while next < trace.len() || gw.queue_len() + gw.live_len() > 0 {
+        while next < trace.len() && trace[next].at_tick <= gw.now() {
+            match gw.submit(trace[next].request.clone()) {
+                Ok(id) => {
+                    submitted_at.insert(id, Instant::now());
+                    budgets.insert(id, trace[next].request.max_new);
+                }
+                Err(_) => rejected += 1,
+            }
+            next += 1;
+        }
+        gw.tick();
+        for c in gw.drain_completions() {
+            latencies_s.push(submitted_at[&c.id].elapsed().as_secs_f64());
+            completions.push(c);
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let stats = *gw.stats();
+
+    // --- Serial baseline: same requests, one at a time, full-prompt
+    // prefill, on an identically-shaped engine.
+    let mut srng = TensorRng::seed_from(4242);
+    let smodel = TransformerModel::new(sh.cfg.clone(), ProtectionConfig::full(), &mut srng);
+    let mut serial = DecodeEngine::new(smodel);
+    let s0 = Instant::now();
+    let mut serial_tokens = 0usize;
+    for ev in &trace {
+        let mut s = serial.open_session(&ev.request.prompt, ev.request.seed);
+        serial_tokens += serial
+            .generate(&mut s, ev.request.max_new, sh.gw.sampling)
+            .len();
+    }
+    let serial_s = s0.elapsed().as_secs_f64();
+
+    // --- Metrics.
+    latencies_s.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mut lat_ticks: Vec<f64> = completions
+        .iter()
+        .map(|c| (c.finished_at - c.submitted_at) as f64)
+        .collect();
+    lat_ticks.sort_by(|a, b| a.partial_cmp(b).expect("finite ticks"));
+    let p50_ms = percentile(&latencies_s, 0.50) * 1e3;
+    let p99_ms = percentile(&latencies_s, 0.99) * 1e3;
+    let generated: usize = completions.iter().map(|c| c.generated().len()).sum();
+    let expired = completions
+        .iter()
+        .filter(|c| c.reason == FinishReason::ExpiredInQueue)
+        .count();
+    let gw_tok_s = generated as f64 / wall_s;
+    let serial_tok_s = serial_tokens as f64 / serial_s;
+    let ratio = gw_tok_s / serial_tok_s;
+
+    println!(
+        "== continuous-batching gateway, {} (hidden {}, layers {}, {} requests, λ={}{}) ==",
+        sh.cfg.name,
+        sh.cfg.hidden,
+        sh.cfg.layers,
+        sh.requests,
+        sh.lambda,
+        if tiny { ", tiny smoke shape" } else { "" },
+    );
+    println!(
+        "  completed {} / rejected {rejected} / expired {expired}; generated {generated} tokens in {wall_s:.3}s",
+        completions.len(),
+    );
+    println!(
+        "  latency p50 {p50_ms:.1} ms, p99 {p99_ms:.1} ms ({:.0}/{:.0} ticks)",
+        percentile(&lat_ticks, 0.50),
+        percentile(&lat_ticks, 0.99)
+    );
+    println!(
+        "  throughput {gw_tok_s:.0} tok/s vs serial {serial_tok_s:.0} tok/s ({ratio:.2}x); {} engine steps, {} fed, {} parks",
+        stats.engine_steps, stats.fed_tokens, stats.park_events,
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"shape\": {{\"hidden\": {}, \"heads\": {}, \"layers\": {}, \"vocab\": {}, \"requests\": {}, \"lambda\": {}, \"max_live\": {}, \"prefill_chunk\": {}, \"workers\": {}, \"tiny\": {}}},",
+        sh.cfg.hidden, sh.cfg.heads, sh.cfg.layers, sh.cfg.vocab, sh.requests, sh.lambda,
+        sh.gw.max_live, sh.gw.prefill_chunk, sh.gw.workers, tiny
+    );
+    let _ = writeln!(
+        json,
+        "  \"accounting\": {{\"submitted\": {}, \"completed\": {}, \"rejected\": {rejected}, \"expired\": {expired}}},",
+        trace.len(),
+        completions.len(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"latency\": {{\"p50_ms\": {p50_ms:.3}, \"p99_ms\": {p99_ms:.3}, \"p50_ticks\": {:.1}, \"p99_ticks\": {:.1}}},",
+        percentile(&lat_ticks, 0.50),
+        percentile(&lat_ticks, 0.99),
+    );
+    let _ = writeln!(
+        json,
+        "  \"throughput\": {{\"gateway_tok_s\": {gw_tok_s:.1}, \"serial_tok_s\": {serial_tok_s:.1}, \"ratio\": {ratio:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"gateway_stats\": {{\"engine_steps\": {}, \"fed_tokens\": {}, \"generated_tokens\": {}, \"park_events\": {}, \"peak_hot_rows\": {}}},",
+        stats.engine_steps, stats.fed_tokens, stats.generated_tokens, stats.park_events, stats.peak_hot_rows
+    );
+    let _ = writeln!(
+        json,
+        "  \"floors\": {{\"throughput_ratio_min\": {:.2}}}\n}}",
+        sh.floor_throughput_ratio
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    // --- Floors. Accounting and degeneracy always hard-fail; the
+    // wall-clock throughput floor degrades to advisory in the tiny CI
+    // smoke shape (seconds of runtime inside shared-runner noise).
+    let mut failed = false;
+    if completions.len() + rejected != trace.len() {
+        eprintln!(
+            "FAIL: request accounting broken ({} completions + {rejected} rejected != {} submitted)",
+            completions.len(),
+            trace.len()
+        );
+        failed = true;
+    }
+    for c in &completions {
+        if c.reason == FinishReason::TokenBudget && c.generated().len() != budgets[&c.id] {
+            eprintln!(
+                "FAIL: request {} finished by budget with {} of {} tokens",
+                c.id,
+                c.generated().len(),
+                budgets[&c.id]
+            );
+            failed = true;
+        }
+        if !c.report.is_quiet() {
+            eprintln!(
+                "FAIL: fault-free serving raised ABFT activity on request {}",
+                c.id
+            );
+            failed = true;
+        }
+    }
+    if !(gw_tok_s.is_finite() && gw_tok_s > 0.0) {
+        eprintln!("FAIL: degenerate gateway throughput {gw_tok_s}");
+        failed = true;
+    }
+    if ratio < sh.floor_throughput_ratio {
+        let tag = if tiny {
+            "WARN (advisory in tiny mode)"
+        } else {
+            "FAIL"
+        };
+        eprintln!(
+            "{tag}: gateway throughput below {:.2}x serial ({ratio:.2}x)",
+            sh.floor_throughput_ratio
+        );
+        failed |= !tiny;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf floors: OK (throughput {ratio:.2}x serial, p99 {p99_ms:.1} ms)");
+}

@@ -61,8 +61,8 @@ impl CheckedMatrix {
     }
 
     /// Assemble a checked matrix from an externally produced augmented
-    /// buffer. The decode path runs GEMMs over borrowed KV-cache views
-    /// (`attn_tensor::kv::KvBuf`) and builds the product buffer directly,
+    /// buffer. The decode path runs GEMMs over paged KV caches
+    /// (`attn_tensor::PagedKv`) and builds the product buffer directly,
     /// so it cannot go through the owned-operand constructors above.
     pub(crate) fn from_augmented(
         rows: usize,

@@ -9,13 +9,17 @@
 //! (output projection) — with three decode-specific twists:
 //!
 //! * **Incremental cache encoding.** [`AttnKvCache`] stores per-head K
-//!   blocks with their two column-checksum rows physically pinned after
-//!   the data rows (a [`KvBuf`] tail — the `CheckedMatrix`-augmented
-//!   layout, so the cache *is* the GEMM operand), and per-head V blocks
-//!   with the two row-checksum columns inline in each row. Appending a
-//!   token updates K's column checksums in place — O(d) per token, not an
-//!   O(seq·d) re-encode — and V rows carry the checksums ridden out of
-//!   their producing projection GEMM.
+//!   rows in fixed-size [`PagedKv`] blocks, each block carrying its own
+//!   two column-checksum tail rows over **local** (position-within-block)
+//!   weights — so a block is a self-verifying unit that an eviction or
+//!   compaction pass can check and move independently ([`ColdKvCache`]) —
+//!   and per-head V blocks with the two row-checksum columns inline in
+//!   each row. Appending a token updates the current K block's tails in
+//!   place — O(d) per token, not an O(seq·d) re-encode — and V rows carry
+//!   the checksums ridden out of their producing projection GEMM. The
+//!   score row's riding row checksums are assembled from the per-block
+//!   tails (local weights shifted by each block's start offset), so the
+//!   augmented layout downstream detection consumes is unchanged.
 //! * **Verify-on-append.** The training forward heals `Q`/`K`/`V` lazily,
 //!   at the section's delayed detection point. A decode step instead heals
 //!   them *eagerly*, before the K/V rows join the cache: cache rows are
@@ -33,25 +37,31 @@
 use crate::attention::{AttentionWeights, AttnOp, FaultSite, ProtectedAttention};
 use crate::checked::CheckedMatrix;
 use crate::checksum::weight;
-use crate::config::ProtectionConfig;
-use crate::report::SectionId;
+use crate::config::{AbftConfig, ProtectionConfig};
+use crate::eec::{eec_correct_vector, VectorVerdict};
+use crate::report::{AbftReport, CorrectionRecord, SectionId};
 use crate::section::{replay_nn, ForwardCtx, GuardedSection};
-use attn_tensor::gemm::{self, NC};
-use attn_tensor::kv::KvBuf;
+use attn_tensor::gemm::{self, KC, NC};
+use attn_tensor::kv::PagedKv;
 use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
 use attn_tensor::Matrix;
+
+/// Default data rows per KV block — the verify-on-move granularity.
+pub const KV_BLOCK_ROWS: usize = 16;
 
 /// Per-session, per-layer KV cache with incrementally maintained checksums.
 #[derive(Debug)]
 pub struct AttnKvCache {
     heads: usize,
     d: usize,
-    /// Per-head key blocks, `len × d` data rows + 2 pinned column-checksum
-    /// tail rows when checksummed.
-    k: Vec<KvBuf>,
-    /// Per-head value blocks; rows are `d + 2` wide when checksummed (data
-    /// followed by the row-checksum pair), `d` wide otherwise.
-    v: Vec<KvBuf>,
+    block_rows: usize,
+    /// Per-head paged key storage, `d`-wide rows; each block carries 2
+    /// column-checksum tail rows over local weights when checksummed.
+    k: Vec<PagedKv>,
+    /// Per-head paged value storage; rows are `d + 2` wide when
+    /// checksummed (data followed by the row-checksum pair), `d` wide
+    /// otherwise. No block tails — rows self-verify.
+    v: Vec<PagedKv>,
     /// Whether checksum borders are maintained (protection not hard-off).
     checksummed: bool,
 }
@@ -64,6 +74,17 @@ impl AttnKvCache {
     /// # Panics
     /// Panics when `heads` does not divide `hidden`.
     pub fn new(hidden: usize, heads: usize, checksummed: bool) -> Self {
+        Self::with_block_rows(hidden, heads, checksummed, KV_BLOCK_ROWS)
+    }
+
+    /// [`Self::new`] with an explicit paging granularity (tests exercise
+    /// awkward block sizes; the result bits never depend on the choice).
+    pub fn with_block_rows(
+        hidden: usize,
+        heads: usize,
+        checksummed: bool,
+        block_rows: usize,
+    ) -> Self {
         assert!(
             heads > 0 && hidden.is_multiple_of(heads),
             "heads must divide hidden"
@@ -74,8 +95,13 @@ impl AttnKvCache {
         Self {
             heads,
             d,
-            k: (0..heads).map(|_| KvBuf::new(d, k_tail)).collect(),
-            v: (0..heads).map(|_| KvBuf::new(v_width, 0)).collect(),
+            block_rows,
+            k: (0..heads)
+                .map(|_| PagedKv::new(d, k_tail, block_rows))
+                .collect(),
+            v: (0..heads)
+                .map(|_| PagedKv::new(v_width, 0, block_rows))
+                .collect(),
             checksummed,
         }
     }
@@ -119,20 +145,29 @@ impl AttnKvCache {
         self.checksummed
     }
 
+    /// Paging granularity (data rows per block).
+    #[inline]
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
     /// Append one (verified) full-width key row, splitting it per head and
-    /// folding each element into the pinned column checksums — O(hidden)
-    /// total, independent of the cached prefix length.
+    /// folding each element into its block's column-checksum tails —
+    /// O(hidden) total, independent of the cached prefix length. Tails use
+    /// **local** weights (`weight(idx % block_rows)`), so a block's
+    /// checksums are position-independent and survive eviction/compaction.
     pub fn append_k(&mut self, k_row: &[f32]) {
         assert_eq!(k_row.len(), self.heads * self.d, "append_k: width");
         for (h, kb) in self.k.iter_mut().enumerate() {
             let seg = &k_row[h * self.d..(h + 1) * self.d];
             let idx = kb.push_row(seg);
             if self.checksummed {
-                let w = weight(idx);
-                for (t0, &v) in kb.tail_row_mut(0).iter_mut().zip(seg) {
+                let b = idx / self.block_rows;
+                let w = weight(idx % self.block_rows);
+                for (t0, &v) in kb.tail_row_mut(b, 0).iter_mut().zip(seg) {
                     *t0 += v;
                 }
-                for (t1, &v) in kb.tail_row_mut(1).iter_mut().zip(seg) {
+                for (t1, &v) in kb.tail_row_mut(b, 1).iter_mut().zip(seg) {
                     *t1 += w * v;
                 }
             }
@@ -200,24 +235,40 @@ impl AttnKvCache {
     }
 
     /// The appended score row `q_h · K_hᵀ` over the grown cache, computed
-    /// with the packed NT kernel directly over the cache view. `q_h`'s
-    /// column checksums (3 buffer rows) ride through; the cache's pinned
-    /// column-checksum tail transposes into the row's row checksums — the
-    /// single-query image of `S_AS` acquiring both borders.
+    /// with the packed NT kernel directly over the paged storage (no
+    /// gather copy — the kernel reads logical rows through block views).
+    /// `q_h`'s column checksums (3 buffer rows) ride through; the riding
+    /// row checksums are assembled from the per-block tails — block `b`'s
+    /// local weights shift by its start offset, `Σ_r weight(r)·s_r =
+    /// Σ_b [q·t1_b + start_b·(q·t0_b)]` — so the augmented layout
+    /// downstream detection consumes is the same single-query image of
+    /// `S_AS` acquiring both borders.
     pub fn score_row(&self, q_h: &CheckedMatrix, head: usize) -> CheckedMatrix {
         assert_eq!(q_h.rows(), 1, "score_row: single query");
         assert_eq!(q_h.cols(), self.d, "score_row: head width");
         let kb = &self.k[head];
         let len = kb.rows();
         assert!(len > 0, "score_row: empty cache");
-        let (b_view, row_cs) = if self.checksummed {
-            (kb.view(), true)
-        } else {
-            (kb.data_view(), false)
-        };
-        let mut buf = Matrix::zeros(q_h.buf().rows(), b_view.rows());
-        gemm::matmul_nt_into(q_h.buf().view(), b_view, buf.view_mut());
-        CheckedMatrix::from_augmented(1, len, q_h.has_col_checksums(), row_cs, buf)
+        let qb = q_h.buf();
+        let width = if self.checksummed { len + 2 } else { len };
+        let mut buf = Matrix::zeros(qb.rows(), width);
+        gemm::matmul_nt_paged_into(qb.view(), kb, buf.view_mut());
+        if self.checksummed {
+            for i in 0..qb.rows() {
+                let qrow = qb.row(i);
+                let mut cs = 0.0f32;
+                let mut wcs = 0.0f32;
+                for b in 0..kb.num_blocks() {
+                    let p0 = dot_blocked(qrow, kb.tail_row(b, 0));
+                    let p1 = dot_blocked(qrow, kb.tail_row(b, 1));
+                    cs += p0;
+                    wcs += p1 + (b * self.block_rows) as f32 * p0;
+                }
+                buf[(i, len)] = cs;
+                buf[(i, len + 1)] = wcs;
+            }
+        }
+        CheckedMatrix::from_augmented(1, len, q_h.has_col_checksums(), self.checksummed, buf)
     }
 
     /// The appended context row `ap · V_h` over the grown cache. When
@@ -231,11 +282,11 @@ impl AttnKvCache {
         let width = vb.cols();
         if active {
             let mut buf = Matrix::zeros(3, width);
-            gemm::gemm_encode_cols_into(ap.view(), vb.data_view(), buf.view_mut());
+            gemm::gemm_encode_cols_paged_into(ap.view(), vb, buf.view_mut());
             CheckedMatrix::from_augmented(1, self.d, true, self.checksummed, buf)
         } else {
             let mut buf = Matrix::zeros(1, width);
-            gemm::matmul_into(ap.view(), vb.data_view(), buf.view_mut());
+            gemm::matmul_paged_into(ap.view(), vb, buf.view_mut());
             if self.checksummed {
                 // Drop the riding checksum columns: an unguarded step
                 // returns plain data, exactly like the inactive training
@@ -247,28 +298,339 @@ impl AttnKvCache {
         }
     }
 
-    /// Worst absolute disagreement between the maintained K column
-    /// checksums and a from-scratch recomputation over the cached rows
-    /// (diagnostics/tests: bounds incremental drift).
+    /// Worst absolute disagreement between the maintained per-block K
+    /// column checksums and a from-scratch recomputation over each block's
+    /// rows under local weights (diagnostics/tests: bounds incremental
+    /// drift).
     pub fn max_k_checksum_drift(&self) -> f32 {
         assert!(self.checksummed, "unchecksummed cache has no borders");
         let mut worst = 0.0f32;
         for kb in &self.k {
-            for c in 0..kb.cols() {
-                let mut s = 0.0f64;
-                let mut ws = 0.0f64;
-                for r in 0..kb.rows() {
-                    let v = kb.at(r, c) as f64;
-                    s += v;
-                    ws += weight(r) as f64 * v;
+            for b in 0..kb.num_blocks() {
+                let blen = kb.block_len(b);
+                for c in 0..kb.cols() {
+                    let mut s = 0.0f64;
+                    let mut ws = 0.0f64;
+                    for i in 0..blen {
+                        let v = kb.at(b * self.block_rows + i, c) as f64;
+                        s += v;
+                        ws += weight(i) as f64 * v;
+                    }
+                    worst = worst
+                        .max((kb.tail_row(b, 0)[c] - s as f32).abs())
+                        .max((kb.tail_row(b, 1)[c] - ws as f32).abs());
                 }
-                worst = worst
-                    .max((kb.tail_row(0)[c] - s as f32).abs())
-                    .max((kb.tail_row(1)[c] - ws as f32).abs());
             }
         }
         worst
     }
+
+    /// Verify-on-move **park**: consume the live cache into a compact
+    /// [`ColdKvCache`] image, checking every K block column against its
+    /// local-weight tails and every V row against its inline checksum
+    /// pair on the way out. Single corrupted elements are corrected
+    /// (recorded in `report`), corrupted checksums are rebuilt, and
+    /// multi-element damage is counted as unrecovered — the move never
+    /// panics. An unchecksummed cache is copied without verification.
+    pub fn park(mut self, cfg: &AbftConfig, report: &mut AbftReport) -> ColdKvCache {
+        if self.checksummed {
+            for h in 0..self.heads {
+                verify_k_blocks(&mut self.k[h], self.block_rows, cfg, report, h);
+                verify_v_rows(&mut self.v[h], self.d, cfg, report, h);
+            }
+        }
+        let rows = self.len();
+        let v_width = self.v[0].cols();
+        let mut k = Vec::with_capacity(self.heads);
+        let mut k_tails = Vec::with_capacity(self.heads);
+        let mut v = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let kb = &self.k[h];
+            let mut kd = Vec::with_capacity(rows * self.d);
+            let mut kt = Vec::with_capacity(kb.num_blocks() * 2 * self.d);
+            for b in 0..kb.num_blocks() {
+                kd.extend_from_slice(kb.block_data(b));
+                if self.checksummed {
+                    kt.extend_from_slice(kb.tail_row(b, 0));
+                    kt.extend_from_slice(kb.tail_row(b, 1));
+                }
+            }
+            let vb = &self.v[h];
+            let mut vd = Vec::with_capacity(rows * v_width);
+            for b in 0..vb.num_blocks() {
+                vd.extend_from_slice(vb.block_data(b));
+            }
+            k.push(kd);
+            k_tails.push(kt);
+            v.push(vd);
+        }
+        ColdKvCache {
+            heads: self.heads,
+            d: self.d,
+            block_rows: self.block_rows,
+            rows,
+            v_width,
+            checksummed: self.checksummed,
+            k,
+            k_tails,
+            v,
+        }
+    }
+}
+
+/// Compact, verified at-rest image of an [`AttnKvCache`] — what a serving
+/// gateway holds for a parked (memory-evicted) session. Plain `Vec`
+/// storage: the workspace-arena blocks went back to the pool when the
+/// live cache was consumed, so a parked session costs exactly its data
+/// (plus per-block K tails) and nothing from the hot arena.
+#[derive(Debug, Clone)]
+pub struct ColdKvCache {
+    heads: usize,
+    d: usize,
+    block_rows: usize,
+    rows: usize,
+    v_width: usize,
+    checksummed: bool,
+    /// Per-head K data, `rows × d` row-major.
+    k: Vec<Vec<f32>>,
+    /// Per-head local-weight block tails, `num_blocks × 2 × d` (t0 then t1
+    /// per block). Empty when unchecksummed.
+    k_tails: Vec<Vec<f32>>,
+    /// Per-head V data, `rows × v_width` row-major (inline row checksums
+    /// in the last two columns when checksummed).
+    v: Vec<Vec<f32>>,
+}
+
+impl ColdKvCache {
+    /// Cached tokens in the parked image.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the parked image holds no tokens.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Approximate resident size of the image in bytes (data vectors).
+    pub fn approx_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        self.k.iter().map(Vec::len).sum::<usize>() * f
+            + self.k_tails.iter().map(Vec::len).sum::<usize>() * f
+            + self.v.iter().map(Vec::len).sum::<usize>() * f
+    }
+
+    /// Mutable K data of `head` (tests inject at-rest bit flips here).
+    pub fn k_data_mut(&mut self, head: usize) -> &mut [f32] {
+        &mut self.k[head]
+    }
+
+    /// Mutable V data of `head` (tests inject at-rest bit flips here).
+    pub fn v_data_mut(&mut self, head: usize) -> &mut [f32] {
+        &mut self.v[head]
+    }
+
+    /// Verify-on-move **unpark**: rebuild a live [`AttnKvCache`], checking
+    /// every K block column and V row against the parked checksums first —
+    /// damage acquired at rest is corrected (or counted unrecovered)
+    /// before any row rejoins the hot path. The live cache's block tails
+    /// are re-accumulated in append order, so a fault-free park/unpark
+    /// round trip is bit-identical to never having parked.
+    pub fn unpark(mut self, cfg: &AbftConfig, report: &mut AbftReport) -> AttnKvCache {
+        if self.checksummed {
+            for h in 0..self.heads {
+                self.verify_cold_head(h, cfg, report);
+            }
+        }
+        let mut cache = AttnKvCache::with_block_rows(
+            self.heads * self.d,
+            self.heads,
+            self.checksummed,
+            self.block_rows,
+        );
+        for r in 0..self.rows {
+            for h in 0..self.heads {
+                let seg = &self.k[h][r * self.d..(r + 1) * self.d];
+                let kb = &mut cache.k[h];
+                let idx = kb.push_row(seg);
+                if self.checksummed {
+                    let b = idx / self.block_rows;
+                    let w = weight(idx % self.block_rows);
+                    for (t0, &val) in kb.tail_row_mut(b, 0).iter_mut().zip(seg) {
+                        *t0 += val;
+                    }
+                    for (t1, &val) in kb.tail_row_mut(b, 1).iter_mut().zip(seg) {
+                        *t1 += w * val;
+                    }
+                }
+                let vrow = &self.v[h][r * self.v_width..(r + 1) * self.v_width];
+                cache.v[h].push_row(vrow);
+            }
+        }
+        cache
+    }
+
+    /// At-rest verification of one head: every K block column against its
+    /// parked local-weight tails, every V row against its inline pair.
+    fn verify_cold_head(&mut self, h: usize, cfg: &AbftConfig, report: &mut AbftReport) {
+        let d = self.d;
+        let num_blocks = self.rows.div_ceil(self.block_rows);
+        let mut col = Vec::with_capacity(self.block_rows);
+        for b in 0..num_blocks {
+            let start = b * self.block_rows;
+            let blen = (self.rows - start).min(self.block_rows);
+            for c in 0..d {
+                col.clear();
+                col.extend((0..blen).map(|i| self.k[h][(start + i) * d + c]));
+                let t0 = self.k_tails[h][b * 2 * d + c];
+                let t1 = self.k_tails[h][(b * 2 + 1) * d + c];
+                let verdict = eec_correct_vector(&mut col, t0, t1, cfg);
+                apply_vector_verdict(&verdict, report, SectionId::AttentionScore, h, start, c);
+                match verdict {
+                    VectorVerdict::Corrected { index, .. } => {
+                        self.k[h][(start + index) * d + c] = col[index];
+                    }
+                    VectorVerdict::ChecksumCorrupt => {
+                        let (s, ws, _) = crate::checksum::vector_sums(&col);
+                        self.k_tails[h][b * 2 * d + c] = s;
+                        self.k_tails[h][(b * 2 + 1) * d + c] = ws;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for r in 0..self.rows {
+            let row = &mut self.v[h][r * self.v_width..(r + 1) * self.v_width];
+            let (data, cs) = row.split_at_mut(d);
+            let verdict = eec_correct_vector(data, cs[0], cs[1], cfg);
+            apply_vector_verdict(&verdict, report, SectionId::ContextLayer, h, r, 0);
+            if matches!(verdict, VectorVerdict::ChecksumCorrupt) {
+                let (s, ws, _) = crate::checksum::vector_sums(data);
+                cs[0] = s;
+                cs[1] = ws;
+            }
+        }
+    }
+}
+
+/// Verify one live K cache's blocks in place (columns against local-weight
+/// tails), correcting single errors and rebuilding corrupt tails.
+fn verify_k_blocks(
+    kb: &mut PagedKv,
+    block_rows: usize,
+    cfg: &AbftConfig,
+    report: &mut AbftReport,
+    head: usize,
+) {
+    let d = kb.cols();
+    let mut col = Vec::with_capacity(block_rows);
+    for b in 0..kb.num_blocks() {
+        let start = b * block_rows;
+        let blen = kb.block_len(b);
+        for c in 0..d {
+            col.clear();
+            col.extend((0..blen).map(|i| kb.at(start + i, c)));
+            let t0 = kb.tail_row(b, 0)[c];
+            let t1 = kb.tail_row(b, 1)[c];
+            let verdict = eec_correct_vector(&mut col, t0, t1, cfg);
+            apply_vector_verdict(&verdict, report, SectionId::AttentionScore, head, start, c);
+            match verdict {
+                VectorVerdict::Corrected { index, .. } => {
+                    kb.row_mut(start + index)[c] = col[index];
+                }
+                VectorVerdict::ChecksumCorrupt => {
+                    let (s, ws, _) = crate::checksum::vector_sums(&col);
+                    kb.tail_row_mut(b, 0)[c] = s;
+                    kb.tail_row_mut(b, 1)[c] = ws;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Verify one live V cache's rows in place against their inline checksum
+/// pairs.
+fn verify_v_rows(
+    vb: &mut PagedKv,
+    d: usize,
+    cfg: &AbftConfig,
+    report: &mut AbftReport,
+    head: usize,
+) {
+    for r in 0..vb.rows() {
+        let row = vb.row_mut(r);
+        let (data, cs) = row.split_at_mut(d);
+        let verdict = eec_correct_vector(data, cs[0], cs[1], cfg);
+        apply_vector_verdict(&verdict, report, SectionId::ContextLayer, head, r, 0);
+        if matches!(verdict, VectorVerdict::ChecksumCorrupt) {
+            let (s, ws, _) = crate::checksum::vector_sums(data);
+            cs[0] = s;
+            cs[1] = ws;
+        }
+    }
+}
+
+/// Fold one at-rest verification verdict into the report. `row0` is the
+/// global token index of the vector's first element (K columns) or the
+/// row itself (V rows); `col` the element column.
+fn apply_vector_verdict(
+    verdict: &VectorVerdict,
+    report: &mut AbftReport,
+    section: SectionId,
+    head: usize,
+    row0: usize,
+    col: usize,
+) {
+    match verdict {
+        VectorVerdict::Clean => {}
+        VectorVerdict::Corrected {
+            index,
+            old_value,
+            new_value,
+            ..
+        } => {
+            report.detections += 1;
+            report.corrections.push(CorrectionRecord {
+                section,
+                head,
+                row: row0 + index,
+                col,
+                old_value: *old_value,
+                new_value: *new_value,
+            });
+        }
+        VectorVerdict::ChecksumCorrupt => {
+            report.detections += 1;
+            report.checksum_rebuilds += 1;
+        }
+        VectorVerdict::Propagated { .. } => {
+            report.detections += 1;
+            report.propagations += 1;
+            report.unrecovered += 1;
+        }
+        VectorVerdict::Unrecoverable => {
+            report.detections += 1;
+            report.unrecovered += 1;
+        }
+    }
+}
+
+/// Plain KC-blocked dot product under the kernel's per-element
+/// accumulation contract (fresh partial per KC block, combined in block
+/// order) — used to assemble score-row checksum columns from block tails.
+fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (ab, bb) in a.chunks(KC).zip(b.chunks(KC)) {
+        let mut p = 0.0f32;
+        for (&x, &y) in ab.iter().zip(bb) {
+            p += x * y;
+        }
+        acc += p;
+    }
+    acc
 }
 
 /// `(checksum, weighted checksum)` of one row under the NC-blocked encoder
@@ -774,6 +1136,117 @@ mod tests {
         }
         assert!(poisoned, "unprotected NaN in K must reach decode outputs");
         assert_eq!(report.correction_count(), 0);
+    }
+
+    #[test]
+    fn decode_parity_holds_at_awkward_block_sizes() {
+        // The paging granularity must never reach the result bits.
+        let (x, attn) = setup(9, 32, 4);
+        let (reference, _) = decode_all(&attn, &x, false, SectionToggles::all());
+        for &block_rows in &[1usize, 3, 5, 64] {
+            let mut cache = AttnKvCache::with_block_rows(32, 4, true, block_rows);
+            let mut report = AbftReport::default();
+            for t in 0..x.rows() {
+                let x_row = x.submatrix(t, t + 1, 0, x.cols());
+                let mut ctx = ForwardCtx {
+                    mask: None,
+                    toggles: SectionToggles::all(),
+                    hook: None,
+                    report: &mut report,
+                };
+                let out = attn.decode_step(&x_row, &mut cache, &mut ctx);
+                assert_eq!(out, reference[t], "block_rows={block_rows} t={t}");
+            }
+            assert!(report.is_quiet(), "block_rows={block_rows}: {report}");
+        }
+    }
+
+    #[test]
+    fn park_unpark_roundtrip_is_bit_exact() {
+        // Fault-free verify-on-move must be invisible: parking mid-decode
+        // and unparking yields the same bits as never having parked.
+        let (x, attn) = setup(10, 32, 4);
+        let (reference, _) = decode_all(&attn, &x, false, SectionToggles::all());
+        let cfg = attn.config.abft;
+
+        let mut cache = AttnKvCache::with_block_rows(32, 4, true, 3);
+        let mut ref_cache = AttnKvCache::with_block_rows(32, 4, true, 3);
+        let mut report = AbftReport::default();
+        for t in 0..x.rows() {
+            if t == 6 {
+                // Park and immediately unpark between steps.
+                let cold = cache.park(&cfg, &mut report);
+                assert_eq!(cold.len(), 6);
+                assert!(cold.approx_bytes() > 0);
+                cache = cold.unpark(&cfg, &mut report);
+            }
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut report,
+            };
+            let out = attn.decode_step(&x_row, &mut cache, &mut ctx);
+            assert_eq!(out, reference[t], "t={t}: park/unpark broke bit parity");
+
+            let mut rctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut AbftReport::default(),
+            };
+            let _ = attn.decode_step(&x_row, &mut ref_cache, &mut rctx);
+        }
+        assert_eq!(report.detections, 0, "fault-free move must be quiet");
+        // The round-tripped cache state itself matches the untouched one.
+        for h in 0..4 {
+            for t in 0..10 {
+                for c in 0..8 {
+                    assert_eq!(
+                        cache.k_at(h, t, c).to_bits(),
+                        ref_cache.k_at(h, t, c).to_bits()
+                    );
+                    assert_eq!(
+                        cache.v_at(h, t, c).to_bits(),
+                        ref_cache.v_at(h, t, c).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_rest_flip_in_parked_kv_is_detected_and_corrected() {
+        let (x, attn) = setup(8, 32, 4);
+        let cfg = attn.config.abft;
+        let mut cache = AttnKvCache::with_block_rows(32, 4, true, 4);
+        let mut report = AbftReport::default();
+        for t in 0..x.rows() {
+            let x_row = x.submatrix(t, t + 1, 0, x.cols());
+            let mut ctx = ForwardCtx {
+                mask: None,
+                toggles: SectionToggles::all(),
+                hook: None,
+                report: &mut report,
+            };
+            let _ = attn.decode_step(&x_row, &mut cache, &mut ctx);
+        }
+        let mut cold = cache.park(&cfg, &mut report);
+        assert_eq!(report.detections, 0, "clean park must be quiet");
+
+        // Flip one K element and one V element while the session is
+        // parked — the fault class eviction churn exposes.
+        cold.k_data_mut(1)[5 * 8 + 3] = f32::NAN;
+        let vw = 8 + 2;
+        cold.v_data_mut(2)[4 * vw + 6] = f32::INFINITY;
+        let _live = cold.unpark(&cfg, &mut report);
+        assert!(
+            report.detections >= 2,
+            "at-rest flips must be detected: {report}"
+        );
+        assert_eq!(report.unrecovered, 0, "single flips must be corrected");
+        assert!(report.correction_count() >= 2, "{report}");
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod section;
 
 pub use checked::CheckedMatrix;
 pub use config::{AbftConfig, FrequencyGate, ProtectionConfig, Strategy};
-pub use decode::AttnKvCache;
+pub use decode::{AttnKvCache, ColdKvCache, KV_BLOCK_ROWS};
 pub use eec::{eec_correct_vector, VectorVerdict};
 pub use policy::ProtectionPolicy;
 pub use report::AbftReport;

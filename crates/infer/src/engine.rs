@@ -18,12 +18,29 @@ use rayon::prelude::*;
 /// caches, sampling RNG, and report, so a batch step fans them over a
 /// sized rayon pool and reduces in fixed order — generated tokens, logits,
 /// and reports are bit-identical at any worker count.
+///
+/// Prefills (session admission) draw their toggles from a **separate**
+/// gate stream (`prefill_policy`): admitting a session between batch steps
+/// must not consume a draw from the decode stream, or every live session's
+/// toggle schedule would shift with admission timing.
 pub struct DecodeEngine {
     model: TransformerModel,
     policy: ProtectionPolicy,
+    prefill_policy: ProtectionPolicy,
     parallelism: usize,
     pool: Option<rayon::ThreadPool>,
     next_id: u64,
+}
+
+/// What one mixed batch step does to a session: generate a fresh token, or
+/// feed a known one (chunked prefill under continuous batching).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOp {
+    /// Sample from the armed logits, then decode the sampled token.
+    Gen,
+    /// Decode this known token without sampling; it is accounted as prompt
+    /// (`prompt_len` advances), so `generated()` stays sample-only.
+    Feed(usize),
 }
 
 impl DecodeEngine {
@@ -42,10 +59,11 @@ impl DecodeEngine {
             model.config.num_classes, model.config.vocab,
             "DecodeEngine requires an LM-shaped head (num_classes == vocab)"
         );
-        let policy = ProtectionPolicy::new(model.blocks[0].attn.protection);
+        let protection = model.blocks[0].attn.protection;
         Self {
             model,
-            policy,
+            policy: ProtectionPolicy::new(protection),
+            prefill_policy: ProtectionPolicy::new(protection),
             parallelism: 1,
             pool: None,
             next_id: 0,
@@ -82,6 +100,7 @@ impl DecodeEngine {
     pub fn set_protection(&mut self, protection: ProtectionConfig) {
         self.model.set_protection(protection);
         self.policy.sync_config(protection);
+        self.prefill_policy.sync_config(protection);
     }
 
     /// Open a session: prefill `prompt` through the full protected forward
@@ -89,10 +108,14 @@ impl DecodeEngine {
     /// next-token logits. `seed` initialises the session's private
     /// sampling RNG.
     ///
+    /// Draws toggles from the prefill gate stream, never the decode
+    /// stream: sessions admitted mid-serving leave every live session's
+    /// toggle schedule bit-identical.
+    ///
     /// # Panics
     /// Panics on an empty prompt or out-of-vocabulary ids.
     pub fn open_session(&mut self, prompt: &[usize], seed: u64) -> DecodeSession {
-        let toggles = self.policy.next_toggles();
+        let toggles = self.prefill_policy.next_toggles();
         let mut report = AbftReport::default();
         let mut state = self.model.new_decode_state();
         let logits = self.model.prefill(prompt, &mut state, toggles, &mut report);
@@ -148,38 +171,85 @@ impl DecodeEngine {
     /// table is exhausted; see [`Self::capacity_left`]) the others remain
     /// owned by the caller and can continue.
     pub fn step_batch(&mut self, sessions: &mut [DecodeSession], sampling: Sampling) -> Vec<usize> {
-        if sessions.is_empty() {
+        let mut items: Vec<(&mut DecodeSession, StepOp)> =
+            sessions.iter_mut().map(|s| (s, StepOp::Gen)).collect();
+        self.step_batch_mixed(&mut items, sampling)
+    }
+
+    /// One iteration-level engine step over a mixed batch: each session
+    /// either generates ([`StepOp::Gen`]) or is fed a known prompt token
+    /// ([`StepOp::Feed`], chunked prefill). One toggle set is drawn for
+    /// the whole step — prefill chunks and decode steps share the same
+    /// protected engine step, the continuous-batching contract — and
+    /// results are read back in input order, so the outcome is
+    /// bit-identical to stepping the sessions sequentially at any worker
+    /// count. Returns the token consumed per session, in order (for `Gen`
+    /// the sample; for `Feed` the fed token).
+    pub fn step_batch_mixed(
+        &mut self,
+        items: &mut [(&mut DecodeSession, StepOp)],
+        sampling: Sampling,
+    ) -> Vec<usize> {
+        if items.is_empty() {
             return Vec::new();
         }
         let toggles = self.policy.next_toggles();
         let model = &self.model;
-        let run = |s: &mut DecodeSession| {
-            let token = sample_token(&s.logits, sampling, &mut s.rng);
+        let run = |(s, op): &mut (&mut DecodeSession, StepOp)| {
+            let token = match *op {
+                StepOp::Gen => sample_token(&s.logits, sampling, &mut s.rng),
+                StepOp::Feed(t) => {
+                    s.prompt_len += 1;
+                    t
+                }
+            };
             s.tokens.push(token);
             s.logits = model.decode_step(token, &mut s.state, toggles, None, &mut s.report);
         };
-        if self.parallelism > 1 && sessions.len() > 1 {
+        if self.parallelism > 1 && items.len() > 1 {
             let pool = self.pool.as_ref().expect("pool built by set_parallelism");
-            pool.install(|| {
-                sessions
-                    .par_chunks_mut(1)
-                    .for_each(|chunk| run(&mut chunk[0]))
-            });
+            pool.install(|| items.par_chunks_mut(1).for_each(|chunk| run(&mut chunk[0])));
         } else {
-            sessions.iter_mut().for_each(run);
+            items.iter_mut().for_each(run);
         }
-        sessions
+        items
             .iter()
-            .map(|s| *s.tokens.last().expect("session stepped"))
+            .map(|(s, _)| *s.tokens.last().expect("session stepped"))
             .collect()
+    }
+
+    /// Park a session's KV caches into verified cold storage
+    /// ([`attnchecker::ColdKvCache`]): every block is checksum-verified on
+    /// the way out, and [`Self::unpark_session`] verifies again on the way
+    /// back in — the verify-on-move contract for eviction/compaction. A
+    /// parked session cannot step until unparked.
+    pub fn park_session(&self, session: &mut DecodeSession) {
+        self.model
+            .park_state(&mut session.state, &mut session.report);
+    }
+
+    /// Restore a parked session to live, decodable state; fault-free
+    /// round trips are bit-identical. See [`Self::park_session`].
+    pub fn unpark_session(&self, session: &mut DecodeSession) {
+        self.model
+            .unpark_state(&mut session.state, &mut session.report);
     }
 
     /// How many more tokens `session` can decode before the model's
     /// position table is exhausted (decoding past it panics). Callers
     /// batching sessions of unequal length can drain a session from the
-    /// batch when this reaches 0.
+    /// batch when this reaches 0. Saturating throughout: a position table
+    /// smaller than the embedding's `pos_offset` (a mis-sliced
+    /// checkpoint), or a session already past the table, reports 0 rather
+    /// than wrapping.
     pub fn capacity_left(&self, session: &DecodeSession) -> usize {
-        let table = self.model.embedding.pos.value.rows() - self.model.embedding.pos_offset;
+        let table = self
+            .model
+            .embedding
+            .pos
+            .value
+            .rows()
+            .saturating_sub(self.model.embedding.pos_offset);
         table.saturating_sub(session.position())
     }
 
@@ -381,6 +451,99 @@ mod tests {
             !s.logits().all_finite(),
             "unprotected NaN must reach the logits"
         );
+    }
+
+    #[test]
+    fn mid_stream_admission_leaves_toggle_schedules_untouched() {
+        // Regression: open_session used to draw its toggles from the same
+        // gate stream as decode steps, so admitting a session mid-serving
+        // shifted every live session's toggle schedule. With fractional
+        // frequencies the shift shows up as different checked/skipped
+        // section counts.
+        let mut p = ProtectionConfig::full();
+        p.f_as = 0.5;
+        p.f_cl = 0.5;
+        p.f_o = 0.5;
+        p.f_ffn = 0.5;
+        let run = |admit_mid: bool| {
+            let mut engine = DecodeEngine::new(lm_model(p));
+            let mut s1 = engine.open_session(&[3, 1, 4], 7);
+            let mut admitted = None;
+            for i in 0..6 {
+                if admit_mid && i == 3 {
+                    admitted = Some(engine.open_session(&[9, 9], 8));
+                }
+                let _ = engine.step(&mut s1, Sampling::Greedy);
+            }
+            drop(admitted);
+            (
+                s1.report.sections_checked,
+                s1.report.sections_skipped,
+                s1.tokens.clone(),
+                bits(s1.logits()),
+            )
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "admission must not consume decode-stream toggle draws"
+        );
+    }
+
+    #[test]
+    fn capacity_left_saturates_when_pos_offset_exceeds_table() {
+        // Regression: `table rows - pos_offset` was an unchecked usize
+        // subtraction, so a position table smaller than the offset (e.g. a
+        // mis-sliced checkpoint) panicked in debug and wrapped to ~usize::MAX
+        // capacity in release.
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let session = engine.open_session(&[1, 2], 0);
+        let mut sliced = lm_model(ProtectionConfig::full());
+        sliced.embedding.pos_offset = sliced.embedding.pos.value.rows() + 7;
+        let short = DecodeEngine::new(sliced);
+        assert_eq!(short.capacity_left(&session), 0);
+    }
+
+    #[test]
+    fn chunked_prefill_feed_matches_whole_prompt_prefill() {
+        let prompt = [3usize, 11, 7, 29, 5, 2];
+        let mut whole = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let mut full = whole.open_session(&prompt, 5);
+        let mut chunky = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let mut fed = chunky.open_session(&prompt[..2], 5);
+        for &t in &prompt[2..] {
+            let mut items = [(&mut fed, StepOp::Feed(t))];
+            let toks = chunky.step_batch_mixed(&mut items, Sampling::Greedy);
+            assert_eq!(toks, [t]);
+        }
+        assert_eq!(fed.tokens, full.tokens);
+        assert_eq!(fed.prompt_len, full.prompt_len);
+        assert_eq!(fed.generated(), full.generated());
+        assert_eq!(bits(fed.logits()), bits(full.logits()));
+        // Generation continues bit-identically from either prefill path.
+        let a = whole.generate(&mut full, 4, Sampling::Temperature(0.8));
+        let b = chunky.generate(&mut fed, 4, Sampling::Temperature(0.8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parked_session_resumes_bit_identically() {
+        let mut straight = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let mut a = straight.open_session(&[4, 8, 15], 3);
+        let ta = straight.generate(&mut a, 6, Sampling::Temperature(0.7));
+
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        let mut b = engine.open_session(&[4, 8, 15], 3);
+        let mut tb = engine.generate(&mut b, 3, Sampling::Temperature(0.7));
+        engine.park_session(&mut b);
+        assert!(b.is_parked());
+        engine.unpark_session(&mut b);
+        assert!(!b.is_parked());
+        tb.extend(engine.generate(&mut b, 3, Sampling::Temperature(0.7)));
+
+        assert_eq!(ta, tb, "park/unpark must not perturb generation");
+        assert_eq!(bits(a.logits()), bits(b.logits()));
+        assert_eq!(b.report.detections, 0, "fault-free round trip is quiet");
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod engine;
 pub mod sampling;
 pub mod session;
 
-pub use engine::DecodeEngine;
+pub use engine::{DecodeEngine, StepOp};
 pub use sampling::Sampling;
 pub use session::DecodeSession;

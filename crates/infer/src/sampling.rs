@@ -44,17 +44,30 @@ pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) ->
                     return i;
                 }
             }
-            row.len() - 1 // round-off tail
+            // Round-off tail: the probabilities can sum to slightly less
+            // than 1, so u may exceed the accumulated mass. Falling off the
+            // end must not emit a zero-probability token (e.g. a masked
+            // -INF logit at the end of the vocab).
+            last_positive(row)
         }
         Sampling::Temperature(_) => argmax(logits.row(0)),
     }
 }
 
-/// First index of the row maximum; NaNs never win.
+/// Last index with strictly positive probability — where round-off tail
+/// mass actually belongs. An all-zero row (degenerate input) maps to 0.
+fn last_positive(row: &[f32]) -> usize {
+    row.iter().rposition(|&p| p > 0.0).unwrap_or(0)
+}
+
+/// First index of the row maximum; NaNs never win — including on an
+/// all-NaN row, which has no maximum and returns 0 by convention (the
+/// caller sees a poisoned distribution either way, and index 0 keeps the
+/// result independent of the vocab size).
 fn argmax(row: &[f32]) -> usize {
     let mut best = 0usize;
     for (i, &v) in row.iter().enumerate().skip(1) {
-        if v > row[best] || row[best].is_nan() {
+        if v > row[best] || (row[best].is_nan() && !v.is_nan()) {
             best = i;
         }
     }
@@ -112,6 +125,45 @@ mod tests {
             sample_token(&logits, Sampling::Temperature(0.0), &mut rng),
             1
         );
+    }
+
+    #[test]
+    fn greedy_all_nan_row_returns_index_zero() {
+        // Regression: the old `row[best].is_nan()` arm advanced `best` to
+        // every subsequent NaN, so an all-NaN row returned the LAST index.
+        let mut rng = TensorRng::seed_from(6);
+        let logits = Matrix::from_vec(1, 5, vec![f32::NAN; 5]);
+        assert_eq!(sample_token(&logits, Sampling::Greedy, &mut rng), 0);
+    }
+
+    #[test]
+    fn argmax_recovers_after_leading_nans() {
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, 0.25, 0.5]), 3);
+        assert_eq!(argmax(&[f32::NAN, -1.0, f32::NAN]), 1);
+    }
+
+    #[test]
+    fn round_off_tail_walks_back_to_last_positive_probability() {
+        // Regression: the old tail returned `row.len() - 1` outright,
+        // which can be a zero-probability (masked) token.
+        assert_eq!(last_positive(&[0.7, 0.3, 0.0]), 1);
+        assert_eq!(last_positive(&[0.2, 0.0, 0.8, 0.0, 0.0]), 2);
+        assert_eq!(last_positive(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn masked_trailing_token_is_never_sampled() {
+        use attn_tensor::ops::MASK_NEG;
+        // The last token is masked to -INF-ish: its probability is exactly
+        // zero, so no RNG draw — including round-off tails — may emit it.
+        let logits = Matrix::from_vec(1, 4, vec![0.0, 0.0, 0.0, MASK_NEG]);
+        for seed in 0..512 {
+            let mut rng = TensorRng::seed_from(seed);
+            for _ in 0..8 {
+                let t = sample_token(&logits, Sampling::Temperature(1.0), &mut rng);
+                assert_ne!(t, 3, "seed {seed}: sampled a zero-probability token");
+            }
+        }
     }
 
     #[test]

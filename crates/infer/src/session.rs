@@ -60,4 +60,11 @@ impl DecodeSession {
     pub fn state(&self) -> &DecodeState {
         &self.state
     }
+
+    /// Whether the KV caches are parked in verified cold storage (see
+    /// [`crate::DecodeEngine::park_session`]); a parked session cannot
+    /// step until unparked.
+    pub fn is_parked(&self) -> bool {
+        self.state.is_parked()
+    }
 }

@@ -23,15 +23,21 @@ use attn_tensor::ops::MASK_NEG;
 use attn_tensor::Matrix;
 use attnchecker::attention::{FaultSite, SectionToggles};
 use attnchecker::checked::CheckedMatrix;
-use attnchecker::decode::{decode_step as attn_decode_step, AttentionWeightsRef, AttnKvCache};
+use attnchecker::decode::{
+    decode_step as attn_decode_step, AttentionWeightsRef, AttnKvCache, ColdKvCache,
+};
 use attnchecker::report::AbftReport;
 use attnchecker::section::ForwardCtx;
 
 /// One decode session's model-side state: per-layer KV caches plus the
-/// number of consumed tokens.
+/// number of consumed tokens. A state is either **live** (per-layer
+/// [`AttnKvCache`]s on the hot arena) or **parked** (per-layer
+/// [`ColdKvCache`] images — see [`TransformerModel::park_state`]); only a
+/// live state can decode.
 #[derive(Debug)]
 pub struct DecodeState {
     layers: Vec<AttnKvCache>,
+    cold: Vec<ColdKvCache>,
     pos: usize,
 }
 
@@ -42,9 +48,27 @@ impl DecodeState {
         self.pos
     }
 
-    /// Per-layer caches (read access, e.g. for diagnostics).
+    /// Whether the state is parked (cold, memory-evicted).
+    #[inline]
+    pub fn is_parked(&self) -> bool {
+        !self.cold.is_empty()
+    }
+
+    /// Per-layer caches (read access, e.g. for diagnostics). Empty while
+    /// parked.
     pub fn layer_caches(&self) -> &[AttnKvCache] {
         &self.layers
+    }
+
+    /// Per-layer cold images (mutable — tests inject at-rest faults).
+    /// Empty while live.
+    pub fn cold_layers_mut(&mut self) -> &mut [ColdKvCache] {
+        &mut self.cold
+    }
+
+    /// Approximate resident bytes of a parked state's images.
+    pub fn cold_bytes(&self) -> usize {
+        self.cold.iter().map(ColdKvCache::approx_bytes).sum()
     }
 }
 
@@ -76,8 +100,43 @@ impl TransformerModel {
                     )
                 })
                 .collect(),
+            cold: Vec::new(),
             pos: 0,
         }
+    }
+
+    /// Verify-on-move **park**: consume `state`'s live caches into cold
+    /// per-layer images, verifying every KV block/row against its
+    /// checksums on the way out (using each layer's own ABFT config).
+    /// Damage found is corrected and recorded in `report`. No-op if the
+    /// state is already parked.
+    pub fn park_state(&self, state: &mut DecodeState, report: &mut AbftReport) {
+        if state.is_parked() {
+            return;
+        }
+        state.cold = state
+            .layers
+            .drain(..)
+            .zip(&self.blocks)
+            .map(|(cache, b)| cache.park(&b.attn.protection.abft, report))
+            .collect();
+    }
+
+    /// Verify-on-move **unpark**: rebuild `state`'s live caches from the
+    /// cold images, verifying them first — damage acquired at rest is
+    /// corrected before any row rejoins the hot path. A fault-free
+    /// park/unpark round trip leaves the decode stream bit-identical to
+    /// never having parked. No-op if the state is live.
+    pub fn unpark_state(&self, state: &mut DecodeState, report: &mut AbftReport) {
+        if !state.is_parked() {
+            return;
+        }
+        state.layers = state
+            .cold
+            .drain(..)
+            .zip(&self.blocks)
+            .map(|(cold, b)| cold.unpark(&b.attn.protection.abft, report))
+            .collect();
     }
 
     /// The single mask row of token `row` over a `len`-long prefix for
@@ -143,6 +202,10 @@ impl TransformerModel {
         assert!(
             self.supports_decode(),
             "decode_step: non-causal architecture"
+        );
+        assert!(
+            !state.is_parked(),
+            "decode_step: state is parked — unpark_state first"
         );
         let t = state.pos;
         let hidden = self.config.hidden;
@@ -411,6 +474,66 @@ mod tests {
             !logits.all_finite(),
             "unprotected NaN must reach the logits"
         );
+    }
+
+    #[test]
+    fn park_unpark_mid_decode_preserves_bit_parity() {
+        let m = gpt(ModelArch::Gpt2, ProtectionConfig::full());
+        let tokens: Vec<usize> = (0..9).map(|i| (i * 13 + 2) % m.config.vocab).collect();
+
+        // Uninterrupted reference stream.
+        let mut ref_state = m.new_decode_state();
+        let mut r = AbftReport::default();
+        let _ = m.prefill(&tokens[..3], &mut ref_state, SectionToggles::all(), &mut r);
+        let mut ref_logits = Vec::new();
+        for t in 3..tokens.len() {
+            ref_logits.push(m.decode_step(
+                tokens[t],
+                &mut ref_state,
+                SectionToggles::all(),
+                None,
+                &mut r,
+            ));
+        }
+
+        // Same stream, parked and unparked between two decode steps.
+        let mut state = m.new_decode_state();
+        let mut report = AbftReport::default();
+        let _ = m.prefill(&tokens[..3], &mut state, SectionToggles::all(), &mut report);
+        for (idx, t) in (3..tokens.len()).enumerate() {
+            if idx == 2 {
+                m.park_state(&mut state, &mut report);
+                assert!(state.is_parked());
+                assert!(state.cold_bytes() > 0);
+                assert!(state.layer_caches().is_empty());
+                m.unpark_state(&mut state, &mut report);
+                assert!(!state.is_parked());
+            }
+            let logits = m.decode_step(
+                tokens[t],
+                &mut state,
+                SectionToggles::all(),
+                None,
+                &mut report,
+            );
+            assert_eq!(
+                bits(&logits),
+                bits(&ref_logits[idx]),
+                "step {idx}: park/unpark broke the decode stream"
+            );
+        }
+        assert_eq!(report.detections, 0, "fault-free move must be quiet");
+    }
+
+    #[test]
+    #[should_panic]
+    fn parked_state_cannot_decode() {
+        let m = gpt(ModelArch::Gpt2, ProtectionConfig::full());
+        let mut state = m.new_decode_state();
+        let mut report = AbftReport::default();
+        let _ = m.prefill(&[1, 2, 3], &mut state, SectionToggles::all(), &mut report);
+        m.park_state(&mut state, &mut report);
+        let _ = m.decode_step(4, &mut state, SectionToggles::all(), None, &mut report);
     }
 
     #[test]

@@ -59,9 +59,10 @@
 //! [`crate::workspace`] arena, so a steady-state caller performs no heap
 //! allocation inside these kernels.
 
+use crate::kv::PagedKv;
 use crate::matrix::Matrix;
 use crate::pack::{
-    accum_col_cs, accum_row_cs, pack_a_block, pack_b_block, ColCsAccum, RowCsAccum, Src,
+    accum_col_cs, accum_row_cs, pack_a_block, pack_b_block, ColCsAccum, RowCsAccum, Src, SrcRead,
 };
 use crate::view::{MatMut, MatRef};
 use crate::workspace;
@@ -204,7 +205,78 @@ pub fn gemm_encode_cols_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
         // kernel — so the border is bit-identical to two extra rows of an
         // augmented A — but streams B once, without re-packing.
         let (cs_row, rest) = cd[m * n..].split_at_mut(n);
-        encode_border_cols(&cs, b.data(), k, n, cs_row, &mut rest[..n]);
+        encode_border_cols(&cs, bv, k, n, cs_row, &mut rest[..n]);
+    }
+}
+
+/// `C = A · B` where `B` is the paged data matrix of a KV cache.
+///
+/// Bit-identical to [`matmul_into`] over a contiguous copy of `B`: the
+/// packing loops read logical elements through the crate-internal
+/// `SrcRead` abstraction, so block
+/// boundaries never alter the accumulation order.
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn matmul_paged_into(a: MatRef<'_>, b: &PagedKv, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(
+        k,
+        b.rows(),
+        "matmul_paged: inner dims {} vs {}",
+        k,
+        b.rows()
+    );
+    assert_eq!(m, c.rows(), "matmul_paged: output rows");
+    assert_eq!(n, c.cols(), "matmul_paged: output cols");
+    gemm_driver(src_n(a), b.src(false), m, n, k, c.data(), n, Fuse::None);
+}
+
+/// `C[0..m, 0..rows(B)] = A · Bᵀ` where `B` is the paged data matrix of a
+/// KV cache (one score per cached row).
+///
+/// Unlike the dense entries, `c` may be **wider** than the product:
+/// `c.cols() >= b.rows()` is required, the product lands in columns
+/// `0..b.rows()` at row stride `c.cols()`, and the extra columns are left
+/// untouched — a caller appending checksum columns fills them itself.
+/// The written region is bit-identical to [`matmul_nt_into`] over a
+/// contiguous copy of `B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`, `c.rows() != a.rows()`, or
+/// `c.cols() < b.rows()`.
+pub fn matmul_nt_paged_into(a: MatRef<'_>, b: &PagedKv, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.rows();
+    assert_eq!(k, b.cols(), "matmul_nt_paged: inner dims");
+    assert_eq!(m, c.rows(), "matmul_nt_paged: output rows");
+    assert!(c.cols() >= n, "matmul_nt_paged: output too narrow");
+    let ldc = c.cols();
+    gemm_driver(src_n(a), b.src(true), m, n, k, c.data(), ldc, Fuse::None);
+}
+
+/// Fused encode-and-multiply over a paged operand: writes the augmented
+/// product `[A; v1ᵀA; v2ᵀA] · B` into the `(m+2) × cols(B)` output, with
+/// `B` the paged data matrix of a KV cache. Data rows are bit-identical
+/// to [`matmul_paged_into`]; the checksum border follows the same block
+/// contract as [`gemm_encode_cols_into`].
+///
+/// # Panics
+/// Panics on any dimension mismatch.
+pub fn gemm_encode_cols_paged_into(a: MatRef<'_>, b: &PagedKv, mut c: MatMut<'_>) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "gemm_encode_cols_paged: inner dims");
+    assert_eq!(m + 2, c.rows(), "gemm_encode_cols_paged: output rows");
+    assert_eq!(n, c.cols(), "gemm_encode_cols_paged: output cols");
+    let mut cs = workspace::take(2 * k);
+    {
+        let (av, bv) = (src_n(a), b.src(false));
+        let cd = c.data();
+        gemm_driver(av, bv, m, n, k, &mut cd[..m * n], n, Fuse::Cols(&mut cs));
+        let (cs_row, rest) = cd[m * n..].split_at_mut(n);
+        encode_border_cols(&cs, bv, k, n, cs_row, &mut rest[..n]);
     }
 }
 
@@ -213,9 +285,9 @@ pub fn gemm_encode_cols_into(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
 /// exactly the packed kernel's contract). `inline(never)` for the same
 /// register-allocation reason as the microkernel.
 #[inline(never)]
-fn encode_border_cols(
+fn encode_border_cols<B: SrcRead>(
     cs: &[f32],
-    b_data: &[f32],
+    b: B,
     k: usize,
     n: usize,
     cs_row: &mut [f32],
@@ -235,14 +307,21 @@ fn encode_border_cols(
             for kk in p0..pend {
                 let av = cs[kk];
                 let awv = cs[k + kk];
-                let brow = &b_data[kk * n + j0..kk * n + j0 + jw];
-                if jw == STRIPE {
-                    for (j, &bv) in brow.iter().enumerate().take(STRIPE) {
-                        part0[j] += av * bv;
-                        part1[j] += awv * bv;
+                if let Some(brow) = b.row_slice(kk, j0, jw) {
+                    if jw == STRIPE {
+                        for (j, &bv) in brow.iter().enumerate().take(STRIPE) {
+                            part0[j] += av * bv;
+                            part1[j] += awv * bv;
+                        }
+                    } else {
+                        for (j, &bv) in brow.iter().enumerate() {
+                            part0[j] += av * bv;
+                            part1[j] += awv * bv;
+                        }
                     }
                 } else {
-                    for (j, &bv) in brow.iter().enumerate() {
+                    for j in 0..jw {
+                        let bv = b.at(kk, j0 + j);
                         part0[j] += av * bv;
                         part1[j] += awv * bv;
                     }
@@ -374,9 +453,9 @@ enum FuseKind {
 /// each tile packs its own operand panels and owns a disjoint output
 /// region, so results are bit-identical at any worker count.
 #[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
-fn gemm_driver(
-    a: Src<'_>,
-    b: Src<'_>,
+fn gemm_driver<A: SrcRead, B: SrcRead>(
+    a: A,
+    b: B,
     m: usize,
     n: usize,
     k: usize,
@@ -464,9 +543,9 @@ fn gemm_driver(
 /// [`KC`]-block and run the register microkernel over the tile's
 /// micro-panel grid, accumulating straight into the output region.
 #[allow(clippy::too_many_arguments)] // internal kernel plumbing, not API
-fn compute_tile(
-    a: Src<'_>,
-    b: Src<'_>,
+fn compute_tile<A: SrcRead, B: SrcRead>(
+    a: A,
+    b: B,
     m: usize,
     n: usize,
     k: usize,
@@ -919,6 +998,81 @@ mod tests {
             before,
             "steady-state GEMM must not allocate"
         );
+    }
+
+    // ---------------- paged-operand parity ----------------
+
+    /// A paged copy of `mat` with deliberately awkward paging (block_rows
+    /// not dividing the row count) plus `tail` border rows per block.
+    fn paged_copy(mat: &Matrix, block_rows: usize, tail: usize) -> PagedKv {
+        let mut kv = PagedKv::new(mat.cols(), tail, block_rows);
+        for r in 0..mat.rows() {
+            kv.push_row(mat.row(r));
+        }
+        kv
+    }
+
+    #[test]
+    fn paged_nn_matches_dense_bits_across_kc_blocks() {
+        // B paged along k with blocks that straddle KC boundaries; the
+        // product must match the contiguous kernel bit for bit.
+        let mut rng = TensorRng::seed_from(59);
+        let (m, k, n) = (5, 2 * KC + 44, 7);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        for &block_rows in &[4usize, 16, 100] {
+            let kv = paged_copy(&b, block_rows, 2);
+            let mut c = Matrix::zeros(m, n);
+            matmul_paged_into(a.view(), &kv, c.view_mut());
+            let dense = matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        c[(i, j)].to_bits(),
+                        dense[(i, j)].to_bits(),
+                        "block_rows={block_rows} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paged_nt_matches_dense_bits_and_leaves_extra_cols_untouched() {
+        let mut rng = TensorRng::seed_from(61);
+        let (m, k, n) = (3, 40, 21);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, n, k);
+        let kv = paged_copy(&b, 4, 2);
+        // Output two columns wider than the product; sentinels must survive.
+        let mut c = Matrix::full(m, n + 2, -7.5);
+        matmul_nt_paged_into(a.view(), &kv, c.view_mut());
+        let dense = matmul_nt(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(c[(i, j)].to_bits(), dense[(i, j)].to_bits(), "({i},{j})");
+            }
+            assert_eq!(c[(i, n)], -7.5);
+            assert_eq!(c[(i, n + 1)], -7.5);
+        }
+    }
+
+    #[test]
+    fn paged_encode_cols_matches_dense_bits() {
+        let mut rng = TensorRng::seed_from(67);
+        let (m, k, n) = (6, KC + 19, 10);
+        let a = rand_mat(&mut rng, m, k);
+        let b = rand_mat(&mut rng, k, n);
+        let kv = paged_copy(&b, 16, 0);
+        let mut c = Matrix::zeros(m + 2, n);
+        gemm_encode_cols_paged_into(a.view(), &kv, c.view_mut());
+        let mut dense = Matrix::zeros(m + 2, n);
+        gemm_encode_cols_into(a.view(), b.view(), dense.view_mut());
+        for i in 0..m + 2 {
+            for j in 0..n {
+                assert_eq!(c[(i, j)].to_bits(), dense[(i, j)].to_bits(), "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,61 +1,57 @@
-//! Growable append-row buffers for per-session KV caches.
+//! Paged append-row storage for per-session KV caches.
 //!
 //! Autoregressive decoding appends one key/value row per generated token
-//! and multiplies against the whole cache every step. [`KvBuf`] is the
-//! storage primitive: a row-major matrix that grows by appended rows with
-//! amortised-O(1) reallocation, keeps an optional block of **tail border
-//! rows** physically pinned after the data rows (where a checksummed cache
-//! stores its two column-checksum rows, matching the
-//! `CheckedMatrix`-augmented layout GEMM kernels consume), and draws its
-//! backing store from the thread-local [`crate::workspace`] arena — a
-//! retired session returns its buffers to the pool, so the next session's
-//! cache growth replays against warm capacity instead of the global
-//! allocator.
+//! and multiplies against the whole cache every step. [`PagedKv`] is the
+//! storage primitive: rows live in **fixed-size blocks** of
+//! `block_rows × cols` drawn from the thread-local [`crate::workspace`]
+//! arena, each block optionally followed by `tail` pinned **border rows**
+//! (where a checksummed cache keeps its per-block column-checksum tails).
+//! Appending a row never moves existing data — when the current block
+//! fills, a fresh block is checked out of the arena — so growth is O(cols)
+//! per row with no grow-and-copy, blocks are stable addresses a serving
+//! gateway can verify-on-move during eviction/compaction, and a retired
+//! session's blocks return to the pool for the next session to reuse.
 //!
-//! The GEMM entry points in [`crate::gemm`] take [`MatRef`] views, so a
-//! cache participates in products without being copied into an owned
-//! [`crate::Matrix`]: [`KvBuf::view`] spans data *and* tail rows (the
-//! augmented operand), [`KvBuf::data_view`] spans the data rows only.
+//! GEMM interop does not require contiguity: the crate-internal
+//! `PagedKv::src` view exposes the logical data matrix through the
+//! `SrcRead` packing trait, which the packed kernels consume
+//! element-order-faithfully — products over a paged cache are
+//! bit-identical to the same product over a contiguous matrix (see the
+//! paged entry points in [`crate::gemm`]).
 
-use crate::view::{MatMut, MatRef};
+use crate::pack::SrcRead;
 use crate::workspace::{self, WsBuf};
 
-/// Row-major growable matrix with `tail` border rows pinned after the data
-/// rows. Backed by the thread-local workspace arena.
-pub struct KvBuf {
+/// Row-major matrix paged into fixed-size blocks, each with `tail` pinned
+/// border rows after its data region. Backed by the thread-local
+/// workspace arena.
+pub struct PagedKv {
     cols: usize,
-    rows: usize,
     tail: usize,
-    /// Backing store; always exactly `(capacity_rows) * cols` long with
-    /// `capacity_rows >= rows + tail`.
-    buf: WsBuf,
-    capacity_rows: usize,
+    block_rows: usize,
+    /// Appended data rows across all blocks.
+    rows: usize,
+    /// Each block is exactly `(block_rows + tail) * cols` long: data rows
+    /// first, then the border rows.
+    blocks: Vec<WsBuf>,
 }
 
-impl KvBuf {
-    /// Initial row capacity (data + tail) for a fresh buffer.
-    const INITIAL_ROWS: usize = 16;
-
-    /// An empty buffer of `cols`-wide rows with `tail` pinned border rows
-    /// (zero-initialised).
-    pub fn new(cols: usize, tail: usize) -> Self {
-        Self::with_row_capacity(cols, tail, Self::INITIAL_ROWS)
-    }
-
-    /// An empty buffer pre-sized for `capacity` total rows.
-    pub fn with_row_capacity(cols: usize, tail: usize, capacity: usize) -> Self {
-        assert!(cols > 0, "KvBuf: cols must be positive");
-        let capacity_rows = capacity.max(tail + 1);
+impl PagedKv {
+    /// An empty paged buffer of `cols`-wide rows in `block_rows`-row
+    /// blocks, each carrying `tail` border rows (zero-initialised).
+    pub fn new(cols: usize, tail: usize, block_rows: usize) -> Self {
+        assert!(cols > 0, "PagedKv: cols must be positive");
+        assert!(block_rows > 0, "PagedKv: block_rows must be positive");
         Self {
             cols,
-            rows: 0,
             tail,
-            buf: workspace::take(capacity_rows * cols),
-            capacity_rows,
+            block_rows,
+            rows: 0,
+            blocks: Vec::new(),
         }
     }
 
-    /// Appended data rows (excluding the tail border).
+    /// Appended data rows (across all blocks, excluding borders).
     #[inline]
     pub fn rows(&self) -> usize {
         self.rows
@@ -67,51 +63,54 @@ impl KvBuf {
         self.cols
     }
 
-    /// Pinned border rows after the data region.
+    /// Border rows per block.
     #[inline]
     pub fn tail(&self) -> usize {
         self.tail
     }
 
-    /// Total physical rows (data + tail).
+    /// Data rows per block.
     #[inline]
-    pub fn total_rows(&self) -> usize {
-        self.rows + self.tail
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
     }
 
-    /// Ensure capacity for `extra` more data rows without reallocating.
-    pub fn reserve_rows(&mut self, extra: usize) {
-        let needed = self.rows + self.tail + extra;
-        if needed <= self.capacity_rows {
-            return;
-        }
-        let new_cap = needed.max(self.capacity_rows * 2);
-        let mut bigger = workspace::take(new_cap * self.cols);
-        let live = (self.rows + self.tail) * self.cols;
-        bigger[..live].copy_from_slice(&self.buf[..live]);
-        self.buf = bigger; // old store drops back into the arena pool
-        self.capacity_rows = new_cap;
+    /// Number of allocated blocks.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
     }
 
-    /// Append one data row before the tail border (which slides down one
-    /// slot); returns the new row's index. O(cols · (1 + tail)) plus
-    /// amortised growth.
+    /// True when no rows have been appended.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Valid data rows in block `b` (only the last block can be partial).
+    #[inline]
+    pub fn block_len(&self, b: usize) -> usize {
+        debug_assert!(b < self.blocks.len());
+        (self.rows - b * self.block_rows).min(self.block_rows)
+    }
+
+    /// Append one data row; returns the new row's global index. O(cols):
+    /// existing rows never move — a full final block just means the next
+    /// block is checked out of the arena (zero-filled, so fresh borders
+    /// start at zero).
     ///
     /// # Panics
     /// Panics if `row.len() != cols`.
     pub fn push_row(&mut self, row: &[f32]) -> usize {
         assert_eq!(row.len(), self.cols, "push_row: width mismatch");
-        self.reserve_rows(1);
-        let c = self.cols;
         let idx = self.rows;
-        if self.tail > 0 {
-            // Slide the pinned border down one row slot (regions overlap
-            // only when tail > 1, copy_within handles both).
-            let start = idx * c;
-            self.buf
-                .copy_within(start..start + self.tail * c, start + c);
+        if idx == self.blocks.len() * self.block_rows {
+            self.blocks
+                .push(workspace::take((self.block_rows + self.tail) * self.cols));
         }
-        self.buf[idx * c..(idx + 1) * c].copy_from_slice(row);
+        let local = idx % self.block_rows;
+        let block = self.blocks.last_mut().expect("block just ensured");
+        block[local * self.cols..(local + 1) * self.cols].copy_from_slice(row);
         self.rows = idx + 1;
         idx
     }
@@ -120,71 +119,103 @@ impl KvBuf {
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         debug_assert!(r < self.rows);
-        &self.buf[r * self.cols..(r + 1) * self.cols]
+        let b = r / self.block_rows;
+        let local = r % self.block_rows;
+        &self.blocks[b][local * self.cols..(local + 1) * self.cols]
     }
 
     /// Mutable data row `r`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         debug_assert!(r < self.rows);
-        &mut self.buf[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Tail border row `i` (0-based within the border block).
-    #[inline]
-    pub fn tail_row(&self, i: usize) -> &[f32] {
-        debug_assert!(i < self.tail);
-        let r = self.rows + i;
-        &self.buf[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// Mutable tail border row `i`.
-    #[inline]
-    pub fn tail_row_mut(&mut self, i: usize) -> &mut [f32] {
-        debug_assert!(i < self.tail);
-        let r = self.rows + i;
-        &mut self.buf[r * self.cols..(r + 1) * self.cols]
-    }
-
-    /// View over data *and* tail rows — the augmented GEMM operand.
-    #[inline]
-    pub fn view(&self) -> MatRef<'_> {
-        MatRef::new(
-            &self.buf[..(self.rows + self.tail) * self.cols],
-            self.rows + self.tail,
-            self.cols,
-        )
-    }
-
-    /// View over the data rows only.
-    #[inline]
-    pub fn data_view(&self) -> MatRef<'_> {
-        MatRef::new(&self.buf[..self.rows * self.cols], self.rows, self.cols)
-    }
-
-    /// Mutable view over data and tail rows.
-    #[inline]
-    pub fn view_mut(&mut self) -> MatMut<'_> {
-        let total = (self.rows + self.tail) * self.cols;
-        MatMut::new(&mut self.buf[..total], self.rows + self.tail, self.cols)
+        let b = r / self.block_rows;
+        let local = r % self.block_rows;
+        &mut self.blocks[b][local * self.cols..(local + 1) * self.cols]
     }
 
     /// Element of the data region at `(r, c)`.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
         debug_assert!(r < self.rows && c < self.cols);
-        self.buf[r * self.cols + c]
+        self.blocks[r / self.block_rows][(r % self.block_rows) * self.cols + c]
+    }
+
+    /// Border row `i` of block `b`.
+    #[inline]
+    pub fn tail_row(&self, b: usize, i: usize) -> &[f32] {
+        debug_assert!(b < self.blocks.len() && i < self.tail);
+        let r = self.block_rows + i;
+        &self.blocks[b][r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable border row `i` of block `b`.
+    #[inline]
+    pub fn tail_row_mut(&mut self, b: usize, i: usize) -> &mut [f32] {
+        debug_assert!(b < self.blocks.len() && i < self.tail);
+        let r = self.block_rows + i;
+        &mut self.blocks[b][r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The valid data rows of block `b` as one contiguous slice
+    /// (`block_len(b) * cols` elements).
+    #[inline]
+    pub fn block_data(&self, b: usize) -> &[f32] {
+        &self.blocks[b][..self.block_len(b) * self.cols]
+    }
+
+    /// The logical data matrix (`rows × cols`, or its transpose when
+    /// `trans`) as a GEMM operand.
+    #[inline]
+    pub(crate) fn src(&self, trans: bool) -> PagedSrc<'_> {
+        PagedSrc {
+            blocks: &self.blocks,
+            block_rows: self.block_rows,
+            cols: self.cols,
+            trans,
+        }
     }
 }
 
-impl std::fmt::Debug for KvBuf {
+impl std::fmt::Debug for PagedKv {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KvBuf")
+        f.debug_struct("PagedKv")
             .field("rows", &self.rows)
             .field("cols", &self.cols)
             .field("tail", &self.tail)
-            .field("capacity_rows", &self.capacity_rows)
+            .field("block_rows", &self.block_rows)
+            .field("num_blocks", &self.blocks.len())
             .finish()
+    }
+}
+
+/// [`SrcRead`] view over a [`PagedKv`]'s data rows. Logical element order
+/// is exactly the dense row-major order, so packed panels — and therefore
+/// GEMM results — are bit-identical to a contiguous operand.
+#[derive(Clone, Copy)]
+pub(crate) struct PagedSrc<'a> {
+    blocks: &'a [WsBuf],
+    block_rows: usize,
+    cols: usize,
+    trans: bool,
+}
+
+impl SrcRead for PagedSrc<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        let (rr, cc) = if self.trans { (c, r) } else { (r, c) };
+        self.blocks[rr / self.block_rows][(rr % self.block_rows) * self.cols + cc]
+    }
+
+    #[inline(always)]
+    fn row_slice(&self, r: usize, c0: usize, len: usize) -> Option<&[f32]> {
+        if self.trans {
+            // A logical row crosses blocks in storage: element-wise path.
+            None
+        } else {
+            let b = &self.blocks[r / self.block_rows];
+            let off = (r % self.block_rows) * self.cols + c0;
+            Some(&b[off..off + len])
+        }
     }
 }
 
@@ -193,105 +224,109 @@ mod tests {
     use super::*;
 
     #[test]
-    fn push_rows_are_readable_in_order() {
-        let mut kv = KvBuf::new(3, 0);
+    fn push_rows_are_readable_in_order_across_blocks() {
+        let mut kv = PagedKv::new(3, 0, 4);
         for i in 0..10 {
             let row = [i as f32, 2.0 * i as f32, -(i as f32)];
             assert_eq!(kv.push_row(&row), i);
         }
         assert_eq!(kv.rows(), 10);
+        assert_eq!(kv.num_blocks(), 3);
+        assert_eq!(kv.block_len(0), 4);
+        assert_eq!(kv.block_len(2), 2);
         for i in 0..10 {
             assert_eq!(kv.row(i), &[i as f32, 2.0 * i as f32, -(i as f32)]);
+            assert_eq!(kv.at(i, 1), 2.0 * i as f32);
         }
-        let v = kv.data_view();
-        assert_eq!((v.rows(), v.cols()), (10, 3));
-        assert_eq!(v.at(7, 1), 14.0);
     }
 
     #[test]
-    fn tail_rows_stay_pinned_after_data_across_growth() {
-        let mut kv = KvBuf::with_row_capacity(2, 2, 3);
-        kv.tail_row_mut(0).copy_from_slice(&[100.0, 200.0]);
-        kv.tail_row_mut(1).copy_from_slice(&[300.0, 400.0]);
-        // Push well past the initial capacity to force reallocation.
-        for i in 0..40 {
+    fn per_block_tails_are_independent_and_survive_growth() {
+        let mut kv = PagedKv::new(2, 2, 3);
+        for i in 0..7 {
             kv.push_row(&[i as f32, i as f32 + 0.5]);
+            // Maintain a running column sum in the current block's border,
+            // the way a checksummed cache does.
+            let b = i / 3;
+            let t = kv.tail_row_mut(b, 0);
+            t[0] += i as f32;
+            t[1] += i as f32 + 0.5;
         }
-        assert_eq!(kv.tail_row(0), &[100.0, 200.0]);
-        assert_eq!(kv.tail_row(1), &[300.0, 400.0]);
-        // The augmented view places the border directly after the data.
-        let v = kv.view();
-        assert_eq!(v.rows(), 42);
-        assert_eq!(v.row(40), &[100.0, 200.0]);
-        assert_eq!(v.row(41), &[300.0, 400.0]);
-        assert_eq!(v.row(39), &[39.0, 39.5]);
-    }
-
-    #[test]
-    fn tail_updates_survive_interleaved_pushes() {
-        let mut kv = KvBuf::new(2, 1);
-        for i in 0..20 {
-            kv.push_row(&[1.0, 2.0]);
-            // Maintain a running column sum in the border row, the way a
-            // checksummed cache does.
-            let t = kv.tail_row_mut(0);
-            t[0] += 1.0;
-            t[1] += 2.0;
-            assert_eq!(kv.tail_row(0), &[(i + 1) as f32, 2.0 * (i + 1) as f32]);
+        // Block 0 saw rows 0..3, block 1 rows 3..6, block 2 row 6.
+        assert_eq!(kv.tail_row(0, 0), &[3.0, 4.5]);
+        assert_eq!(kv.tail_row(1, 0), &[12.0, 13.5]);
+        assert_eq!(kv.tail_row(2, 0), &[6.0, 6.5]);
+        // The second border row of each block was never touched: zero.
+        for b in 0..3 {
+            assert_eq!(kv.tail_row(b, 1), &[0.0, 0.0]);
         }
     }
 
     #[test]
-    fn fresh_buffer_is_zeroed() {
-        let kv = KvBuf::with_row_capacity(4, 2, 8);
-        assert_eq!(kv.rows(), 0);
-        assert_eq!(kv.tail_row(0), &[0.0; 4]);
-        assert_eq!(kv.tail_row(1), &[0.0; 4]);
+    fn fresh_blocks_are_zeroed() {
+        let mut kv = PagedKv::new(4, 2, 8);
+        kv.push_row(&[1.0; 4]);
+        assert_eq!(kv.tail_row(0, 0), &[0.0; 4]);
+        assert_eq!(kv.tail_row(0, 1), &[0.0; 4]);
     }
 
     #[test]
-    fn gemm_over_cache_view_matches_owned_matrix() {
-        use crate::gemm;
-        use crate::rng::TensorRng;
-        use crate::Matrix;
-        let mut rng = TensorRng::seed_from(9);
-        let a = rng.normal_matrix(3, 5, 1.0);
-        let b = rng.normal_matrix(7, 5, 1.0);
-        let mut kv = KvBuf::new(5, 0);
-        for r in 0..7 {
-            kv.push_row(b.row(r));
+    fn block_data_spans_valid_rows_only() {
+        let mut kv = PagedKv::new(2, 1, 4);
+        for i in 0..6 {
+            kv.push_row(&[i as f32, 10.0 + i as f32]);
         }
-        let mut out = Matrix::zeros(3, 7);
-        gemm::matmul_nt_into(a.view(), kv.data_view(), out.view_mut());
-        assert_eq!(out, gemm::matmul_nt(&a, &b), "views must hit the same bits");
+        assert_eq!(kv.block_data(0).len(), 8);
+        assert_eq!(kv.block_data(1), &[4.0, 14.0, 5.0, 15.0]);
     }
 
     #[test]
     fn arena_reuse_after_drop() {
-        let before = crate::workspace::thread_alloc_events();
         {
-            let mut kv = KvBuf::with_row_capacity(8, 2, 64);
+            let mut kv = PagedKv::new(8, 2, 16);
             for _ in 0..32 {
                 kv.push_row(&[1.0; 8]);
             }
         }
-        // A same-shaped successor replays against the pooled buffer.
-        let mut kv = KvBuf::with_row_capacity(8, 2, 64);
+        let before = crate::workspace::thread_alloc_events();
+        // A same-shaped successor replays against the pooled blocks.
+        let mut kv = PagedKv::new(8, 2, 16);
         for _ in 0..32 {
             kv.push_row(&[2.0; 8]);
         }
         let after = crate::workspace::thread_alloc_events();
-        assert!(
-            after - before <= 1,
-            "second session must reuse the pooled store ({} allocs)",
+        assert_eq!(
+            after,
+            before,
+            "second session must reuse the pooled blocks ({} allocs)",
             after - before
         );
     }
 
     #[test]
+    fn paged_src_reads_logical_elements_and_transpose() {
+        let mut kv = PagedKv::new(3, 1, 2);
+        for i in 0..5 {
+            kv.push_row(&[3.0 * i as f32, 3.0 * i as f32 + 1.0, 3.0 * i as f32 + 2.0]);
+        }
+        let s = kv.src(false);
+        let t = kv.src(true);
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(s.at(r, c), (3 * r + c) as f32);
+                assert_eq!(t.at(c, r), (3 * r + c) as f32);
+            }
+            // Row slices are served within a block and never cross tails.
+            let sl = s.row_slice(r, 1, 2).unwrap();
+            assert_eq!(sl, &[(3 * r + 1) as f32, (3 * r + 2) as f32]);
+        }
+        assert!(t.row_slice(0, 0, 2).is_none());
+    }
+
+    #[test]
     #[should_panic]
     fn wrong_width_push_panics() {
-        let mut kv = KvBuf::new(3, 0);
+        let mut kv = PagedKv::new(3, 0, 4);
         kv.push_row(&[1.0, 2.0]);
     }
 }

@@ -18,6 +18,9 @@
 //!   encoding rides inside the packing pass ([`pack`]).
 //! * A thread-local scratch arena in [`workspace`] that makes the GEMM and
 //!   encoding hot path allocation-free in steady state.
+//! * [`PagedKv`] — fixed-size-block paged row storage for KV caches, with
+//!   per-block border rows for checksum tails; the paged GEMM entries in
+//!   [`gemm`] consume it without copying and without changing result bits.
 //! * Neural-network primitive ops in [`ops`] (numerically-stable softmax,
 //!   layer norm, GELU, bias, masking).
 //! * Deterministic RNG helpers in [`rng`] (Box–Muller normal sampling,
@@ -40,7 +43,7 @@ pub mod workspace;
 
 pub use batch::Batch3;
 pub use error::ShapeError;
-pub use kv::KvBuf;
+pub use kv::PagedKv;
 pub use matrix::Matrix;
 pub use view::{MatMut, MatRef};
 

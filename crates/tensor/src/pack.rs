@@ -48,16 +48,40 @@ pub(crate) struct Src<'a> {
     pub trans: bool,
 }
 
-impl Src<'_> {
-    /// Logical element `(r, c)` of `op(X)`.
+impl<'a> SrcRead for Src<'a> {
     #[inline(always)]
-    pub fn at(&self, r: usize, c: usize) -> f32 {
+    fn at(&self, r: usize, c: usize) -> f32 {
         if self.trans {
             self.data[c * self.ld + r]
         } else {
             self.data[r * self.ld + c]
         }
     }
+
+    #[inline(always)]
+    fn row_slice(&self, r: usize, c0: usize, len: usize) -> Option<&[f32]> {
+        if self.trans {
+            None
+        } else {
+            Some(&self.data[r * self.ld + c0..r * self.ld + c0 + len])
+        }
+    }
+}
+
+/// Element access for GEMM operands. The packing loops read *logical*
+/// elements through this trait, so any storage layout — contiguous
+/// row-major ([`Src`]) or paged rows split across fixed-size blocks
+/// ([`crate::kv::PagedSrc`]) — produces bit-identical packed panels, and
+/// therefore bit-identical products: the accumulation-order contract is a
+/// property of the logical element order, which this trait preserves.
+pub(crate) trait SrcRead: Copy + Sync {
+    /// Logical element `(r, c)` of `op(X)`.
+    fn at(&self, r: usize, c: usize) -> f32;
+
+    /// Contiguous storage of logical row `r`, columns `c0..c0 + len`, when
+    /// the layout can serve one (non-transposed sources with row-resident
+    /// storage). `None` forces the element-wise path.
+    fn row_slice(&self, r: usize, c0: usize, len: usize) -> Option<&[f32]>;
 }
 
 /// Fused column-checksum accumulator: per-k-column running `(Σ, Σw)` sums
@@ -80,7 +104,14 @@ pub(crate) struct RowCsAccum<'a> {
 /// `ap[..panels * kc * MR]` is fully overwritten (padding rows written as
 /// zero). Pure copy — the fused checksum accumulation runs as its own
 /// cache-hot sweep ([`accum_col_cs`]) so this loop stays vectorizable.
-pub(crate) fn pack_a_block(a: Src<'_>, i0: usize, mc: usize, p0: usize, kc: usize, ap: &mut [f32]) {
+pub(crate) fn pack_a_block<A: SrcRead>(
+    a: A,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+    ap: &mut [f32],
+) {
     let panels = mc.div_ceil(MR);
     debug_assert!(ap.len() >= panels * kc * MR);
     for panel in 0..panels {
@@ -102,7 +133,14 @@ pub(crate) fn pack_a_block(a: Src<'_>, i0: usize, mc: usize, p0: usize, kc: usiz
 
 /// Pack `op(B)[p0..p0+kc, j0..j0+nc]` into NR-column micro-panels
 /// (pure copy; see [`accum_row_cs`] for the fused checksum sweep).
-pub(crate) fn pack_b_block(b: Src<'_>, p0: usize, kc: usize, j0: usize, nc: usize, bp: &mut [f32]) {
+pub(crate) fn pack_b_block<B: SrcRead>(
+    b: B,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+    bp: &mut [f32],
+) {
     let panels = nc.div_ceil(NR);
     debug_assert!(bp.len() >= panels * kc * NR);
     for panel in 0..panels {
@@ -128,8 +166,8 @@ pub(crate) fn pack_b_block(b: Src<'_>, p0: usize, kc: usize, j0: usize, nc: usiz
 /// Accumulation order is the encoder block contract: rows ascending per
 /// column within the block (the row-major sweep vectorises across `kk`
 /// without changing any column's add order).
-pub(crate) fn accum_col_cs(
-    a: Src<'_>,
+pub(crate) fn accum_col_cs<A: SrcRead>(
+    a: A,
     i0: usize,
     mc: usize,
     p0: usize,
@@ -140,17 +178,16 @@ pub(crate) fn accum_col_cs(
     let wsum = &mut acc.wsum[p0..p0 + kc];
     for r in i0..i0 + mc {
         let w = checksum_weight(r);
-        if a.trans {
+        if let Some(row) = a.row_slice(r, p0, kc) {
+            for ((s, ws), &v) in sum.iter_mut().zip(wsum.iter_mut()).zip(row) {
+                *s += v;
+                *ws += w * v;
+            }
+        } else {
             for kk in 0..kc {
                 let v = a.at(r, p0 + kk);
                 sum[kk] += v;
                 wsum[kk] += w * v;
-            }
-        } else {
-            let row = &a.data[r * a.ld + p0..r * a.ld + p0 + kc];
-            for ((s, ws), &v) in sum.iter_mut().zip(wsum.iter_mut()).zip(row) {
-                *s += v;
-                *ws += w * v;
             }
         }
     }
@@ -159,8 +196,8 @@ pub(crate) fn accum_col_cs(
 /// Fused row-checksum sweep over `op(B)[p0..p0+kc, j0..j0+nc]` — columns
 /// ascending per row (sequential horizontal sums: the add order *is* the
 /// contract, so no lane splitting).
-pub(crate) fn accum_row_cs(
-    b: Src<'_>,
+pub(crate) fn accum_row_cs<B: SrcRead>(
+    b: B,
     p0: usize,
     kc: usize,
     j0: usize,
@@ -170,17 +207,16 @@ pub(crate) fn accum_row_cs(
     for kk in p0..p0 + kc {
         let mut s = acc.sum[kk];
         let mut ws = acc.wsum[kk];
-        if b.trans {
+        if let Some(row) = b.row_slice(kk, j0, nc) {
+            for (j, &v) in row.iter().enumerate() {
+                s += v;
+                ws += checksum_weight(j0 + j) * v;
+            }
+        } else {
             for j in j0..j0 + nc {
                 let v = b.at(kk, j);
                 s += v;
                 ws += checksum_weight(j) * v;
-            }
-        } else {
-            let row = &b.data[kk * b.ld + j0..kk * b.ld + j0 + nc];
-            for (j, &v) in row.iter().enumerate() {
-                s += v;
-                ws += checksum_weight(j0 + j) * v;
             }
         }
         acc.sum[kk] = s;

@@ -9,5 +9,6 @@ pub use attn_fault as fault;
 pub use attn_gpusim as gpusim;
 pub use attn_infer as infer;
 pub use attn_model as model;
+pub use attn_serve as serve;
 pub use attn_tensor as tensor;
 pub use attnchecker as abft;
