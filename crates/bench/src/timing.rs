@@ -25,7 +25,7 @@ impl MeasuredTime {
     /// (`0.07` = 7% slower).
     pub fn overhead_vs(&self, baseline: &MeasuredTime) -> f64 {
         let b = baseline.mean.as_secs_f64();
-        if b == 0.0 {
+        if attn_tensor::float::exactly_zero_f64(b) {
             return 0.0;
         }
         self.mean.as_secs_f64() / b - 1.0

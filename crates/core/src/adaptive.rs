@@ -112,7 +112,7 @@ pub struct SectionProfile {
 /// `flops`.
 pub fn poisson_pmf(lambda: f64, flops: f64, k: u32) -> f64 {
     let mu = lambda * flops;
-    if mu == 0.0 {
+    if attn_tensor::float::exactly_zero_f64(mu) {
         return if k == 0 { 1.0 } else { 0.0 };
     }
     let mut log_p = -mu + k as f64 * mu.ln();
@@ -428,7 +428,10 @@ mod tests {
         let rates = ErrorRates::uniform_per_1e25(13.0);
         // A target met even unprotected → no time bought.
         let plan = optimize_frequencies(&sections, &rates, 0.5);
-        assert!(plan.freqs.iter().all(|&f| f == 0.0));
+        assert!(plan
+            .freqs
+            .iter()
+            .all(|&f| attn_tensor::float::exactly_zero_f64(f)));
         assert_eq!(plan.expected_time, 0.0);
     }
 

@@ -30,6 +30,8 @@
 //!
 //! [`gemm::MC`]: attn_tensor::gemm::MC
 //! [`gemm::NC`]: attn_tensor::gemm::NC
+//!
+//! attn-lint: hot-path
 
 use attn_tensor::gemm::{MC, NC};
 use attn_tensor::{workspace, Matrix};
@@ -109,6 +111,7 @@ pub fn row_checksums(a: &Matrix) -> Matrix {
 pub fn col_checksums_naive(a: &Matrix) -> Matrix {
     let (m, n) = (a.rows(), a.cols());
     // Pass 1: unweighted.
+    // attn-lint: allow(hot-path-alloc) — the Fig 8 Separate baseline deliberately pays per-call temporaries
     let mut sum = vec![0.0f32; n];
     for r in 0..m {
         for (acc, &v) in sum.iter_mut().zip(a.row(r)) {
@@ -116,6 +119,7 @@ pub fn col_checksums_naive(a: &Matrix) -> Matrix {
         }
     }
     // Pass 2: weighted — reads A again from scratch.
+    // attn-lint: allow(hot-path-alloc) — the Fig 8 Separate baseline deliberately pays per-call temporaries
     let mut wsum = vec![0.0f32; n];
     for r in 0..m {
         let w = weight(r);
@@ -134,10 +138,12 @@ pub fn col_checksums_naive(a: &Matrix) -> Matrix {
 #[allow(clippy::needless_range_loop)] // the two explicit passes are the point
 pub fn row_checksums_naive(a: &Matrix) -> Matrix {
     let m = a.rows();
+    // attn-lint: allow(hot-path-alloc) — the Fig 8 Separate baseline deliberately pays per-call temporaries
     let mut sum = vec![0.0f32; m];
     for r in 0..m {
         sum[r] = a.row(r).iter().sum();
     }
+    // attn-lint: allow(hot-path-alloc) — the Fig 8 Separate baseline deliberately pays per-call temporaries
     let mut wsum = vec![0.0f32; m];
     for r in 0..m {
         wsum[r] = a
@@ -176,7 +182,9 @@ pub fn col_checksums_batch(batch: &attn_tensor::Batch3) -> attn_tensor::Batch3 {
                 let w = weight(r);
                 let row = &slot[r * cols..(r + 1) * cols];
                 for c in 0..cols {
+                    // attn-lint: allow(nondet-reduce) — sequential loop over this slot's disjoint chunk; merge order is fixed
                     sum_row[c] += row[c];
+                    // attn-lint: allow(nondet-reduce) — sequential loop over this slot's disjoint chunk; merge order is fixed
                     wsum_row[c] += w * row[c];
                 }
             }
@@ -295,7 +303,7 @@ mod tests {
         let a = Matrix::zeros(0, 4);
         let cs = col_checksums(&a);
         assert_eq!((cs.rows(), cs.cols()), (2, 4));
-        assert!(cs.data().iter().all(|&x| x == 0.0));
+        assert!(attn_tensor::float::all_exactly_zero(cs.data()));
     }
 
     #[test]

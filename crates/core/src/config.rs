@@ -150,7 +150,10 @@ impl ProtectionConfig {
     /// There is no round-off to absorb: callers either pass the sentinel or
     /// they don't.
     pub fn is_off(&self) -> bool {
-        self.f_as == 0.0 && self.f_cl == 0.0 && self.f_o == 0.0 && self.f_ffn == 0.0
+        attn_tensor::float::exactly_zero_f64(self.f_as)
+            && attn_tensor::float::exactly_zero_f64(self.f_cl)
+            && attn_tensor::float::exactly_zero_f64(self.f_o)
+            && attn_tensor::float::exactly_zero_f64(self.f_ffn)
     }
 }
 

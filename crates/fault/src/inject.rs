@@ -47,7 +47,11 @@ impl FaultKind {
                 } else {
                     // |original| >= 2 or zero: bit-flip shrinks instead of
                     // exploding. Substitute a representative near-INF value.
-                    1.0e31f32.copysign(if original == 0.0 { 1.0 } else { original })
+                    1.0e31f32.copysign(if attn_tensor::float::exactly_zero(original) {
+                        1.0
+                    } else {
+                        original
+                    })
                 }
             }
         }

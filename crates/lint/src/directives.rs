@@ -1,0 +1,240 @@
+//! Suppression and opt-in directives, parsed from the comment stream.
+//!
+//! Two directives exist:
+//!
+//! * A **hot-path header** — an inner doc line (`//!`) whose content is
+//!   exactly `attn-lint: hot-path` — opts the whole module into the
+//!   `hot-path-alloc` lint.
+//! * An **allow** — a *plain* `//` comment of the form
+//!   `attn-lint: allow(<lint-name>) — <justification>`, either trailing
+//!   the offending line or on its own line directly above it. The
+//!   justification is mandatory: an allow without one does not suppress
+//!   anything and is itself reported. So are allows naming an unknown
+//!   lint and allows that suppress nothing (`unused-allow`) — suppression
+//!   debt can never accumulate silently.
+//!
+//! Allows are only read from plain `//` comments (never `///`/`//!`), so
+//! documentation can quote the grammar without registering suppressions.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Finding, LINT_NAMES};
+
+/// One parsed `allow` directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// Lint names inside `allow(…)` (comma-separated).
+    pub names: Vec<String>,
+    /// Whether a non-empty justification followed the name list.
+    pub justified: bool,
+    /// The source line this allow suppresses findings on: the comment's
+    /// own line for a trailing allow, else the next line holding code.
+    pub target_line: u32,
+    /// Set when the allow suppressed at least one finding.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// All directives of one file.
+#[derive(Debug, Default)]
+pub struct Directives {
+    /// `//! attn-lint: hot-path` seen.
+    pub hot_path: bool,
+    /// Parsed allows, in source order.
+    pub allows: Vec<Allow>,
+    /// Malformed/unknown directives, reported as findings directly.
+    pub errors: Vec<Finding>,
+}
+
+/// The marker every directive starts with (after the comment prefix).
+const MARKER: &str = "attn-lint:";
+
+/// Extract directives from a token stream. `code_lines` must hold every
+/// line that carries at least one non-comment token (used to attach an
+/// above-the-line allow to the statement it covers).
+pub fn parse(rel_path: &str, toks: &[Tok], code_lines: &[u32]) -> Directives {
+    let mut out = Directives::default();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let (prefix, body) = split_comment(&t.text);
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let rest = rest.trim();
+        match prefix {
+            CommentPrefix::InnerDoc => {
+                if rest == "hot-path" {
+                    out.hot_path = true;
+                }
+                // Any other text in a `//!` is documentation, not a
+                // directive.
+            }
+            CommentPrefix::OuterDoc => {
+                // `///` never carries directives (lets docs quote them).
+            }
+            CommentPrefix::Plain => match parse_allow(rest) {
+                Ok((names, justified)) => {
+                    let mut valid = Vec::new();
+                    for name in names {
+                        if LINT_NAMES.contains(&name.as_str()) {
+                            valid.push(name);
+                        } else {
+                            out.errors.push(Finding::new(
+                                rel_path,
+                                t.line,
+                                t.col,
+                                "unknown-allow",
+                                format!("allow names unknown lint `{name}`"),
+                            ));
+                        }
+                    }
+                    if !justified {
+                        out.errors.push(Finding::new(
+                            rel_path,
+                            t.line,
+                            t.col,
+                            "missing-justification",
+                            "allow requires `— <justification>` after the lint name".to_string(),
+                        ));
+                    } else if !valid.is_empty() {
+                        let target_line = if code_lines.binary_search(&t.line).is_ok() {
+                            t.line
+                        } else {
+                            code_lines
+                                .iter()
+                                .copied()
+                                .find(|&l| l > t.line)
+                                .unwrap_or(t.line)
+                        };
+                        out.allows.push(Allow {
+                            line: t.line,
+                            col: t.col,
+                            names: valid,
+                            justified,
+                            target_line,
+                            used: std::cell::Cell::new(false),
+                        });
+                    }
+                }
+                Err(msg) => {
+                    out.errors
+                        .push(Finding::new(rel_path, t.line, t.col, "unknown-allow", msg))
+                }
+            },
+        }
+    }
+    out
+}
+
+enum CommentPrefix {
+    Plain,
+    OuterDoc,
+    InnerDoc,
+}
+
+fn split_comment(text: &str) -> (CommentPrefix, &str) {
+    if let Some(rest) = text.strip_prefix("//!") {
+        (CommentPrefix::InnerDoc, rest)
+    } else if let Some(rest) = text.strip_prefix("///") {
+        (CommentPrefix::OuterDoc, rest)
+    } else {
+        (
+            CommentPrefix::Plain,
+            text.strip_prefix("//").unwrap_or(text),
+        )
+    }
+}
+
+/// Parse `allow(<names>) — justification` (the part after `attn-lint:`).
+/// Returns the names plus whether a justification is present. The em-dash
+/// separator also accepts `--` and a spaced `-` so keyboards without an
+/// em-dash are not excluded.
+fn parse_allow(rest: &str) -> Result<(Vec<String>, bool), String> {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err(format!("unrecognised directive `{MARKER} {rest}`"));
+    };
+    let Some(close) = args.find(')') else {
+        return Err("allow is missing its closing `)`".to_string());
+    };
+    let names: Vec<String> = args[..close]
+        .split(',')
+        .map(|n| n.trim().to_string())
+        .filter(|n| !n.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err("allow() names no lint".to_string());
+    }
+    let tail = args[close + 1..].trim_start();
+    let justified = ["—", "--", "- ", "–"]
+        .iter()
+        .any(|sep| tail.strip_prefix(sep).is_some_and(|j| !j.trim().is_empty()));
+    Ok((names, justified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directives(src: &str) -> Directives {
+        let toks = lex(src);
+        let mut code_lines: Vec<u32> = toks
+            .iter()
+            .filter(|t| t.kind != TokKind::LineComment)
+            .map(|t| t.line)
+            .collect();
+        code_lines.dedup();
+        parse("f.rs", &toks, &code_lines)
+    }
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let d = directives("let x = 1; // attn-lint: allow(float-eq) — sentinel\n");
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].target_line, 1);
+        assert!(d.errors.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let d = directives(
+            "// attn-lint: allow(hot-path-alloc) — warmup only\n// another comment\nlet v = 1;\n",
+        );
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let d = directives("// attn-lint: allow(float-eq)\nlet x = 1;\n");
+        assert!(d.allows.is_empty());
+        assert_eq!(d.errors.len(), 1);
+        assert_eq!(d.errors[0].lint, "missing-justification");
+    }
+
+    #[test]
+    fn unknown_lint_is_an_error() {
+        let d = directives("// attn-lint: allow(no-such-lint) — why\nlet x = 1;\n");
+        assert!(d.allows.is_empty());
+        assert_eq!(d.errors[0].lint, "unknown-allow");
+    }
+
+    #[test]
+    fn hot_path_header_only_counts_from_inner_doc() {
+        assert!(directives("//! attn-lint: hot-path\n").hot_path);
+        assert!(!directives("// attn-lint: hot-path\n").hot_path);
+        assert!(!directives("/// attn-lint: hot-path\n").hot_path);
+    }
+
+    #[test]
+    fn doc_comments_never_register_allows() {
+        let d = directives("/// attn-lint: allow(float-eq) — quoted in docs\nlet x = 1;\n");
+        assert!(d.allows.is_empty());
+        assert!(d.errors.is_empty());
+    }
+}

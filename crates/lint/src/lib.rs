@@ -1,0 +1,228 @@
+//! # attn_lint
+//!
+//! A contract-enforcing static-analysis pass for this workspace. The
+//! repo's correctness story rests on four invariants that regression
+//! tests can only sample; this tool makes violating them a CI failure:
+//!
+//! 1. **Determinism** — bit-identical results at any worker count
+//!    (fixed-order reduction): [`lints::NONDET_REDUCE`].
+//! 2. **Alloc-free steady state** — hot paths draw scratch from the
+//!    workspace arena, never the global allocator:
+//!    [`lints::HOT_PATH_ALLOC`].
+//! 3. **Total ABFT coverage** — every model-layer GEMM flows through
+//!    `GuardedSection`/`ProtectedLinear`: [`lints::UNGUARDED_GEMM`].
+//! 4. **No-panic serving** — the gateway sheds load with typed errors,
+//!    it never dies: [`lints::PANIC_IN_SERVE`] (plus [`lints::FLOAT_EQ`]
+//!    for the sentinel-comparison hygiene the gates depend on).
+//!
+//! The tool is self-contained (hand-written lexer, no external deps —
+//! this environment is vendored-only) and scans every `crates/*/src`
+//! file. Suppression is per-line and justification-carrying:
+//!
+//! ```text
+//! // attn-lint: allow(hot-path-alloc) — construction, not steady state
+//! ```
+//!
+//! Unknown lint names, missing justifications, and allows that suppress
+//! nothing are themselves errors, so the suppression inventory stays
+//! exact. Run it as:
+//!
+//! ```text
+//! cargo run -p attn_lint --release -- check
+//! ```
+
+pub mod directives;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scope;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The five contract lints, in report order.
+pub const LINT_NAMES: [&str; 5] = [
+    lints::NONDET_REDUCE,
+    lints::HOT_PATH_ALLOC,
+    lints::UNGUARDED_GEMM,
+    lints::PANIC_IN_SERVE,
+    lints::FLOAT_EQ,
+];
+
+/// Meta diagnostics about the suppression inventory itself.
+pub const META_NAMES: [&str; 3] = ["unknown-allow", "missing-justification", "unused-allow"];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (`crates/…/src/….rs`).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Lint name (one of [`LINT_NAMES`] or [`META_NAMES`]).
+    pub lint: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    pub(crate) fn new(
+        file: &str,
+        line: u32,
+        col: u32,
+        lint: &'static str,
+        message: String,
+    ) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            col,
+            lint,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} · {} · {}",
+            self.file, self.line, self.col, self.lint, self.message
+        )
+    }
+}
+
+/// Result of scanning a tree (or a single source, for tests).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Findings that survived suppression, sorted by file/line/col.
+    pub findings: Vec<Finding>,
+    /// Justified allows that suppressed at least one finding.
+    pub suppressions_used: usize,
+    /// Wall time of the scan, in milliseconds.
+    pub wall_ms: u128,
+}
+
+impl Report {
+    /// Findings counted per lint name (zero entries included, so the
+    /// JSON trajectory is diffable across runs).
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        LINT_NAMES
+            .iter()
+            .chain(META_NAMES.iter())
+            .map(|&name| {
+                (
+                    name,
+                    self.findings.iter().filter(|f| f.lint == name).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// True when the tree honours every contract.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scan one source file (given its workspace-relative path, which drives
+/// the per-crate lint scoping) and return surviving findings plus the
+/// number of suppressions honoured.
+pub fn scan_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let toks = lexer::lex(src);
+    let ctx = scope::analyze(&toks);
+    let dir = directives::parse(rel_path, &toks, &ctx.code_lines);
+    let raw = lints::run(rel_path, &toks, &ctx, dir.hot_path);
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressed = 0usize;
+    for f in raw {
+        let allow = dir
+            .allows
+            .iter()
+            .find(|a| a.target_line == f.line && a.names.iter().any(|n| n == f.lint));
+        match allow {
+            Some(a) => {
+                a.used.set(true);
+                suppressed += 1;
+            }
+            None => findings.push(f),
+        }
+    }
+    // Directive errors and unused allows are findings too — the
+    // suppression inventory must stay exact.
+    findings.extend(dir.errors);
+    for a in &dir.allows {
+        if !a.used.get() {
+            findings.push(Finding::new(
+                rel_path,
+                a.line,
+                a.col,
+                "unused-allow",
+                format!(
+                    "allow({}) suppresses nothing on line {}; remove it",
+                    a.names.join(", "),
+                    a.target_line
+                ),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
+    (findings, suppressed)
+}
+
+/// Walk `root/crates/*/src` and scan every `.rs` file.
+pub fn run_check(root: &Path) -> std::io::Result<Report> {
+    let started = std::time::Instant::now();
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        collect_rs(&dir.join("src"), &mut files)?;
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let (findings, suppressed) = scan_source(&rel, &src);
+        report.files_scanned += 1;
+        report.suppressions_used += suppressed;
+        report.findings.extend(findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    report.wall_ms = started.elapsed().as_millis();
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! CLI: `cargo run -p attn_lint --release -- check [--json [PATH]] [--root DIR]`.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: attn_lint check [--json [PATH]] [--root DIR]\n\
+\n\
+  check          scan every crates/*/src file and report contract violations\n\
+  --json [PATH]  also write a machine-readable report (default: BENCH_lint.json)\n\
+  --root DIR     workspace root (default: inferred from CARGO_MANIFEST_DIR)\n";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("check") {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                match next {
+                    Some(p) => {
+                        json_path = Some(PathBuf::from(p));
+                        i += 1;
+                    }
+                    None => json_path = Some(PathBuf::from("BENCH_lint.json")),
+                }
+            }
+            "--root" => match args.get(i + 1) {
+                Some(p) => {
+                    root = Some(PathBuf::from(p));
+                    i += 1;
+                }
+                None => {
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("attn_lint: unknown argument `{other}`");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    // `CARGO_MANIFEST_DIR` is crates/lint when run via `cargo run`.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match attn_lint::run_check(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("attn_lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", attn_lint::report::render_text(&report));
+    if let Some(path) = json_path {
+        let json = attn_lint::report::render_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("attn_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("attn_lint: report written to {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

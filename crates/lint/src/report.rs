@@ -1,0 +1,135 @@
+//! Text and JSON rendering of a [`crate::Report`].
+//!
+//! The JSON writer is hand-rolled (vendored-only environment); the
+//! schema is flat and append-friendly so `BENCH_lint.json` can be
+//! tracked like the other bench artifacts.
+
+use crate::Report;
+use std::fmt::Write as _;
+
+/// Human-readable rendering: one `file:line:col · lint · message` per
+/// finding plus a summary line.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{f}");
+    }
+    let _ = writeln!(
+        out,
+        "attn_lint: {} files scanned, {} finding{}, {} suppression{} honoured, {} ms",
+        report.files_scanned,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressions_used,
+        if report.suppressions_used == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.wall_ms
+    );
+    out
+}
+
+/// Machine-readable rendering (schema `attn-lint-report/v1`).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"attn-lint-report/v1\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
+    let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
+    let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
+    let _ = writeln!(
+        out,
+        "  \"suppressions_used\": {},",
+        report.suppressions_used
+    );
+    out.push_str("  \"counts\": {");
+    let counts = report.counts();
+    for (i, (name, n)) in counts.iter().enumerate() {
+        let sep = if i + 1 == counts.len() { "" } else { ", " };
+        let _ = write!(out, "\"{name}\": {n}{sep}");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i + 1 == report.findings.len() {
+            "\n  "
+        } else {
+            ","
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}, \"message\": {}}}{sep}",
+            json_str(&f.file),
+            f.line,
+            f.col,
+            json_str(f.lint),
+            json_str(&f.message)
+        );
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let report = Report {
+            files_scanned: 1,
+            findings: vec![Finding {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                col: 7,
+                lint: "float-eq",
+                message: "raw `==` with \"quotes\"\nand newline".into(),
+            }],
+            suppressions_used: 2,
+            wall_ms: 5,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"total_findings\": 1"));
+        assert!(json.contains("\\\"quotes\\\"\\nand newline"));
+        assert!(json.contains("\"float-eq\": 1"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn text_summary_counts() {
+        let report = Report {
+            files_scanned: 4,
+            findings: vec![],
+            suppressions_used: 1,
+            wall_ms: 2,
+        };
+        let text = render_text(&report);
+        assert!(text.contains("4 files scanned, 0 findings, 1 suppression honoured"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The contract gate: the workspace's own tree must scan clean.
+//!
+//! This is what turns the lint from a tool into an invariant — `cargo
+//! test` (tier 1) fails the moment anyone reintroduces a nondeterministic
+//! reduction, a hot-path allocation, an unguarded GEMM, a serving-path
+//! panic, or a raw float compare without a justified allow.
+
+#[test]
+fn the_workspace_tree_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = attn_lint::run_check(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned >= 80,
+        "scan walked only {} files — crates/*/src discovery is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "contract violations in the tree:\n{}",
+        attn_lint::report::render_text(&report)
+    );
+    assert!(
+        report.suppressions_used > 0,
+        "the tree carries justified allows; zero honoured means directive parsing broke"
+    );
+}

@@ -1,0 +1,182 @@
+//! Fixture-driven behaviour tests: every bad fixture must trip exactly
+//! the lints it was seeded with, and the tricky/suppressed fixtures must
+//! scan clean. The fixtures live as inert `.rs` files under
+//! `tests/fixtures/` (cargo does not compile test subdirectories) so the
+//! snippets read like the real code they imitate.
+
+use attn_lint::scan_source;
+
+/// Scan a fixture under the given workspace-relative path (the path
+/// drives per-crate lint scoping) and return the lint names found.
+fn lints(rel: &str, src: &str) -> Vec<&'static str> {
+    let (findings, _) = scan_source(rel, src);
+    findings.iter().map(|f| f.lint).collect()
+}
+
+fn count(names: &[&str], lint: &str) -> usize {
+    names.iter().filter(|&&n| n == lint).count()
+}
+
+#[test]
+fn nondet_reduce_catches_all_three_detections() {
+    let src = include_str!("fixtures/nondet_reduce_bad.rs");
+    let names = lints("crates/core/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "nondet-reduce"),
+        3,
+        "ordered reducer + float accumulation + hash-order leak: {names:?}"
+    );
+    assert_eq!(names.len(), 3, "nothing else may flag: {names:?}");
+    // The integer counter (`hits += 1`) must be on none of the findings.
+    let (findings, _) = scan_source("crates/core/src/fixture.rs", src);
+    assert!(
+        findings.iter().all(|f| !src
+            .lines()
+            .nth(f.line as usize - 1)
+            .unwrap_or("")
+            .contains("hits")),
+        "integer counters are exempt: {findings:?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_catches_every_alloc_form_outside_tests() {
+    let src = include_str!("fixtures/hot_path_alloc_bad.rs");
+    let names = lints("crates/tensor/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "hot-path-alloc"),
+        4,
+        "vec! + with_capacity + Box::new + to_vec: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        4,
+        "the test-region vec! must not flag: {names:?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_is_opt_in_via_module_header() {
+    // The same file WITHOUT its `//! attn-lint: hot-path` header is clean.
+    let src = include_str!("fixtures/hot_path_alloc_bad.rs")
+        .replace("//! attn-lint: hot-path", "//! (cold module)");
+    let names = lints("crates/tensor/src/fixture.rs", &src);
+    assert!(names.is_empty(), "no header, no alloc lint: {names:?}");
+}
+
+#[test]
+fn unguarded_gemm_catches_free_calls_not_methods_or_tests() {
+    let src = include_str!("fixtures/unguarded_gemm_bad.rs");
+    let names = lints("crates/model/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "unguarded-gemm"),
+        2,
+        "two raw free-function calls: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        2,
+        "method form and test call must not flag: {names:?}"
+    );
+}
+
+#[test]
+fn unguarded_gemm_respects_the_kernel_crate_whitelist() {
+    let src = include_str!("fixtures/unguarded_gemm_bad.rs");
+    let names = lints("crates/tensor/src/fixture.rs", src);
+    assert_eq!(count(&names, "unguarded-gemm"), 0, "{names:?}");
+}
+
+#[test]
+fn panic_in_serve_catches_the_panic_surface() {
+    let src = include_str!("fixtures/panic_in_serve_bad.rs");
+    let names = lints("crates/serve/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "panic-in-serve"),
+        4,
+        "indexing + unwrap + expect + panic!: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        4,
+        "assert-macro args and vec![…] must not flag: {names:?}"
+    );
+}
+
+#[test]
+fn panic_in_serve_only_applies_to_the_serve_crate() {
+    let src = include_str!("fixtures/panic_in_serve_bad.rs");
+    let names = lints("crates/infer/src/fixture.rs", src);
+    assert_eq!(count(&names, "panic-in-serve"), 0, "{names:?}");
+}
+
+#[test]
+fn float_eq_catches_raw_literal_compares_outside_tests() {
+    let src = include_str!("fixtures/float_eq_bad.rs");
+    let names = lints("crates/model/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "float-eq"),
+        3,
+        "==, reversed !=, and negative literal: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        3,
+        "test-region compares must not flag: {names:?}"
+    );
+}
+
+#[test]
+fn tricky_lexing_produces_no_findings() {
+    let src = include_str!("fixtures/tricky_lexing_clean.rs");
+    let (findings, suppressed) = scan_source("crates/core/src/fixture.rs", src);
+    assert!(
+        findings.is_empty(),
+        "strings/chars/comments must be inert: {findings:?}"
+    );
+    assert_eq!(suppressed, 0, "nothing to suppress");
+}
+
+#[test]
+fn justified_allows_suppress_and_are_counted() {
+    let src = include_str!("fixtures/suppressed_clean.rs");
+    let (findings, suppressed) = scan_source("crates/core/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 2, "trailing + standalone-above allow");
+}
+
+#[test]
+fn unused_allow_is_a_finding() {
+    let src = include_str!("fixtures/unused_allow_bad.rs");
+    let names = lints("crates/core/src/fixture.rs", src);
+    assert_eq!(names, vec!["unused-allow"]);
+}
+
+#[test]
+fn unknown_and_unjustified_allows_do_not_suppress() {
+    let src = include_str!("fixtures/unknown_allow_bad.rs");
+    let (findings, suppressed) = scan_source("crates/core/src/fixture.rs", src);
+    let mut names: Vec<_> = findings.iter().map(|f| f.lint).collect();
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        vec!["float-eq", "missing-justification", "unknown-allow"],
+        "the bad allows are findings AND the target still flags"
+    );
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn findings_render_with_the_documented_format() {
+    let src = include_str!("fixtures/float_eq_bad.rs");
+    let (findings, _) = scan_source("crates/model/src/fixture.rs", src);
+    let line = findings[0].to_string();
+    assert!(
+        line.starts_with("crates/model/src/fixture.rs:5:"),
+        "file:line:col prefix: {line}"
+    );
+    assert!(
+        line.contains(" · float-eq · "),
+        "interpunct separators: {line}"
+    );
+}

@@ -1,0 +1,19 @@
+//! Seeded violations for the `float-eq` lint (three raw comparisons;
+//! test-region exact comparisons must NOT flag).
+
+pub fn raw_compares(x: f32, y: f64) -> bool {
+    let a = x == 0.0;
+    let b = 0.5 != x;
+    let c = y == -1.0;
+    a && b && c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compares_are_fine_in_tests() {
+        assert!(super::raw_compares(0.0, -1.0));
+        let z = 0.0f32;
+        assert!(z == 0.0);
+    }
+}

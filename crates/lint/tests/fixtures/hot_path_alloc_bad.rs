@@ -1,0 +1,22 @@
+//! Seeded violations for the `hot-path-alloc` lint (four: `vec!`,
+//! `Vec::with_capacity`, `Box::new`, `.to_vec()`).
+//!
+//! attn-lint: hot-path
+
+pub fn leaky(xs: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; xs.len()];
+    let staging: Vec<f32> = Vec::with_capacity(xs.len());
+    let boxed = Box::new(xs.len());
+    let copy = xs.to_vec();
+    out.truncate(staging.capacity().min(*boxed).min(copy.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate() {
+        let v = vec![1.0f32];
+        assert_eq!(v.len(), 1);
+    }
+}

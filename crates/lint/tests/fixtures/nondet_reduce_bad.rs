@@ -1,0 +1,28 @@
+//! Seeded violations for the `nondet-reduce` lint (three, one per
+//! detection: ordered reducer, float accumulation, hash-order leak).
+
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+pub fn par_sum(data: &[f32]) -> f32 {
+    data.par_iter().map(|x| x * 2.0).sum::<f32>()
+}
+
+pub fn par_accumulate(data: &mut [f32], scale: f32) {
+    let mut hits = 0usize;
+    data.par_iter_mut().for_each(|x| {
+        *x += scale * 0.5;
+    });
+    // Integer counters are exact and associative; outside the chain
+    // anyway — must NOT flag.
+    hits += 1;
+    let _ = hits;
+}
+
+pub fn hash_order_leak(weights: &HashMap<usize, f32>) -> f32 {
+    let mut total = 0.0f32;
+    for (_k, v) in weights.iter() {
+        total += *v * 2.0;
+    }
+    total
+}

@@ -1,0 +1,15 @@
+//! Seeded violations for the `panic-in-serve` lint (four: indexing,
+//! `.unwrap()`, `.expect()`, `panic!`). Assert-macro arguments and
+//! `vec![…]` must NOT flag.
+
+pub fn brittle(queue: &[usize], head: Option<usize>) -> usize {
+    debug_assert!(queue[0] <= queue[queue.len() - 1], "sorted");
+    let first = queue[0];
+    let h = head.unwrap();
+    let h2 = head.expect("must be set");
+    if first > h {
+        panic!("queue ahead of head");
+    }
+    let safe = vec![first, h, h2];
+    safe.len()
+}

@@ -1,0 +1,22 @@
+//! Seeded violations for the `unguarded-gemm` lint (two raw calls; the
+//! method form and the test-region call must NOT flag).
+
+use attn_tensor::gemm::{gemm_encode_cols_into, matmul_into};
+
+pub fn sneaky_projection(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    matmul_into(a, b, c.rb_mut());
+    gemm_encode_cols_into(a, b, c);
+}
+
+pub fn guarded_is_fine(section: &mut GuardedSection, x: &Matrix, w: &Matrix) -> CheckedMatrix {
+    // Method call on a GuardedSection IS the guarded API.
+    section.gemm_encode_cols(x, w)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_call_raw_kernels() {
+        matmul_into(a(), b(), c());
+    }
+}

@@ -1,0 +1,8 @@
+//! Unknown lint names and justification-free allows are findings, and a
+//! justification-free allow does not suppress its target.
+
+pub fn sloppy(x: f32) -> bool {
+    // attn-lint: allow(no-such-lint) — the name is wrong
+    let a = x == 0.0; // attn-lint: allow(float-eq)
+    a
+}

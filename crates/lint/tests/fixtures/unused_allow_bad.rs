@@ -1,0 +1,7 @@
+//! An allow that suppresses nothing is itself a finding — suppression
+//! debt cannot accumulate silently.
+
+pub fn clean(x: u32) -> u32 {
+    // attn-lint: allow(float-eq) — stale justification kept after the fix
+    x + 1
+}

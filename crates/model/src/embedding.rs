@@ -155,7 +155,7 @@ mod tests {
         // Token 5 appears twice → gradient 2, token 2 once → 1.
         assert!(emb.tok.grad.row(5).iter().all(|&g| (g - 2.0).abs() < 1e-6));
         assert!(emb.tok.grad.row(2).iter().all(|&g| (g - 1.0).abs() < 1e-6));
-        assert!(emb.tok.grad.row(0).iter().all(|&g| g == 0.0));
+        assert!(attn_tensor::float::all_exactly_zero(emb.tok.grad.row(0)));
         // Each position appears once.
         for p in 0..3 {
             assert!(emb.pos.grad.row(p).iter().all(|&g| (g - 1.0).abs() < 1e-6));

@@ -184,8 +184,8 @@ mod tests {
     fn new_param_zeroed_state() {
         let p = Param::new("w", Matrix::full(2, 3, 1.5));
         assert_eq!(p.len(), 6);
-        assert!(p.grad.data().iter().all(|&x| x == 0.0));
-        assert!(p.m.data().iter().all(|&x| x == 0.0));
+        assert!(attn_tensor::float::all_exactly_zero(p.grad.data()));
+        assert!(attn_tensor::float::all_exactly_zero(p.m.data()));
     }
 
     #[test]
@@ -195,7 +195,7 @@ mod tests {
         p.accumulate(&Matrix::full(1, 4, 3.0));
         assert!(p.grad.data().iter().all(|&x| x == 5.0));
         p.zero_grad();
-        assert!(p.grad.data().iter().all(|&x| x == 0.0));
+        assert!(attn_tensor::float::all_exactly_zero(p.grad.data()));
     }
 
     #[test]
@@ -256,7 +256,7 @@ mod tests {
         assert_eq!(t.param_count(), 7);
         t.a.accumulate(&Matrix::full(2, 2, 1.0));
         t.zero_grads();
-        assert!(t.a.grad.data().iter().all(|&x| x == 0.0));
+        assert!(attn_tensor::float::all_exactly_zero(t.a.grad.data()));
         assert!(t.params_finite());
         t.b.value[(0, 0)] = f32::INFINITY;
         assert!(!t.params_finite());

@@ -99,7 +99,7 @@ pub struct Completion {
 impl Completion {
     /// The generated tokens (excluding the prompt).
     pub fn generated(&self) -> &[usize] {
-        &self.tokens[self.prompt_len..]
+        self.tokens.get(self.prompt_len..).unwrap_or(&[])
     }
 }
 

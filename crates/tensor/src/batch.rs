@@ -201,7 +201,7 @@ mod tests {
         let m = Matrix::full(2, 2, 3.0);
         b.set_slot(1, &m);
         assert_eq!(b.slot_matrix(1), m);
-        assert!(b.slot_matrix(0).data().iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(b.slot_matrix(0).data()));
     }
 
     #[test]

@@ -58,6 +58,8 @@
 //! Packing panels and checksum staging come from the thread-local
 //! [`crate::workspace`] arena, so a steady-state caller performs no heap
 //! allocation inside these kernels.
+//!
+//! attn-lint: hot-path
 
 use crate::kv::PagedKv;
 use crate::matrix::Matrix;
@@ -966,16 +968,16 @@ mod tests {
         let a = Matrix::zeros(3, 0);
         let b = Matrix::zeros(0, 4);
         let c = matmul(&a, &b);
-        assert!(c.data().iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(c.data()));
         let mut ce = Matrix::full(5, 4, f32::NAN);
         gemm_encode_cols_into(a.view(), b.view(), ce.view_mut());
-        assert!(ce.data().iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(ce.data()));
         // m = 0 encode: only checksum rows exist, and they are zero.
         let a0 = Matrix::zeros(0, 3);
         let b0 = rand_mat(&mut TensorRng::seed_from(47), 3, 4);
         let mut c0 = Matrix::full(2, 4, f32::NAN);
         gemm_encode_cols_into(a0.view(), b0.view(), c0.view_mut());
-        assert!(c0.data().iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(c0.data()));
     }
 
     #[test]

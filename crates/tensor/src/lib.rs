@@ -23,6 +23,9 @@
 //!   [`gemm`] consume it without copying and without changing result bits.
 //! * Neural-network primitive ops in [`ops`] (numerically-stable softmax,
 //!   layer norm, GELU, bias, masking).
+//! * Named exact-float comparisons in [`float`] (`exactly_zero` & co.) —
+//!   the helpers the workspace `float-eq` lint points raw `== 0.0` sites
+//!   to.
 //! * Deterministic RNG helpers in [`rng`] (Box–Muller normal sampling,
 //!   Xavier/He initialisation).
 //!
@@ -31,6 +34,7 @@
 
 pub mod batch;
 pub mod error;
+pub mod float;
 pub mod gemm;
 pub mod kv;
 pub mod matrix;

@@ -4,6 +4,8 @@
 //! surrounding transformer blocks need layer norm, GELU, and bias
 //! broadcasting. Backward-pass helpers live here too so the hand-written
 //! autodiff in `attn-model` stays thin.
+//!
+//! attn-lint: hot-path
 
 use crate::matrix::Matrix;
 
@@ -14,6 +16,7 @@ use crate::matrix::Matrix;
 /// exactly the transitions catalogued in the paper's Table 2 (`1R-∞* → 1R-Θ`
 /// through softmax).
 pub fn softmax_rows(x: &Matrix) -> Matrix {
+    // attn-lint: allow(hot-path-alloc) — owned-result convenience form; hot loops call softmax_rows_inplace
     let mut y = x.clone();
     softmax_rows_inplace(&mut y);
     y
@@ -62,7 +65,7 @@ pub fn softmax_rows_inplace(x: &mut Matrix) {
             *v = (*v - max).exp();
             sum += *v;
         }
-        if sum == 0.0 {
+        if crate::float::exactly_zero(sum) {
             // Defensive: with a finite max the max element contributes
             // exp(0) = 1, so this cannot trigger today — but a zero
             // exp-sum must never turn into a 1/0 row of INFs.
@@ -88,7 +91,7 @@ pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
     let mut dx = Matrix::zeros(y.rows(), y.cols());
     for r in 0..y.rows() {
         let yr = y.row(r);
-        if yr.iter().all(|&v| v == 0.0) {
+        if crate::float::all_exactly_zero(yr) {
             continue; // fully-masked row: d(const)/dx = 0
         }
         let dyr = dy.row(r);
@@ -144,6 +147,7 @@ pub fn add_bias_inplace(x: &mut Matrix, bias: &[f32]) {
 
 /// Column-wise sum of `x` — the bias gradient for a row-broadcast bias.
 pub fn col_sums(x: &Matrix) -> Vec<f32> {
+    // attn-lint: allow(hot-path-alloc) — allocates its owned result by API contract (backward pass, not decode steady state)
     let mut s = vec![0.0f32; x.cols()];
     for r in 0..x.rows() {
         for (acc, &v) in s.iter_mut().zip(x.row(r)) {
@@ -177,7 +181,9 @@ pub fn layer_norm(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> (Matrix,
     assert_eq!(gamma.len(), d);
     assert_eq!(beta.len(), d);
     let mut out = Matrix::zeros(x.rows(), d);
+    // attn-lint: allow(hot-path-alloc) — owned cache buffers are layer_norm's return value, sized once per call
     let mut mean = Vec::with_capacity(x.rows());
+    // attn-lint: allow(hot-path-alloc) — owned cache buffers are layer_norm's return value, sized once per call
     let mut inv_std = Vec::with_capacity(x.rows());
     let mut normalized = Matrix::zeros(x.rows(), d);
 
@@ -214,7 +220,9 @@ pub fn layer_norm_backward(
 ) -> (Matrix, Vec<f32>, Vec<f32>) {
     let (rows, d) = (dy.rows(), dy.cols());
     let mut dx = Matrix::zeros(rows, d);
+    // attn-lint: allow(hot-path-alloc) — gradient outputs are owned by API contract (training path, not decode)
     let mut dgamma = vec![0.0f32; d];
+    // attn-lint: allow(hot-path-alloc) — gradient outputs are owned by API contract (training path, not decode)
     let mut dbeta = vec![0.0f32; d];
 
     for r in 0..rows {
@@ -365,7 +373,7 @@ mod tests {
             ],
         );
         let y = softmax_rows(&x);
-        assert!(y.row(0).iter().all(|&v| v == 0.0), "{:?}", y.row(0));
+        assert!(crate::float::all_exactly_zero(y.row(0)), "{:?}", y.row(0));
         // The neighbouring genuine row is untouched.
         let s: f32 = y.row(1).iter().sum();
         assert!((s - 1.0).abs() < 1e-5);
@@ -396,7 +404,7 @@ mod tests {
         let y = Matrix::from_vec(2, 3, vec![0.0, 0.0, 0.0, 0.2, 0.3, 0.5]);
         let dy = Matrix::from_vec(2, 3, vec![f32::NAN, 1.0, f32::INFINITY, 0.1, 0.2, 0.3]);
         let dx = softmax_rows_backward(&y, &dy);
-        assert!(dx.row(0).iter().all(|&v| v == 0.0));
+        assert!(crate::float::all_exactly_zero(dx.row(0)));
         assert!(dx.row(1).iter().all(|v| v.is_finite()));
     }
 
@@ -568,7 +576,7 @@ mod tests {
         let m = local_causal_mask(6, 2);
         // row 4 may attend to columns 3 and 4 only.
         for c in 0..6 {
-            let open = m[(4, c)] == 0.0;
+            let open = crate::float::exactly_zero(m[(4, c)]);
             assert_eq!(open, c == 3 || c == 4, "col {c}");
         }
         // Window covering everything degenerates to the causal mask.

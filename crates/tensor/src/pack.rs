@@ -25,6 +25,8 @@
 //! in block order — is a documented contract: the standalone encoders in
 //! `attnchecker::checksum` reproduce it bit-for-bit so fused and
 //! standalone encodings are interchangeable.
+//!
+//! attn-lint: hot-path
 
 use crate::gemm::{MR, NR};
 

@@ -135,12 +135,12 @@ mod tests {
     fn take_returns_zeroed_buffer_of_requested_len() {
         let mut b = take(37);
         assert_eq!(b.len(), 37);
-        assert!(b.iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(&b));
         b[5] = 9.0;
         drop(b);
         // The dirty buffer goes back to the pool but comes out zeroed.
         let b2 = take(37);
-        assert!(b2.iter().all(|&x| x == 0.0));
+        assert!(crate::float::all_exactly_zero(&b2));
     }
 
     #[test]
