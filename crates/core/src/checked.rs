@@ -46,7 +46,7 @@ pub struct CheckedMatrix {
 impl CheckedMatrix {
     /// Wrap a plain matrix with no checksums.
     pub fn from_plain(data: &Matrix) -> Self {
-        Self::from_plain_owned(data.clone())
+        Self::from_plain_owned(data.clone()) // attn-lint: allow(hot-path-alloc-reach) — constructor: wrapping a plain matrix owns its buffer by contract
     }
 
     /// Wrap an owned plain matrix with no checksums (no copy).
@@ -621,7 +621,7 @@ impl CheckedMatrix {
     /// `CL` blocks are merged: only column checksums ride into `S_O`).
     pub fn drop_row_checksums(&self) -> CheckedMatrix {
         if !self.has_row_cs {
-            return self.clone();
+            return self.clone(); // attn-lint: allow(hot-path-alloc-reach) — section-boundary reshape, not per-token decode work; ws_allocs tests pin the steady state
         }
         let phys_rows = self.buf.rows();
         CheckedMatrix {
@@ -642,7 +642,7 @@ impl CheckedMatrix {
         assert!(!blocks.is_empty());
         let rows = blocks[0].rows;
         let has_col_cs = blocks[0].has_col_cs;
-        let mut buf = blocks[0].buf.clone();
+        let mut buf = blocks[0].buf.clone(); // attn-lint: allow(hot-path-alloc-reach) — concat constructs the merged matrix at a section boundary, not per-token
         for b in &blocks[1..] {
             assert_eq!(b.rows, rows, "concat_cols: row mismatch");
             assert_eq!(b.has_col_cs, has_col_cs, "concat_cols: flag mismatch");

@@ -93,9 +93,9 @@ pub fn correct_columns(m: &mut CheckedMatrix, cfg: &AbftConfig) -> PassOutcome {
     let (rows, cols) = (m.rows(), m.cols());
 
     // Streaming prepass: per-column (Σv, Σw·v, Σ|v|) in one sweep.
-    let mut sum = vec![0.0f32; cols];
-    let mut wsum = vec![0.0f32; cols];
-    let mut abs = vec![0.0f32; cols];
+    let mut sum = vec![0.0f32; cols]; // attn-lint: allow(hot-path-alloc-reach) — fault-repair path: runs only after a checksum mismatch, never in the clean steady state
+    let mut wsum = vec![0.0f32; cols]; // attn-lint: allow(hot-path-alloc-reach) — fault-repair path (see above)
+    let mut abs = vec![0.0f32; cols]; // attn-lint: allow(hot-path-alloc-reach) — fault-repair path (see above)
     for r in 0..rows {
         let w = crate::checksum::weight(r);
         let row = m.logical_row(r);
@@ -160,7 +160,7 @@ pub fn correct_rows(m: &mut CheckedMatrix, cfg: &AbftConfig) -> PassOutcome {
         if !delta_suspicious(cs - s, wcs - ws, abs, cols, cfg) {
             continue;
         }
-        let mut v = m.logical_row(r).to_vec();
+        let mut v = m.logical_row(r).to_vec(); // attn-lint: allow(hot-path-alloc-reach) — fault-repair path: row copy only when correcting a detected mismatch
         match eec_correct_vector(&mut v, cs, wcs, cfg) {
             VectorVerdict::Clean => {}
             VectorVerdict::Corrected {

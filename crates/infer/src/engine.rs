@@ -80,12 +80,18 @@ impl DecodeEngine {
     /// keep every result bit-identical at any setting.
     pub fn set_parallelism(&mut self, workers: usize) {
         self.parallelism = workers.max(1);
-        self.pool = (self.parallelism > 1).then(|| {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(self.parallelism)
-                .build()
-                .expect("decode thread pool")
-        });
+        // A pool that fails to build (impossible with the vendored shim,
+        // but the serving path may not bank on that) demotes the engine
+        // to sequential stepping — bit-identical by the determinism
+        // contract, just slower.
+        self.pool = (self.parallelism > 1)
+            .then(|| {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(self.parallelism)
+                    .build()
+                    .ok()
+            })
+            .flatten();
     }
 
     /// Worker threads batch steps fan out over.
@@ -118,7 +124,7 @@ impl DecodeEngine {
         let toggles = self.prefill_policy.next_toggles();
         let mut report = AbftReport::default();
         let mut state = self.model.new_decode_state();
-        let logits = self.model.prefill(prompt, &mut state, toggles, &mut report);
+        let logits = self.model.prefill(prompt, &mut state, toggles, &mut report); // attn-lint: allow-path(panic-reach) — model boundary: prefill's documented panics (empty/OOV prompt) are this fn's own contract, enforced before serving admits a trace
         let id = self.next_id;
         self.next_id += 1;
         DecodeSession {
@@ -195,7 +201,7 @@ impl DecodeEngine {
         }
         let toggles = self.policy.next_toggles();
         let model = &self.model;
-        let run = |(s, op): &mut (&mut DecodeSession, StepOp)| {
+        let run = |(s, op): &mut (&mut DecodeSession, StepOp)| -> usize {
             let token = match *op {
                 StepOp::Gen => sample_token(&s.logits, sampling, &mut s.rng),
                 StepOp::Feed(t) => {
@@ -204,18 +210,30 @@ impl DecodeEngine {
                 }
             };
             s.tokens.push(token);
-            s.logits = model.decode_step(token, &mut s.state, toggles, None, &mut s.report);
+            s.logits = model.decode_step(token, &mut s.state, toggles, None, &mut s.report); // attn-lint: allow-path(panic-reach) — model boundary: the protected decode step indexes within cache bounds by construction (decode parity + invariant suites pin it)
+            token
         };
-        if self.parallelism > 1 && items.len() > 1 {
-            let pool = self.pool.as_ref().expect("pool built by set_parallelism");
-            pool.install(|| items.par_chunks_mut(1).for_each(|chunk| run(&mut chunk[0])));
-        } else {
-            items.iter_mut().for_each(run);
+        // Each worker writes its token straight into its session's output
+        // slot, so no post-step re-read of session state is needed and the
+        // result order is the input order by construction.
+        let mut out = vec![0usize; items.len()];
+        match self.pool.as_ref().filter(|_| items.len() > 1) {
+            Some(pool) => {
+                let slots: Vec<(&mut (&mut DecodeSession, StepOp), &mut usize)> =
+                    items.iter_mut().zip(out.iter_mut()).collect();
+                pool.install(|| {
+                    slots
+                        .into_par_iter()
+                        .for_each(|(item, slot)| *slot = run(item));
+                });
+            }
+            None => {
+                for (item, slot) in items.iter_mut().zip(out.iter_mut()) {
+                    *slot = run(item);
+                }
+            }
         }
-        items
-            .iter()
-            .map(|(s, _)| *s.tokens.last().expect("session stepped"))
-            .collect()
+        out
     }
 
     /// Park a session's KV caches into verified cold storage
@@ -225,14 +243,14 @@ impl DecodeEngine {
     /// parked session cannot step until unparked.
     pub fn park_session(&self, session: &mut DecodeSession) {
         self.model
-            .park_state(&mut session.state, &mut session.report);
+            .park_state(&mut session.state, &mut session.report); // attn-lint: allow-path(panic-reach) — model boundary: verify-on-move walks blocks the cache itself reports
     }
 
     /// Restore a parked session to live, decodable state; fault-free
     /// round trips are bit-identical. See [`Self::park_session`].
     pub fn unpark_session(&self, session: &mut DecodeSession) {
         self.model
-            .unpark_state(&mut session.state, &mut session.report);
+            .unpark_state(&mut session.state, &mut session.report); // attn-lint: allow-path(panic-reach) — model boundary: restores exactly what park_state wrote
     }
 
     /// How many more tokens `session` can decode before the model's
@@ -336,6 +354,37 @@ mod tests {
         let base = run(1);
         for workers in [2, 4, 7] {
             assert_eq!(run(workers), base, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn single_session_batch_bypasses_the_pool_and_matches_sequential() {
+        // A one-item batch takes the sequential arm even when a pool is
+        // live; it must be bit-identical to the same step at workers=1.
+        let run = |workers: usize| {
+            let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+            engine.set_parallelism(workers);
+            let mut s = engine.open_session(&[5, 6, 7], 42);
+            let toks: Vec<usize> = (0..6)
+                .map(|_| engine.step_batch(std::slice::from_mut(&mut s), Sampling::Greedy)[0])
+                .collect();
+            (toks, bits(s.logits()))
+        };
+        assert_eq!(run(4), run(1));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_sequential_stepping() {
+        let mut engine = DecodeEngine::new(lm_model(ProtectionConfig::full()));
+        engine.set_parallelism(0);
+        assert_eq!(engine.parallelism(), 1);
+        let mut sessions: Vec<DecodeSession> = (0..3)
+            .map(|i| engine.open_session(&[i + 1, i + 2], i as u64))
+            .collect();
+        let toks = engine.step_batch(&mut sessions, Sampling::Greedy);
+        assert_eq!(toks.len(), 3);
+        for (s, &t) in sessions.iter().zip(&toks) {
+            assert_eq!(*s.tokens.last().unwrap(), t);
         }
     }
 

@@ -24,21 +24,23 @@ pub enum Sampling {
 pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) -> usize {
     assert_eq!(logits.rows(), 1, "sample_token: one logits row");
     assert!(logits.cols() > 0, "sample_token: empty logits");
+    let row = logits.row(0); // attn-lint: allow-path(panic-reach) — row 0 of the 1×V matrix asserted above
     match sampling {
-        Sampling::Greedy => argmax(logits.row(0)),
+        Sampling::Greedy => argmax(row),
         Sampling::Temperature(t) if t > 0.0 => {
             let scaled = logits.map(|v| v / t);
-            let p = softmax_rows(&scaled);
-            let row = p.row(0);
+            let p = softmax_rows(&scaled); // attn-lint: allow-path(panic-reach) — softmax over the shape-asserted 1×V row; row iteration stays in bounds by construction
+            let prow = p.row(0); // attn-lint: allow-path(panic-reach) — softmax preserves the asserted 1×V shape
+
             // A poisoned row (NaN logits, the non-trainable-state signal)
             // has no distribution to sample; fall back to argmax, which
             // ignores NaNs.
-            if row.iter().any(|v| !v.is_finite()) {
-                return argmax(logits.row(0));
+            if prow.iter().any(|v| !v.is_finite()) {
+                return argmax(row);
             }
             let u = rng.uniform(0.0, 1.0);
             let mut acc = 0.0f32;
-            for (i, &pi) in row.iter().enumerate() {
+            for (i, &pi) in prow.iter().enumerate() {
                 acc += pi;
                 if u < acc {
                     return i;
@@ -48,9 +50,9 @@ pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) ->
             // than 1, so u may exceed the accumulated mass. Falling off the
             // end must not emit a zero-probability token (e.g. a masked
             // -INF logit at the end of the vocab).
-            last_positive(row)
+            last_positive(prow)
         }
-        Sampling::Temperature(_) => argmax(logits.row(0)),
+        Sampling::Temperature(_) => argmax(row),
     }
 }
 
@@ -66,9 +68,11 @@ fn last_positive(row: &[f32]) -> usize {
 /// result independent of the vocab size).
 fn argmax(row: &[f32]) -> usize {
     let mut best = 0usize;
+    let mut best_v = row.first().copied().unwrap_or(f32::NAN);
     for (i, &v) in row.iter().enumerate().skip(1) {
-        if v > row[best] || (row[best].is_nan() && !v.is_nan()) {
+        if v > best_v || (best_v.is_nan() && !v.is_nan()) {
             best = i;
+            best_v = v;
         }
     }
     best

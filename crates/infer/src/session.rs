@@ -43,7 +43,11 @@ impl std::fmt::Debug for DecodeSession {
 impl DecodeSession {
     /// Tokens generated so far (excluding the prompt).
     pub fn generated(&self) -> &[usize] {
-        &self.tokens[self.prompt_len..]
+        // `prompt_len <= tokens.len()` by construction (the prompt seeds
+        // `tokens`), so the miss arm is unreachable — but the serving
+        // path must not carry a panic for an invariant it can degrade
+        // gracefully on.
+        self.tokens.get(self.prompt_len..).unwrap_or(&[])
     }
 
     /// The current next-token logits row.

@@ -12,12 +12,18 @@
 //!   anything and is itself reported. So are allows naming an unknown
 //!   lint and allows that suppress nothing (`unused-allow`) — suppression
 //!   debt can never accumulate silently.
+//! * An **allow-path** — same grammar with `allow-path(<lint-name>)`,
+//!   valid only for the reachability lints. Instead of killing a finding
+//!   on its own line, it cuts the *call-graph edges* leaving the call on
+//!   the targeted line, vouching for a reviewed boundary once rather
+//!   than per-sink. Unused and unjustified allow-paths are findings like
+//!   any other allow.
 //!
 //! Allows are only read from plain `//` comments (never `///`/`//!`), so
 //! documentation can quote the grammar without registering suppressions.
 
 use crate::lexer::{Tok, TokKind};
-use crate::{Finding, LINT_NAMES};
+use crate::{Finding, LINT_NAMES, REACH_NAMES};
 
 /// One parsed `allow` directive.
 #[derive(Debug)]
@@ -44,6 +50,8 @@ pub struct Directives {
     pub hot_path: bool,
     /// Parsed allows, in source order.
     pub allows: Vec<Allow>,
+    /// Parsed allow-paths (call-graph edge cuts), in source order.
+    pub allow_paths: Vec<Allow>,
     /// Malformed/unknown directives, reported as findings directly.
     pub errors: Vec<Finding>,
 }
@@ -78,10 +86,22 @@ pub fn parse(rel_path: &str, toks: &[Tok], code_lines: &[u32]) -> Directives {
                 // `///` never carries directives (lets docs quote them).
             }
             CommentPrefix::Plain => match parse_allow(rest) {
-                Ok((names, justified)) => {
+                Ok((is_path, names, justified)) => {
+                    let form = if is_path { "allow-path" } else { "allow" };
                     let mut valid = Vec::new();
                     for name in names {
-                        if LINT_NAMES.contains(&name.as_str()) {
+                        if is_path && !REACH_NAMES.contains(&name.as_str()) {
+                            out.errors.push(Finding::new(
+                                rel_path,
+                                t.line,
+                                t.col,
+                                "unknown-allow",
+                                format!(
+                                    "allow-path only applies to reachability lints, \
+                                     not `{name}`"
+                                ),
+                            ));
+                        } else if LINT_NAMES.contains(&name.as_str()) {
                             valid.push(name);
                         } else {
                             out.errors.push(Finding::new(
@@ -89,7 +109,7 @@ pub fn parse(rel_path: &str, toks: &[Tok], code_lines: &[u32]) -> Directives {
                                 t.line,
                                 t.col,
                                 "unknown-allow",
-                                format!("allow names unknown lint `{name}`"),
+                                format!("{form} names unknown lint `{name}`"),
                             ));
                         }
                     }
@@ -99,7 +119,7 @@ pub fn parse(rel_path: &str, toks: &[Tok], code_lines: &[u32]) -> Directives {
                             t.line,
                             t.col,
                             "missing-justification",
-                            "allow requires `— <justification>` after the lint name".to_string(),
+                            format!("{form} requires `— <justification>` after the lint name"),
                         ));
                     } else if !valid.is_empty() {
                         let target_line = if code_lines.binary_search(&t.line).is_ok() {
@@ -111,14 +131,19 @@ pub fn parse(rel_path: &str, toks: &[Tok], code_lines: &[u32]) -> Directives {
                                 .find(|&l| l > t.line)
                                 .unwrap_or(t.line)
                         };
-                        out.allows.push(Allow {
+                        let allow = Allow {
                             line: t.line,
                             col: t.col,
                             names: valid,
                             justified,
                             target_line,
                             used: std::cell::Cell::new(false),
-                        });
+                        };
+                        if is_path {
+                            out.allow_paths.push(allow);
+                        } else {
+                            out.allows.push(allow);
+                        }
                     }
                 }
                 Err(msg) => {
@@ -150,12 +175,16 @@ fn split_comment(text: &str) -> (CommentPrefix, &str) {
     }
 }
 
-/// Parse `allow(<names>) — justification` (the part after `attn-lint:`).
-/// Returns the names plus whether a justification is present. The em-dash
-/// separator also accepts `--` and a spaced `-` so keyboards without an
-/// em-dash are not excluded.
-fn parse_allow(rest: &str) -> Result<(Vec<String>, bool), String> {
-    let Some(args) = rest.strip_prefix("allow(") else {
+/// Parse `allow(<names>) — justification` or its `allow-path(…)` edge-cut
+/// form (the part after `attn-lint:`). Returns `(is_path, names,
+/// justified)`. The em-dash separator also accepts `--` and a spaced `-`
+/// so keyboards without an em-dash are not excluded.
+fn parse_allow(rest: &str) -> Result<(bool, Vec<String>, bool), String> {
+    let (is_path, args) = if let Some(a) = rest.strip_prefix("allow-path(") {
+        (true, a)
+    } else if let Some(a) = rest.strip_prefix("allow(") {
+        (false, a)
+    } else {
         return Err(format!("unrecognised directive `{MARKER} {rest}`"));
     };
     let Some(close) = args.find(')') else {
@@ -173,7 +202,7 @@ fn parse_allow(rest: &str) -> Result<(Vec<String>, bool), String> {
     let justified = ["—", "--", "- ", "–"]
         .iter()
         .any(|sep| tail.strip_prefix(sep).is_some_and(|j| !j.trim().is_empty()));
-    Ok((names, justified))
+    Ok((is_path, names, justified))
 }
 
 #[cfg(test)]
@@ -236,5 +265,31 @@ mod tests {
         let d = directives("/// attn-lint: allow(float-eq) — quoted in docs\nlet x = 1;\n");
         assert!(d.allows.is_empty());
         assert!(d.errors.is_empty());
+    }
+
+    #[test]
+    fn allow_path_parses_into_its_own_bucket() {
+        let d = directives(
+            "self.model.decode_step(t); // attn-lint: allow-path(panic-reach) — contract\n",
+        );
+        assert!(d.allows.is_empty());
+        assert_eq!(d.allow_paths.len(), 1);
+        assert_eq!(d.allow_paths[0].target_line, 1);
+        assert!(d.errors.is_empty());
+    }
+
+    #[test]
+    fn allow_path_rejects_syntactic_lints() {
+        let d = directives("let x = 1; // attn-lint: allow-path(float-eq) — nope\n");
+        assert!(d.allow_paths.is_empty());
+        assert_eq!(d.errors.len(), 1);
+        assert_eq!(d.errors[0].lint, "unknown-allow");
+    }
+
+    #[test]
+    fn allow_path_justification_is_mandatory_too() {
+        let d = directives("// attn-lint: allow-path(panic-reach)\nf();\n");
+        assert!(d.allow_paths.is_empty());
+        assert_eq!(d.errors[0].lint, "missing-justification");
     }
 }

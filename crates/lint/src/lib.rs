@@ -5,48 +5,86 @@
 //! tests can only sample; this tool makes violating them a CI failure:
 //!
 //! 1. **Determinism** — bit-identical results at any worker count
-//!    (fixed-order reduction): [`lints::NONDET_REDUCE`].
+//!    (fixed-order reduction): [`lints::NONDET_REDUCE`] plus the
+//!    interprocedural [`reach::NONDET_REDUCE_REACH`].
 //! 2. **Alloc-free steady state** — hot paths draw scratch from the
 //!    workspace arena, never the global allocator:
-//!    [`lints::HOT_PATH_ALLOC`].
+//!    [`lints::HOT_PATH_ALLOC`] plus [`reach::HOT_PATH_ALLOC_REACH`].
 //! 3. **Total ABFT coverage** — every model-layer GEMM flows through
-//!    `GuardedSection`/`ProtectedLinear`: [`lints::UNGUARDED_GEMM`].
-//! 4. **No-panic serving** — the gateway sheds load with typed errors,
-//!    it never dies: [`lints::PANIC_IN_SERVE`] (plus [`lints::FLOAT_EQ`]
-//!    for the sentinel-comparison hygiene the gates depend on).
+//!    `GuardedSection`/`ProtectedLinear`: [`lints::UNGUARDED_GEMM`] plus
+//!    [`reach::UNGUARDED_GEMM_REACH`].
+//! 4. **No-panic serving** — nothing transitively reachable from the
+//!    gateway/engine entry points may panic: [`reach::PANIC_REACH`]
+//!    (plus [`lints::FLOAT_EQ`] for the sentinel-comparison hygiene the
+//!    gates depend on).
 //!
-//! The tool is self-contained (hand-written lexer, no external deps —
-//! this environment is vendored-only) and scans every `crates/*/src`
-//! file. Suppression is per-line and justification-carrying:
+//! Since PR 8 the tool is *interprocedural*: an item-level parser
+//! ([`parse`]) over the hand-written lexer builds a workspace symbol
+//! table, [`callgraph`] resolves a conservative call graph from it
+//! (receiver-type hints where cheap, bounded fan-out where not), and
+//! [`reach`] runs four reachability analyses whose findings carry the
+//! shortest entry→violation call path. The tool stays self-contained
+//! (no external deps — this environment is vendored-only) and scans
+//! every `crates/*/src` file plus, with a relaxed lint set, the root
+//! `tests/` and `examples/` trees. Suppression is per-line and
+//! justification-carrying:
 //!
 //! ```text
 //! // attn-lint: allow(hot-path-alloc) — construction, not steady state
+//! // attn-lint: allow-path(panic-reach) — model boundary: decode_step is total
 //! ```
 //!
-//! Unknown lint names, missing justifications, and allows that suppress
-//! nothing are themselves errors, so the suppression inventory stays
-//! exact. Run it as:
+//! The second form cuts *call-graph edges* leaving the targeted line
+//! instead of silencing one sink, so a reviewed boundary is vouched for
+//! once. Unknown lint names, missing justifications, and allows that
+//! suppress nothing are themselves errors, so the suppression inventory
+//! stays exact. Run it as:
 //!
 //! ```text
 //! cargo run -p attn_lint --release -- check
+//! cargo run -p attn_lint --release -- check --coverage
 //! ```
+//!
+//! The second command also emits `BENCH_coverage.json`: every op on the
+//! forward/decode/train paths with its guarded/unguarded status — the
+//! tracked artifact behind ROADMAP item 3.
 
+pub mod callgraph;
 pub mod directives;
 pub mod lexer;
 pub mod lints;
+pub mod parse;
+pub mod reach;
 pub mod report;
 pub mod scope;
 
+pub use lints::Profile;
+
+use directives::Allow;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-/// The five contract lints, in report order.
-pub const LINT_NAMES: [&str; 5] = [
+/// The eight contract lints, in report order: four syntactic, four
+/// interprocedural.
+pub const LINT_NAMES: [&str; 8] = [
     lints::NONDET_REDUCE,
     lints::HOT_PATH_ALLOC,
     lints::UNGUARDED_GEMM,
-    lints::PANIC_IN_SERVE,
     lints::FLOAT_EQ,
+    reach::PANIC_REACH,
+    reach::HOT_PATH_ALLOC_REACH,
+    reach::UNGUARDED_GEMM_REACH,
+    reach::NONDET_REDUCE_REACH,
+];
+
+/// The reachability subset — the only lints `allow-path` may name.
+pub const REACH_NAMES: [&str; 4] = [
+    reach::PANIC_REACH,
+    reach::HOT_PATH_ALLOC_REACH,
+    reach::UNGUARDED_GEMM_REACH,
+    reach::NONDET_REDUCE_REACH,
 ];
 
 /// Meta diagnostics about the suppression inventory itself.
@@ -95,17 +133,28 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Result of scanning a tree (or a single source, for tests).
+/// Result of scanning a tree (or a set of sources, for tests).
 #[derive(Debug, Default)]
 pub struct Report {
     /// Files scanned.
     pub files_scanned: usize,
     /// Findings that survived suppression, sorted by file/line/col.
     pub findings: Vec<Finding>,
-    /// Justified allows that suppressed at least one finding.
+    /// Justified allows (and allow-paths) that suppressed something.
     pub suppressions_used: usize,
     /// Wall time of the scan, in milliseconds.
     pub wall_ms: u128,
+    /// Per-pass wall time in microseconds, in run order (lints first,
+    /// then the `parse`/`callgraph` infrastructure entries).
+    pub lint_us: Vec<(&'static str, u128)>,
+    /// Call sites seen by the graph.
+    pub calls_total: usize,
+    /// Sites bound to a workspace fn or proven external.
+    pub calls_resolved: usize,
+    /// Sites the conservative resolver gave up on.
+    pub calls_unresolved: usize,
+    /// Serving entry points found in this tree, qualified.
+    pub entry_points: Vec<String>,
 }
 
 impl Report {
@@ -128,24 +177,145 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// Fraction of call sites bound or proven external (1.0 when no
+    /// calls were seen).
+    pub fn resolution_rate(&self) -> f64 {
+        if self.calls_total == 0 {
+            1.0
+        } else {
+            self.calls_resolved as f64 / self.calls_total as f64
+        }
+    }
 }
 
-/// Scan one source file (given its workspace-relative path, which drives
-/// the per-crate lint scoping) and return surviving findings plus the
-/// number of suppressions honoured.
-pub fn scan_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
-    let toks = lexer::lex(src);
-    let ctx = scope::analyze(&toks);
-    let dir = directives::parse(rel_path, &toks, &ctx.code_lines);
-    let raw = lints::run(rel_path, &toks, &ctx, dir.hot_path);
+/// Lint profile by path: root `tests/` and `examples/` get the relaxed
+/// set and stay out of the call graph; everything else is library code.
+pub fn profile_for(rel_path: &str) -> Profile {
+    if rel_path.starts_with("tests/") || rel_path.starts_with("examples/") {
+        Profile::Relaxed
+    } else {
+        Profile::Full
+    }
+}
 
+/// One file prepared for graph construction.
+struct Prepared {
+    rel: String,
+    profile: Profile,
+    toks: Vec<lexer::Tok>,
+    ctx: scope::Context,
+    dir: directives::Directives,
+    parsed: Option<parse::ParsedFile>,
+}
+
+/// Scan a set of `(workspace-relative path, source)` pairs: syntactic
+/// lints per file, then one shared call graph over the `Full`-profile
+/// files, then the reachability lints, then suppression filtering and
+/// the meta findings.
+pub fn scan_sources(files: &[(String, String)]) -> Report {
+    let started = Instant::now();
+    let mut lint_us: Vec<(&'static str, u128)> = LINT_NAMES.iter().map(|&n| (n, 0u128)).collect();
+    lint_us.push(("parse", 0));
+    lint_us.push(("callgraph", 0));
+    let bump = |v: &mut Vec<(&'static str, u128)>, name: &str, t0: Instant| {
+        let us = t0.elapsed().as_micros();
+        if let Some(e) = v.iter_mut().find(|e| e.0 == name) {
+            e.1 += us;
+        }
+    };
+
+    let mut prepared: Vec<Prepared> = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut path_allows: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    for (rel, src) in files {
+        let toks = lexer::lex(src);
+        let ctx = scope::analyze(&toks);
+        let mut dir = directives::parse(rel, &toks, &ctx.code_lines);
+        let profile = profile_for(rel);
+
+        let t0 = Instant::now();
+        lints::nondet_reduce(rel, &toks, &ctx, &mut raw);
+        bump(&mut lint_us, lints::NONDET_REDUCE, t0);
+        if profile == Profile::Full {
+            if dir.hot_path {
+                let t0 = Instant::now();
+                lints::hot_path_alloc(rel, &toks, &ctx, &mut raw);
+                bump(&mut lint_us, lints::HOT_PATH_ALLOC, t0);
+            }
+            if !lints::unguarded_gemm_whitelisted(rel) {
+                let t0 = Instant::now();
+                lints::unguarded_gemm(rel, &toks, &ctx, &mut raw);
+                bump(&mut lint_us, lints::UNGUARDED_GEMM, t0);
+            }
+        }
+        let t0 = Instant::now();
+        lints::float_eq(rel, &toks, &ctx, &mut raw);
+        bump(&mut lint_us, lints::FLOAT_EQ, t0);
+
+        let parsed = (profile == Profile::Full).then(|| {
+            let t0 = Instant::now();
+            let p = parse::parse_file(&toks, &ctx);
+            bump(&mut lint_us, "parse", t0);
+            p
+        });
+        path_allows.insert(rel.clone(), std::mem::take(&mut dir.allow_paths));
+        prepared.push(Prepared {
+            rel: rel.clone(),
+            profile,
+            toks,
+            ctx,
+            dir,
+            parsed,
+        });
+    }
+
+    // One shared call graph over the Full-profile files.
+    let full: Vec<&Prepared> = prepared
+        .iter()
+        .filter(|p| p.profile == Profile::Full)
+        .collect();
+    let inputs: Vec<callgraph::FileInput<'_>> = full
+        .iter()
+        .filter_map(|p| {
+            p.parsed.as_ref().map(|parsed| callgraph::FileInput {
+                rel: &p.rel,
+                toks: &p.toks,
+                ctx: &p.ctx,
+                parsed,
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let graph = callgraph::build(&inputs);
+    bump(&mut lint_us, "callgraph", t0);
+    let hot: Vec<bool> = full.iter().map(|p| p.dir.hot_path).collect();
+    let cuts = reach::PathAllows::new(&graph.files, &path_allows);
+
+    let t0 = Instant::now();
+    reach::panic_reach(&graph, &cuts, &mut raw);
+    bump(&mut lint_us, reach::PANIC_REACH, t0);
+    let t0 = Instant::now();
+    reach::hot_path_alloc_reach(&graph, &hot, &cuts, &mut raw);
+    bump(&mut lint_us, reach::HOT_PATH_ALLOC_REACH, t0);
+    let t0 = Instant::now();
+    reach::unguarded_gemm_reach(&graph, &cuts, &mut raw);
+    bump(&mut lint_us, reach::UNGUARDED_GEMM_REACH, t0);
+    let t0 = Instant::now();
+    reach::nondet_reduce_reach(&graph, &cuts, &mut raw);
+    bump(&mut lint_us, reach::NONDET_REDUCE_REACH, t0);
+
+    // Suppression filtering against each finding's own file.
+    let dirs: BTreeMap<&str, &directives::Directives> =
+        prepared.iter().map(|p| (p.rel.as_str(), &p.dir)).collect();
     let mut findings: Vec<Finding> = Vec::new();
     let mut suppressed = 0usize;
     for f in raw {
-        let allow = dir
-            .allows
-            .iter()
-            .find(|a| a.target_line == f.line && a.names.iter().any(|n| n == f.lint));
+        let allow = dirs.get(f.file.as_str()).and_then(|d| {
+            d.allows
+                .iter()
+                .find(|a| a.target_line == f.line && a.names.iter().any(|n| n == f.lint))
+        });
         match allow {
             Some(a) => {
                 a.used.set(true);
@@ -156,29 +326,71 @@ pub fn scan_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
     }
     // Directive errors and unused allows are findings too — the
     // suppression inventory must stay exact.
-    findings.extend(dir.errors);
-    for a in &dir.allows {
-        if !a.used.get() {
-            findings.push(Finding::new(
-                rel_path,
-                a.line,
-                a.col,
-                "unused-allow",
-                format!(
-                    "allow({}) suppresses nothing on line {}; remove it",
-                    a.names.join(", "),
-                    a.target_line
-                ),
-            ));
+    for p in &prepared {
+        findings.extend(p.dir.errors.iter().cloned());
+        for a in &p.dir.allows {
+            if !a.used.get() {
+                findings.push(Finding::new(
+                    &p.rel,
+                    a.line,
+                    a.col,
+                    "unused-allow",
+                    format!(
+                        "allow({}) suppresses nothing on line {}; remove it",
+                        a.names.join(", "),
+                        a.target_line
+                    ),
+                ));
+            }
         }
     }
-    findings.sort_by(|a, b| (a.line, a.col, a.lint).cmp(&(b.line, b.col, b.lint)));
-    (findings, suppressed)
+    for (rel, allows) in &path_allows {
+        for a in allows {
+            if a.used.get() {
+                suppressed += 1;
+            } else {
+                findings.push(Finding::new(
+                    rel,
+                    a.line,
+                    a.col,
+                    "unused-allow",
+                    format!(
+                        "allow-path({}) cuts no call edge on line {}; remove it",
+                        a.names.join(", "),
+                        a.target_line
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+
+    Report {
+        files_scanned: files.len(),
+        findings,
+        suppressions_used: suppressed,
+        wall_ms: started.elapsed().as_millis(),
+        lint_us,
+        calls_total: graph.calls_total,
+        calls_resolved: graph.calls_resolved,
+        calls_unresolved: graph.calls_unresolved,
+        entry_points: reach::entry_points(&graph),
+    }
 }
 
-/// Walk `root/crates/*/src` and scan every `.rs` file.
-pub fn run_check(root: &Path) -> std::io::Result<Report> {
-    let started = std::time::Instant::now();
+/// Scan one source file (given its workspace-relative path, which drives
+/// the per-crate lint scoping) and return surviving findings plus the
+/// number of suppressions honoured. Single-file convenience over
+/// [`scan_sources`] — the call graph is built from this file alone.
+pub fn scan_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let report = scan_sources(&[(rel_path.to_string(), src.to_string())]);
+    (report.findings, report.suppressions_used)
+}
+
+/// Collect the scan set: every `crates/*/src/**/*.rs` (Full profile)
+/// plus root `tests/*.rs` and `examples/*.rs` (Relaxed profile).
+fn collect_tree(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
@@ -190,9 +402,22 @@ pub fn run_check(root: &Path) -> std::io::Result<Report> {
     for dir in crate_dirs {
         collect_rs(&dir.join("src"), &mut files)?;
     }
+    for flat in ["tests", "examples"] {
+        let dir = root.join(flat);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
     files.sort();
 
-    let mut report = Report::default();
+    let mut out = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -200,16 +425,52 @@ pub fn run_check(root: &Path) -> std::io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
-        let (findings, suppressed) = scan_source(&rel, &src);
-        report.files_scanned += 1;
-        report.suppressions_used += suppressed;
-        report.findings.extend(findings);
+        out.push((rel, src));
     }
-    report
-        .findings
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    report.wall_ms = started.elapsed().as_millis();
-    Ok(report)
+    Ok(out)
+}
+
+/// Scan the workspace tree under `root`.
+pub fn run_check(root: &Path) -> std::io::Result<Report> {
+    Ok(scan_sources(&collect_tree(root)?))
+}
+
+/// Build the call graph for `root` and walk the forward/decode/train
+/// entry points, cataloguing every op with its protection status.
+pub fn run_coverage(root: &Path) -> std::io::Result<reach::Coverage> {
+    let files = collect_tree(root)?;
+    let mut prepared: Vec<Prepared> = Vec::new();
+    for (rel, src) in &files {
+        let profile = profile_for(rel);
+        if profile != Profile::Full {
+            continue;
+        }
+        let toks = lexer::lex(src);
+        let ctx = scope::analyze(&toks);
+        let dir = directives::parse(rel, &toks, &ctx.code_lines);
+        let parsed = Some(parse::parse_file(&toks, &ctx));
+        prepared.push(Prepared {
+            rel: rel.clone(),
+            profile,
+            toks,
+            ctx,
+            dir,
+            parsed,
+        });
+    }
+    let inputs: Vec<callgraph::FileInput<'_>> = prepared
+        .iter()
+        .filter_map(|p| {
+            p.parsed.as_ref().map(|parsed| callgraph::FileInput {
+                rel: &p.rel,
+                toks: &p.toks,
+                ctx: &p.ctx,
+                parsed,
+            })
+        })
+        .collect();
+    let graph = callgraph::build(&inputs);
+    Ok(reach::coverage(&graph))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,9 +1,13 @@
-//! The five contract lints.
+//! The four syntactic contract lints.
 //!
 //! Each pass walks the token stream with the [`crate::scope::Context`]
 //! verdicts and produces raw findings; suppression filtering happens in
-//! [`crate::scan_source`]. All passes skip test regions — tests may allocate,
-//! panic, and compare floats exactly.
+//! [`crate::scan_sources`]. All passes skip test regions — tests may
+//! allocate, panic, and compare floats exactly. The old syntactic
+//! `panic-in-serve` lint is gone: its scope is subsumed by the
+//! interprocedural `panic-reach` analysis in [`crate::reach`], which
+//! follows the call graph out of the serving entry points instead of
+//! guessing by crate path.
 
 use crate::lexer::{Tok, TokKind};
 use crate::scope::Context;
@@ -19,11 +23,20 @@ pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 /// ABFT coverage: model code must reach GEMMs through `GuardedSection` /
 /// `ProtectedLinear`, never the raw kernel entry points.
 pub const UNGUARDED_GEMM: &str = "unguarded-gemm";
-/// The serving loop never panics: no `unwrap`/`expect`/`panic!`/indexing
-/// in `attn_serve` request-path code.
-pub const PANIC_IN_SERVE: &str = "panic-in-serve";
 /// Raw `==`/`!=` against float literals must become named helpers.
 pub const FLOAT_EQ: &str = "float-eq";
+
+/// Which lint set a file gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Library code: every lint, and the file joins the call graph.
+    Full,
+    /// Integration tests and examples: they may allocate and panic
+    /// freely, but determinism and float hygiene still apply —
+    /// `nondet-reduce` and `float-eq` only, and the file stays out of
+    /// the call graph.
+    Relaxed,
+}
 
 /// Raw GEMM entry points (the `attn_tensor::gemm` free-function family).
 fn is_raw_gemm_entry(name: &str) -> bool {
@@ -34,7 +47,7 @@ fn is_raw_gemm_entry(name: &str) -> bool {
 /// Paths where raw GEMM calls are legitimate: the kernel crate itself,
 /// the three attnchecker modules that *implement* the guarded pipeline,
 /// and benches.
-fn unguarded_gemm_whitelisted(rel_path: &str) -> bool {
+pub(crate) fn unguarded_gemm_whitelisted(rel_path: &str) -> bool {
     rel_path.starts_with("crates/tensor/")
         || rel_path.starts_with("crates/bench/")
         || rel_path.starts_with("crates/lint/")
@@ -62,19 +75,24 @@ const HASH_ITERATORS: [&str; 8] = [
     "retain",
 ];
 
-/// Run every lint over one file. `hot_path` is the module's
-/// `//! attn-lint: hot-path` opt-in.
-pub fn run(rel_path: &str, toks: &[Tok], ctx: &Context, hot_path: bool) -> Vec<Finding> {
+/// Run the syntactic lints over one file. `hot_path` is the module's
+/// `//! attn-lint: hot-path` opt-in; `profile` selects the lint set.
+pub fn run(
+    rel_path: &str,
+    toks: &[Tok],
+    ctx: &Context,
+    hot_path: bool,
+    profile: Profile,
+) -> Vec<Finding> {
     let mut out = Vec::new();
     nondet_reduce(rel_path, toks, ctx, &mut out);
-    if hot_path {
-        hot_path_alloc(rel_path, toks, ctx, &mut out);
-    }
-    if !unguarded_gemm_whitelisted(rel_path) {
-        unguarded_gemm(rel_path, toks, ctx, &mut out);
-    }
-    if rel_path.starts_with("crates/serve/") {
-        panic_in_serve(rel_path, toks, ctx, &mut out);
+    if profile == Profile::Full {
+        if hot_path {
+            hot_path_alloc(rel_path, toks, ctx, &mut out);
+        }
+        if !unguarded_gemm_whitelisted(rel_path) {
+            unguarded_gemm(rel_path, toks, ctx, &mut out);
+        }
     }
     float_eq(rel_path, toks, ctx, &mut out);
     out
@@ -93,7 +111,7 @@ fn next_code(toks: &[Tok], i: usize) -> Option<&Tok> {
         .find(|t| t.kind != TokKind::LineComment)
 }
 
-fn nondet_reduce(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+pub(crate) fn nondet_reduce(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if ctx.in_test[i] {
             continue;
@@ -233,7 +251,7 @@ fn float_evidence_near(toks: &[Tok], i: usize) -> bool {
 }
 
 /// Allocation surface banned in hot-path modules (outside tests).
-fn hot_path_alloc(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+pub(crate) fn hot_path_alloc(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if ctx.in_test[i] || t.kind != TokKind::Ident {
             continue;
@@ -284,7 +302,7 @@ fn hot_path_alloc(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Fin
     }
 }
 
-fn unguarded_gemm(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+pub(crate) fn unguarded_gemm(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if ctx.in_test[i] || t.kind != TokKind::Ident || !is_raw_gemm_entry(&t.text) {
             continue;
@@ -311,77 +329,7 @@ fn unguarded_gemm(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Fin
     }
 }
 
-/// Panic surface banned in `attn_serve` (outside tests).
-const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
-
-fn panic_in_serve(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test[i] {
-            continue;
-        }
-        match t.kind {
-            TokKind::Ident => {
-                if (t.text == "unwrap" || t.text == "expect")
-                    && matches!(prev_code(toks, i), Some(p) if p.is_punct("."))
-                    && matches!(next_code(toks, i), Some(nx) if nx.is_punct("("))
-                {
-                    out.push(Finding::new(
-                        rel_path,
-                        t.line,
-                        t.col,
-                        PANIC_IN_SERVE,
-                        format!(
-                            "`.{}()` in the serving path; return a typed error \
-                             (AdmitError / step error) instead",
-                            t.text
-                        ),
-                    ));
-                }
-                if PANIC_MACROS.contains(&t.text.as_str())
-                    && matches!(next_code(toks, i), Some(nx) if nx.is_punct("!"))
-                {
-                    out.push(Finding::new(
-                        rel_path,
-                        t.line,
-                        t.col,
-                        PANIC_IN_SERVE,
-                        format!("`{}!` in the serving path; shed load, don't die", t.text),
-                    ));
-                }
-            }
-            TokKind::Punct if t.text == "[" && !ctx.in_assert[i] => {
-                // Expression-position indexing: `expr[…]` can panic.
-                // Type/array-literal/attribute brackets are preceded by
-                // other punctuation.
-                if matches!(
-                    prev_code(toks, i),
-                    Some(p) if p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text)
-                        || p.is_punct(")")
-                        || p.is_punct("]")
-                ) {
-                    out.push(Finding::new(
-                        rel_path,
-                        t.line,
-                        t.col,
-                        PANIC_IN_SERVE,
-                        "slice/array indexing in the serving path can panic; \
-                         use `.get(…)` and handle the miss"
-                            .to_string(),
-                    ));
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Identifiers that look like expression heads but are actually syntax
-/// when followed by `[` (macro names are filtered by the `!` between).
-fn is_keyword_before_bracket(s: &str) -> bool {
-    matches!(s, "mut" | "dyn" | "in" | "return" | "break")
-}
-
-fn float_eq(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
+pub(crate) fn float_eq(rel_path: &str, toks: &[Tok], ctx: &Context, out: &mut Vec<Finding>) {
     for (i, t) in toks.iter().enumerate() {
         if ctx.in_test[i] || t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
             continue;

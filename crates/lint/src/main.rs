@@ -1,15 +1,29 @@
-//! CLI: `cargo run -p attn_lint --release -- check [--json [PATH]] [--root DIR]`.
+//! CLI: `cargo run -p attn_lint --release -- check [--json [PATH]]
+//! [--coverage [PATH]] [--root DIR]`.
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! Exit codes: `0` clean, `1` findings or a coverage floor violated,
+//! `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: attn_lint check [--json [PATH]] [--root DIR]\n\
+const USAGE: &str = "usage: attn_lint check [--json [PATH]] [--coverage [PATH]] [--root DIR]\n\
 \n\
-  check          scan every crates/*/src file and report contract violations\n\
-  --json [PATH]  also write a machine-readable report (default: BENCH_lint.json)\n\
-  --root DIR     workspace root (default: inferred from CARGO_MANIFEST_DIR)\n";
+  check              scan crates/*/src plus tests/ and examples/ and report\n\
+                     contract violations\n\
+  --json [PATH]      also write a machine-readable report (default: BENCH_lint.json)\n\
+  --coverage [PATH]  also walk the forward/decode/train paths, write the\n\
+                     protection-coverage artifact (default: BENCH_coverage.json),\n\
+                     and enforce the coverage floors\n\
+  --root DIR         workspace root (default: inferred from CARGO_MANIFEST_DIR)\n";
+
+/// CI floors, enforced whenever `--coverage` runs. `MIN_RESOLUTION_RATE`
+/// keeps the call graph honest (a conservative resolver that gives up
+/// everywhere would make every reachability lint vacuous);
+/// `MIN_GUARDED_OP_COVERAGE` is a ratchet pinned to the rate measured at
+/// PR time — it may only ever go up.
+const MIN_RESOLUTION_RATE: f64 = 0.90;
+const MIN_GUARDED_OP_COVERAGE: f64 = 0.42;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,6 +32,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let mut json_path: Option<PathBuf> = None;
+    let mut coverage_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
@@ -30,6 +45,16 @@ fn main() -> ExitCode {
                         i += 1;
                     }
                     None => json_path = Some(PathBuf::from("BENCH_lint.json")),
+                }
+            }
+            "--coverage" => {
+                let next = args.get(i + 1).filter(|a| !a.starts_with("--"));
+                match next {
+                    Some(p) => {
+                        coverage_path = Some(PathBuf::from(p));
+                        i += 1;
+                    }
+                    None => coverage_path = Some(PathBuf::from("BENCH_coverage.json")),
                 }
             }
             "--root" => match args.get(i + 1) {
@@ -74,7 +99,53 @@ fn main() -> ExitCode {
         }
         println!("attn_lint: report written to {}", path.display());
     }
-    if report.is_clean() {
+
+    let mut floors_ok = true;
+    if let Some(path) = coverage_path {
+        let cov = match attn_lint::run_coverage(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!(
+                    "attn_lint: coverage walk failed under {}: {e}",
+                    root.display()
+                );
+                return ExitCode::from(2);
+            }
+        };
+        print!("{}", attn_lint::report::render_coverage_text(&cov));
+        let json = attn_lint::report::render_coverage_json(&cov);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("attn_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("attn_lint: coverage written to {}", path.display());
+
+        if cov.resolution_rate() < MIN_RESOLUTION_RATE {
+            eprintln!(
+                "attn_lint: FLOOR: call resolution rate {:.4} < {MIN_RESOLUTION_RATE}",
+                cov.resolution_rate()
+            );
+            floors_ok = false;
+        }
+        if cov.unguarded_gemms() > 0 {
+            eprintln!(
+                "attn_lint: FLOOR: {} forward/decode/train-path GEMM(s) outside the \
+                 guarded barrier",
+                cov.unguarded_gemms()
+            );
+            floors_ok = false;
+        }
+        if cov.coverage_rate() < MIN_GUARDED_OP_COVERAGE {
+            eprintln!(
+                "attn_lint: FLOOR: guarded-op coverage {:.4} < {MIN_GUARDED_OP_COVERAGE} \
+                 (ratchet: this floor only moves up)",
+                cov.coverage_rate()
+            );
+            floors_ok = false;
+        }
+    }
+
+    if report.is_clean() && floors_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -1,0 +1,514 @@
+//! Reachability analyses over the workspace call graph, plus the
+//! protection-coverage traversal behind `--coverage`.
+//!
+//! Four lints run here:
+//!
+//! * **panic-reach** — panic-capable constructs (unwrap/expect/
+//!   panic-family macros/expression-position indexing) transitively
+//!   reachable from the serving entry points (`Gateway::admit/tick/
+//!   run_trace`, `DecodeEngine::step_batch/step_batch_mixed`),
+//! * **hot-path-alloc-reach** — allocation sites in cold modules reached
+//!   from `//! attn-lint: hot-path` module fns (direct allocs in hot
+//!   modules stay with the syntactic lint),
+//! * **unguarded-gemm-reach** — raw kernel entries reached from model
+//!   forward/decode/train paths other than through the guarded barrier
+//!   modules (`core/{section,checksum,decode,checked}.rs`),
+//! * **nondet-reduce-reach** — calls from inside a rayon parallel chain
+//!   to functions whose own body performs an ordered float reduction.
+//!
+//! Findings carry the shortest entry→violation call path. Suppression:
+//! a regular `allow(<reach-lint>)` on the violating line kills the sink;
+//! `// attn-lint: allow-path(<reach-lint>) — justification` on a call
+//! line cuts that call's outgoing edges for that analysis, so a reviewed
+//! boundary (e.g. engine → model) can be vouched for once.
+
+use crate::callgraph::Graph;
+use crate::directives::Allow;
+use crate::Finding;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Per-fn predecessor map from a reachability BFS: reached fn →
+/// `(caller fn, call-site line)`; entries map to themselves.
+type PredMap = BTreeMap<usize, (usize, u32)>;
+
+/// Panic reachability from serving entries.
+pub const PANIC_REACH: &str = "panic-reach";
+/// Alloc-capable callees reached from hot-path modules.
+pub const HOT_PATH_ALLOC_REACH: &str = "hot-path-alloc-reach";
+/// Raw GEMM entries reached outside the guarded barrier.
+pub const UNGUARDED_GEMM_REACH: &str = "unguarded-gemm-reach";
+/// Ordered float reductions called from parallel chains.
+pub const NONDET_REDUCE_REACH: &str = "nondet-reduce-reach";
+
+/// Serving entry points for panic reachability: `(owner, method)`.
+pub const SERVE_ENTRIES: [(&str, &str); 5] = [
+    ("Gateway", "admit"),
+    ("Gateway", "tick"),
+    ("Gateway", "run_trace"),
+    ("DecodeEngine", "step_batch"),
+    ("DecodeEngine", "step_batch_mixed"),
+];
+
+/// Model forward/decode/train entry points for GEMM-guard reachability
+/// and coverage: `(owner, method, path-kind)`.
+pub const OP_PATH_ENTRIES: [(&str, &str, &str); 8] = [
+    ("TransformerModel", "forward_tape", "forward"),
+    ("TransformerModel", "prefill", "decode"),
+    ("TransformerModel", "decode_step", "decode"),
+    ("DecodeEngine", "step_batch", "decode"),
+    ("DecodeEngine", "step_batch_mixed", "decode"),
+    ("Gateway", "tick", "decode"),
+    ("Trainer", "train_step", "train"),
+    ("Trainer", "train_step_injected", "train"),
+];
+
+/// Barrier modules implementing the guarded pipeline: reachability never
+/// descends into them, and raw GEMM calls inside them are the guard.
+const BARRIER_FILES: [&str; 4] = [
+    "crates/core/src/section.rs",
+    "crates/core/src/checksum.rs",
+    "crates/core/src/decode.rs",
+    "crates/core/src/checked.rs",
+];
+
+/// Raw GEMM entry-point names (mirrors the syntactic lint).
+fn is_raw_gemm_entry(name: &str) -> bool {
+    (name.starts_with("matmul_") && name.ends_with("_into"))
+        || (name.starts_with("gemm_encode_") && name.ends_with("_into"))
+}
+
+/// The `GuardedSection` methods that constitute the guarded GEMM API.
+const GUARDED_GEMM_METHODS: [&str; 5] = [
+    "gemm",
+    "gemm_nt",
+    "gemm_encode_cols",
+    "gemm_encode_rows",
+    "gemm_adopt_cols",
+];
+
+/// Edge-cut suppressions, indexed by `(file, line)` per lint name.
+pub struct PathAllows<'a> {
+    by_site: BTreeMap<(usize, u32), Vec<&'a Allow>>,
+}
+
+impl<'a> PathAllows<'a> {
+    /// Build the index from per-file allow-path directives; `files` maps
+    /// rel paths to graph file indexes.
+    pub fn new(files: &[String], per_file: &'a BTreeMap<String, Vec<Allow>>) -> Self {
+        let idx: BTreeMap<&str, usize> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.as_str(), i))
+            .collect();
+        let mut by_site: BTreeMap<(usize, u32), Vec<&'a Allow>> = BTreeMap::new();
+        for (rel, allows) in per_file {
+            let Some(&fi) = idx.get(rel.as_str()) else {
+                continue;
+            };
+            for a in allows {
+                by_site.entry((fi, a.target_line)).or_default().push(a);
+            }
+        }
+        Self { by_site }
+    }
+
+    /// Does an allow-path cover this call site for `lint`? Marks it used.
+    fn cuts(&self, file: usize, line: u32, lint: &str) -> bool {
+        if let Some(allows) = self.by_site.get(&(file, line)) {
+            for a in allows {
+                if a.names.iter().any(|n| n == lint) {
+                    a.used.set(true);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// BFS over call edges from `entries`; returns per-fn predecessor
+/// `(caller fn, call-site line)` for path rendering (entries map to
+/// themselves). `descend(fn)` gates whether edges *out of* a fn are
+/// followed.
+fn bfs(
+    g: &Graph,
+    entries: &[usize],
+    lint: &str,
+    cuts: &PathAllows<'_>,
+    descend: impl Fn(usize) -> bool,
+) -> PredMap {
+    let mut pred: PredMap = BTreeMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &e in entries {
+        if pred.insert(e, (e, g.fns[e].line)).is_none() {
+            queue.push_back(e);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if !descend(u) {
+            continue;
+        }
+        for &si in &g.fns[u].calls {
+            let site = &g.sites[si];
+            if site.targets.is_empty() {
+                continue;
+            }
+            if cuts.cuts(site.file, site.line, lint) {
+                continue;
+            }
+            for &v in &site.targets {
+                if g.fns[v].is_test {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(v) {
+                    e.insert((u, site.line));
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    pred
+}
+
+/// Render the entry→fn call path: `Gateway::tick → Engine::step → f`.
+fn render_path(g: &Graph, pred: &PredMap, sink: usize) -> String {
+    let mut chain = vec![sink];
+    let mut cur = sink;
+    while let Some(&(p, _)) = pred.get(&cur) {
+        if p == cur {
+            break;
+        }
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&f| g.fns[f].qualified())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// Resolve the fn indexes for `(owner, name)` entry specs.
+fn resolve_entries(g: &Graph, specs: &[(&str, &str)]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (owner, name) in specs {
+        out.extend(g.find_methods(owner, name));
+    }
+    out
+}
+
+/// The serving entry points present in this graph, qualified — reported
+/// in the JSON so entry drift is visible in review.
+pub fn entry_points(g: &Graph) -> Vec<String> {
+    resolve_entries(g, &SERVE_ENTRIES)
+        .into_iter()
+        .map(|f| g.fns[f].qualified())
+        .collect()
+}
+
+/// panic-reach: every panic-capable construct in fns reachable from the
+/// serving entries.
+pub fn panic_reach(g: &Graph, cuts: &PathAllows<'_>, out: &mut Vec<Finding>) {
+    let entries = resolve_entries(g, &SERVE_ENTRIES);
+    let pred = bfs(g, &entries, PANIC_REACH, cuts, |_| true);
+    for &fid in pred.keys() {
+        let f = &g.fns[fid];
+        let path = render_path(g, &pred, fid);
+        for &(line, col, desc) in &f.panic_sites {
+            out.push(Finding::new(
+                &g.files[f.file],
+                line,
+                col,
+                PANIC_REACH,
+                format!(
+                    "{desc} reachable from a serving entry: {path} → {desc} at {}:{line}; \
+                     return a typed error, restructure, or prove unreachability in an allow",
+                    g.files[f.file]
+                ),
+            ));
+        }
+    }
+}
+
+/// hot-path-alloc-reach: allocation sites in cold modules reached from
+/// hot-module fns. `hot` flags each graph file.
+pub fn hot_path_alloc_reach(
+    g: &Graph,
+    hot: &[bool],
+    cuts: &PathAllows<'_>,
+    out: &mut Vec<Finding>,
+) {
+    let entries: Vec<usize> = g
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| hot.get(f.file).copied().unwrap_or(false))
+        .map(|(i, _)| i)
+        .collect();
+    let pred = bfs(g, &entries, HOT_PATH_ALLOC_REACH, cuts, |_| true);
+    let mut seen: std::collections::BTreeSet<(usize, u32, u32)> = Default::default();
+    for &fid in pred.keys() {
+        let f = &g.fns[fid];
+        if hot.get(f.file).copied().unwrap_or(false) {
+            continue; // direct allocs in hot modules: syntactic lint's job
+        }
+        let path = render_path(g, &pred, fid);
+        for &(line, col, desc) in &f.alloc_sites {
+            if !seen.insert((f.file, line, col)) {
+                continue;
+            }
+            out.push(Finding::new(
+                &g.files[f.file],
+                line,
+                col,
+                HOT_PATH_ALLOC_REACH,
+                format!(
+                    "{desc} reachable from a hot-path module: {path} → {desc} at {}:{line}; \
+                     route scratch through the workspace arena or vouch for the boundary \
+                     with an allow-path",
+                    g.files[f.file]
+                ),
+            ));
+        }
+    }
+}
+
+/// unguarded-gemm-reach: raw GEMM entries called on paths from model
+/// forward/decode/train entries that bypass the barrier modules.
+pub fn unguarded_gemm_reach(g: &Graph, cuts: &PathAllows<'_>, out: &mut Vec<Finding>) {
+    let specs: Vec<(&str, &str)> = OP_PATH_ENTRIES.iter().map(|&(o, n, _)| (o, n)).collect();
+    let entries = resolve_entries(g, &specs);
+    let barrier = |f: usize| {
+        let file = g.files[g.fns[f].file].as_str();
+        !BARRIER_FILES.contains(&file)
+    };
+    let pred = bfs(g, &entries, UNGUARDED_GEMM_REACH, cuts, barrier);
+    for &fid in pred.keys() {
+        let f = &g.fns[fid];
+        let file = g.files[f.file].as_str();
+        // Kernel internals and benches call raw entries legitimately.
+        if file.starts_with("crates/tensor/") || file.starts_with("crates/bench/") {
+            continue;
+        }
+        if BARRIER_FILES.contains(&file) {
+            continue; // reached as an entry? barrier code is the guard
+        }
+        for &si in &f.calls {
+            let site = &g.sites[si];
+            if site.is_method || !is_raw_gemm_entry(&site.name) {
+                continue;
+            }
+            let path = render_path(g, &pred, fid);
+            out.push(Finding::new(
+                &g.files[site.file],
+                site.line,
+                site.col,
+                UNGUARDED_GEMM_REACH,
+                format!(
+                    "raw GEMM entry `{}` reached from a model path outside the guarded \
+                     barrier: {path} → {} at {}:{}; route through \
+                     GuardedSection/ProtectedLinear",
+                    site.name, site.name, g.files[site.file], site.line
+                ),
+            ));
+        }
+    }
+}
+
+/// nondet-reduce-reach: direct calls from inside a rayon parallel chain
+/// to fns whose own body performs an ordered float reduction.
+pub fn nondet_reduce_reach(g: &Graph, cuts: &PathAllows<'_>, out: &mut Vec<Finding>) {
+    for f in &g.fns {
+        for &si in &f.calls {
+            let site = &g.sites[si];
+            if !site.in_par_chain || site.targets.is_empty() {
+                continue;
+            }
+            if cuts.cuts(site.file, site.line, NONDET_REDUCE_REACH) {
+                continue;
+            }
+            for &t in &site.targets {
+                let tf = &g.fns[t];
+                if let Some((rline, _)) = tf.ordered_reduction {
+                    out.push(Finding::new(
+                        &g.files[site.file],
+                        site.line,
+                        site.col,
+                        NONDET_REDUCE_REACH,
+                        format!(
+                            "`{}` is called inside a rayon parallel chain but reduces floats \
+                             in sequential order at {}:{rline}; hoist it out of the parallel \
+                             region or vouch for the disjoint/fixed-order merge with an \
+                             allow-path",
+                            tf.qualified(),
+                            g.files[tf.file]
+                        ),
+                    ));
+                    break; // one finding per site, not per candidate
+                }
+            }
+        }
+    }
+}
+
+/// One operator instance on a forward/decode/train path.
+#[derive(Debug)]
+pub struct CoverageOp {
+    /// Operator kind (`gemm`, `softmax`, `layernorm`, …).
+    pub kind: &'static str,
+    /// Callee as written at the site.
+    pub name: String,
+    /// Call-site position.
+    pub file: String,
+    pub line: u32,
+    /// Whether the op runs under ABFT protection.
+    pub guarded: bool,
+    /// Path kinds that reach it (`forward`/`decode`/`train`), sorted.
+    pub paths: Vec<&'static str>,
+    /// Shortest entry→caller call path (first reaching path kind).
+    pub via: String,
+}
+
+/// The `--coverage` result.
+#[derive(Debug, Default)]
+pub struct Coverage {
+    /// Every op instance, sorted by (file, line).
+    pub ops: Vec<CoverageOp>,
+    /// Entry points per path kind, qualified.
+    pub entries: Vec<(String, String)>,
+    /// Call-resolution stats copied from the graph.
+    pub calls_total: usize,
+    pub calls_resolved: usize,
+}
+
+impl Coverage {
+    pub fn resolution_rate(&self) -> f64 {
+        if self.calls_total == 0 {
+            1.0
+        } else {
+            self.calls_resolved as f64 / self.calls_total as f64
+        }
+    }
+
+    /// Guarded fraction over all op instances (1.0 when no ops).
+    pub fn coverage_rate(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 1.0;
+        }
+        self.ops.iter().filter(|o| o.guarded).count() as f64 / self.ops.len() as f64
+    }
+
+    /// GEMM instances that are NOT guarded — the hard zero floor.
+    pub fn unguarded_gemms(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.kind == "gemm" && !o.guarded)
+            .count()
+    }
+}
+
+/// Operator catalog: callee name (+ optional required owner) → kind.
+/// Guarded-ness of non-GEMM ops is structural: none of them runs under a
+/// checksum today (ROADMAP item 3).
+fn catalog_op(name: &str, owner_hint: Option<&str>) -> Option<&'static str> {
+    match name {
+        "softmax_rows" | "softmax_rows_inplace" | "softmax_rows_backward" => Some("softmax"),
+        "layer_norm" | "layer_norm_backward" => Some("layernorm"),
+        "gelu" | "gelu_matrix" | "gelu_backward" => Some("gelu"),
+        "cross_entropy" => Some("loss"),
+        "sample_token" => Some("sampling"),
+        "add" if owner_hint == Some("Matrix") => Some("residual-add"),
+        "forward_tape" | "forward" if owner_hint == Some("Embedding") => Some("embedding"),
+        "step" | "step_batched" if owner_hint == Some("AdamW") => Some("optimizer"),
+        "forward_tape" | "forward" if owner_hint == Some("LayerNorm") => Some("layernorm"),
+        _ => None,
+    }
+}
+
+/// Walk the op-path entries (descending through barriers — coverage must
+/// see the guarded GEMMs inside them) and catalog every op call site.
+pub fn coverage(g: &Graph) -> Coverage {
+    let mut cov = Coverage {
+        calls_total: g.calls_total,
+        calls_resolved: g.calls_resolved,
+        ..Default::default()
+    };
+    // Reachable sets per path kind, each with its own predecessors.
+    let no_cuts_map: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
+    let no_cuts = PathAllows::new(&g.files, &no_cuts_map);
+    let mut preds: Vec<(&'static str, PredMap)> = Vec::new();
+    for kind in ["forward", "decode", "train"] {
+        let specs: Vec<(&str, &str)> = OP_PATH_ENTRIES
+            .iter()
+            .filter(|&&(_, _, k)| k == kind)
+            .map(|&(o, n, _)| (o, n))
+            .collect();
+        let entries = resolve_entries(g, &specs);
+        for &e in &entries {
+            cov.entries.push((kind.to_string(), g.fns[e].qualified()));
+        }
+        preds.push((kind, bfs(g, &entries, "coverage", &no_cuts, |_| true)));
+    }
+
+    let mut seen: BTreeMap<(usize, u32, u32), usize> = BTreeMap::new();
+    for (kind, pred) in &preds {
+        for &fid in pred.keys() {
+            let f = &g.fns[fid];
+            let file = g.files[f.file].as_str();
+            if file.starts_with("crates/bench/") || file.starts_with("crates/lint/") {
+                continue;
+            }
+            let in_barrier = BARRIER_FILES.contains(&file);
+            let in_kernel = file.starts_with("crates/tensor/");
+            for &si in &f.calls {
+                let site = &g.sites[si];
+                let key = (site.file, site.line, site.col);
+                if let Some(&op_idx) = seen.get(&key) {
+                    if !cov.ops[op_idx].paths.contains(kind) {
+                        cov.ops[op_idx].paths.push(kind);
+                    }
+                    continue;
+                }
+                // Classify the site.
+                let owner_hint: Option<&str> = site
+                    .targets
+                    .first()
+                    .and_then(|&t| g.fns[t].owner.as_deref());
+                let entry: Option<(&'static str, bool)> = if site.is_method
+                    && GUARDED_GEMM_METHODS.contains(&site.name.as_str())
+                    && owner_hint == Some("GuardedSection")
+                {
+                    Some(("gemm", true))
+                } else if !site.is_method && is_raw_gemm_entry(&site.name) {
+                    // Raw kernel call: guarded iff issued from barrier
+                    // code; kernel-internal calls are plumbing, not ops.
+                    (!in_kernel).then_some(("gemm", in_barrier))
+                } else if in_kernel {
+                    // Calls issued from inside the kernel crate are SIMD /
+                    // tiling plumbing (e.g. `f32x8::add` in the writeback),
+                    // not path-level operators.
+                    None
+                } else {
+                    catalog_op(&site.name, owner_hint).map(|k| (k, false))
+                };
+                if let Some((k, guarded)) = entry {
+                    seen.insert(key, cov.ops.len());
+                    cov.ops.push(CoverageOp {
+                        kind: k,
+                        name: site.name.clone(),
+                        file: g.files[site.file].clone(),
+                        line: site.line,
+                        guarded,
+                        paths: vec![kind],
+                        via: render_path(g, pred, fid),
+                    });
+                }
+            }
+        }
+    }
+    cov.ops
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    cov
+}

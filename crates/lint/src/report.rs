@@ -1,9 +1,20 @@
-//! Text and JSON rendering of a [`crate::Report`].
+//! Text and JSON rendering of a [`crate::Report`] and a
+//! [`crate::reach::Coverage`].
 //!
-//! The JSON writer is hand-rolled (vendored-only environment); the
-//! schema is flat and append-friendly so `BENCH_lint.json` can be
-//! tracked like the other bench artifacts.
+//! The JSON writers are hand-rolled (vendored-only environment); both
+//! schemas are flat and append-friendly so `BENCH_lint.json` and
+//! `BENCH_coverage.json` can be tracked like the other bench artifacts.
+//!
+//! Schema history:
+//!
+//! * `attn-lint-report/v1` — files/findings/suppressions/counts.
+//! * `attn-lint-report/v2` — adds per-pass wall time (`lint_us`), the
+//!   call-graph resolution stats (`calls`), and the serving entry-point
+//!   list the reachability lints anchored on (`entry_points`).
+//! * `attn-lint-coverage/v1` — the `--coverage` artifact: every op on
+//!   the forward/decode/train paths with guarded/unguarded status.
 
+use crate::reach::Coverage;
 use crate::Report;
 use std::fmt::Write as _;
 
@@ -16,7 +27,8 @@ pub fn render_text(report: &Report) -> String {
     }
     let _ = writeln!(
         out,
-        "attn_lint: {} files scanned, {} finding{}, {} suppression{} honoured, {} ms",
+        "attn_lint: {} files scanned, {} finding{}, {} suppression{} honoured, \
+         {}/{} calls resolved ({:.1}%), {} ms",
         report.files_scanned,
         report.findings.len(),
         if report.findings.len() == 1 { "" } else { "s" },
@@ -26,16 +38,19 @@ pub fn render_text(report: &Report) -> String {
         } else {
             "s"
         },
+        report.calls_resolved,
+        report.calls_total,
+        report.resolution_rate() * 100.0,
         report.wall_ms
     );
     out
 }
 
-/// Machine-readable rendering (schema `attn-lint-report/v1`).
+/// Machine-readable rendering (schema `attn-lint-report/v2`).
 pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"attn-lint-report/v1\",\n");
+    out.push_str("  \"schema\": \"attn-lint-report/v2\",\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
     let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
@@ -44,6 +59,35 @@ pub fn render_json(report: &Report) -> String {
         "  \"suppressions_used\": {},",
         report.suppressions_used
     );
+    let _ = writeln!(
+        out,
+        "  \"calls\": {{\"total\": {}, \"resolved\": {}, \"unresolved\": {}, \
+         \"resolution_rate\": {:.4}}},",
+        report.calls_total,
+        report.calls_resolved,
+        report.calls_unresolved,
+        report.resolution_rate()
+    );
+    out.push_str("  \"entry_points\": [");
+    for (i, e) in report.entry_points.iter().enumerate() {
+        let sep = if i + 1 == report.entry_points.len() {
+            ""
+        } else {
+            ", "
+        };
+        let _ = write!(out, "{}{sep}", json_str(e));
+    }
+    out.push_str("],\n");
+    out.push_str("  \"lint_us\": {");
+    for (i, (name, us)) in report.lint_us.iter().enumerate() {
+        let sep = if i + 1 == report.lint_us.len() {
+            ""
+        } else {
+            ", "
+        };
+        let _ = write!(out, "\"{name}\": {us}{sep}");
+    }
+    out.push_str("},\n");
     out.push_str("  \"counts\": {");
     let counts = report.counts();
     for (i, (name, n)) in counts.iter().enumerate() {
@@ -66,6 +110,92 @@ pub fn render_json(report: &Report) -> String {
             f.col,
             json_str(f.lint),
             json_str(&f.message)
+        );
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Human-readable coverage summary (the `--coverage` stdout).
+pub fn render_coverage_text(cov: &Coverage) -> String {
+    let mut out = String::new();
+    let guarded = cov.ops.iter().filter(|o| o.guarded).count();
+    let _ = writeln!(
+        out,
+        "attn_lint coverage: {} ops on forward/decode/train paths, {} guarded \
+         ({:.1}%), {} unguarded GEMMs, {}/{} calls resolved ({:.1}%)",
+        cov.ops.len(),
+        guarded,
+        cov.coverage_rate() * 100.0,
+        cov.unguarded_gemms(),
+        cov.calls_resolved,
+        cov.calls_total,
+        cov.resolution_rate() * 100.0
+    );
+    for op in &cov.ops {
+        let _ = writeln!(
+            out,
+            "  {} {} `{}` at {}:{} [{}] via {}",
+            if op.guarded { "✓" } else { "✗" },
+            op.kind,
+            op.name,
+            op.file,
+            op.line,
+            op.paths.join("+"),
+            op.via
+        );
+    }
+    out
+}
+
+/// Machine-readable coverage artifact (schema `attn-lint-coverage/v1`).
+pub fn render_coverage_json(cov: &Coverage) -> String {
+    let mut out = String::new();
+    let guarded = cov.ops.iter().filter(|o| o.guarded).count();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"attn-lint-coverage/v1\",\n");
+    let _ = writeln!(out, "  \"ops_total\": {},", cov.ops.len());
+    let _ = writeln!(out, "  \"ops_guarded\": {guarded},");
+    let _ = writeln!(out, "  \"ops_unguarded\": {},", cov.ops.len() - guarded);
+    let _ = writeln!(out, "  \"coverage_rate\": {:.4},", cov.coverage_rate());
+    let _ = writeln!(out, "  \"unguarded_gemms\": {},", cov.unguarded_gemms());
+    let _ = writeln!(
+        out,
+        "  \"calls\": {{\"total\": {}, \"resolved\": {}, \"resolution_rate\": {:.4}}},",
+        cov.calls_total,
+        cov.calls_resolved,
+        cov.resolution_rate()
+    );
+    out.push_str("  \"entries\": [");
+    for (i, (path, name)) in cov.entries.iter().enumerate() {
+        let sep = if i + 1 == cov.entries.len() {
+            "\n  "
+        } else {
+            ","
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"path\": {}, \"fn\": {}}}{sep}",
+            json_str(path),
+            json_str(name)
+        );
+    }
+    out.push_str("],\n");
+    out.push_str("  \"ops\": [");
+    for (i, op) in cov.ops.iter().enumerate() {
+        let sep = if i + 1 == cov.ops.len() { "\n  " } else { "," };
+        let paths: Vec<String> = op.paths.iter().map(|p| json_str(p)).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"kind\": {}, \"name\": {}, \"file\": {}, \"line\": {}, \
+             \"guarded\": {}, \"paths\": [{}], \"via\": {}}}{sep}",
+            json_str(op.kind),
+            json_str(&op.name),
+            json_str(&op.file),
+            op.line,
+            op.guarded,
+            paths.join(", "),
+            json_str(&op.via)
         );
     }
     out.push_str("]\n}\n");
@@ -111,11 +241,19 @@ mod tests {
             }],
             suppressions_used: 2,
             wall_ms: 5,
+            lint_us: vec![("float-eq", 12)],
+            calls_total: 10,
+            calls_resolved: 9,
+            calls_unresolved: 1,
+            entry_points: vec!["Gateway::tick".into()],
         };
         let json = render_json(&report);
+        assert!(json.contains("\"schema\": \"attn-lint-report/v2\""));
         assert!(json.contains("\"total_findings\": 1"));
         assert!(json.contains("\\\"quotes\\\"\\nand newline"));
         assert!(json.contains("\"float-eq\": 1"));
+        assert!(json.contains("\"resolution_rate\": 0.9000"));
+        assert!(json.contains("\"Gateway::tick\""));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -125,11 +263,35 @@ mod tests {
     fn text_summary_counts() {
         let report = Report {
             files_scanned: 4,
-            findings: vec![],
             suppressions_used: 1,
             wall_ms: 2,
+            ..Default::default()
         };
         let text = render_text(&report);
         assert!(text.contains("4 files scanned, 0 findings, 1 suppression honoured"));
+    }
+
+    #[test]
+    fn coverage_json_is_well_formed() {
+        let cov = Coverage {
+            ops: vec![crate::reach::CoverageOp {
+                kind: "gemm",
+                name: "gemm_encode_cols".into(),
+                file: "crates/core/src/section.rs".into(),
+                line: 40,
+                guarded: true,
+                paths: vec!["decode", "forward"],
+                via: "Gateway::tick → GuardedSection::gemm".into(),
+            }],
+            entries: vec![("decode".into(), "Gateway::tick".into())],
+            calls_total: 100,
+            calls_resolved: 95,
+        };
+        let json = render_coverage_json(&cov);
+        assert!(json.contains("\"schema\": \"attn-lint-coverage/v1\""));
+        assert!(json.contains("\"coverage_rate\": 1.0000"));
+        assert!(json.contains("\"unguarded_gemms\": 0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

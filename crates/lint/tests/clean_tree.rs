@@ -2,16 +2,17 @@
 //!
 //! This is what turns the lint from a tool into an invariant — `cargo
 //! test` (tier 1) fails the moment anyone reintroduces a nondeterministic
-//! reduction, a hot-path allocation, an unguarded GEMM, a serving-path
-//! panic, or a raw float compare without a justified allow.
+//! reduction, a hot-path allocation, an unguarded GEMM, a panic construct
+//! reachable from a serving entry, or a raw float compare without a
+//! justified allow (or allow-path).
 
 #[test]
 fn the_workspace_tree_is_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = attn_lint::run_check(&root).expect("workspace scan");
     assert!(
-        report.files_scanned >= 80,
-        "scan walked only {} files — crates/*/src discovery is broken",
+        report.files_scanned >= 100,
+        "scan walked only {} files — source discovery is broken",
         report.files_scanned
     );
     assert!(
@@ -22,5 +23,17 @@ fn the_workspace_tree_is_clean() {
     assert!(
         report.suppressions_used > 0,
         "the tree carries justified allows; zero honoured means directive parsing broke"
+    );
+    assert!(
+        report.resolution_rate() >= 0.90,
+        "call resolution collapsed to {:.3} ({} of {} calls) — the reach \
+         lints are flying blind",
+        report.resolution_rate(),
+        report.calls_resolved,
+        report.calls_total
+    );
+    assert!(
+        !report.entry_points.is_empty(),
+        "no serving entries found — panic-reach has nothing to anchor on"
     );
 }

@@ -88,11 +88,11 @@ fn unguarded_gemm_respects_the_kernel_crate_whitelist() {
 }
 
 #[test]
-fn panic_in_serve_catches_the_panic_surface() {
-    let src = include_str!("fixtures/panic_in_serve_bad.rs");
+fn panic_reach_catches_the_panic_surface_behind_an_entry() {
+    let src = include_str!("fixtures/panic_reach_bad.rs");
     let names = lints("crates/serve/src/fixture.rs", src);
     assert_eq!(
-        count(&names, "panic-in-serve"),
+        count(&names, "panic-reach"),
         4,
         "indexing + unwrap + expect + panic!: {names:?}"
     );
@@ -101,13 +101,22 @@ fn panic_in_serve_catches_the_panic_surface() {
         4,
         "assert-macro args and vec![…] must not flag: {names:?}"
     );
+    // Every finding renders the entry → sink call path.
+    let (findings, _) = scan_source("crates/serve/src/fixture.rs", src);
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.to_string().contains("Gateway::admit → brittle")),
+        "path traces name the route: {findings:?}"
+    );
 }
 
 #[test]
-fn panic_in_serve_only_applies_to_the_serve_crate() {
-    let src = include_str!("fixtures/panic_in_serve_bad.rs");
-    let names = lints("crates/infer/src/fixture.rs", src);
-    assert_eq!(count(&names, "panic-in-serve"), 0, "{names:?}");
+fn panic_reach_needs_a_serving_entry_to_fire() {
+    // Detach the entry: rename the method so no serving entry exists.
+    let src = include_str!("fixtures/panic_reach_bad.rs").replace("fn admit", "fn review");
+    let names = lints("crates/serve/src/fixture.rs", &src);
+    assert_eq!(count(&names, "panic-reach"), 0, "{names:?}");
 }
 
 #[test]

@@ -1,0 +1,23 @@
+//! Trait-object fixture: a `dyn Backend` call must resolve
+//! conservatively to EVERY impl of the method, so the panicking GPU
+//! variant is reachable even if runtime wiring only ever uses the CPU.
+
+pub trait Backend {
+    fn exec(&self, n: usize) -> usize;
+}
+
+pub struct CpuBackend;
+
+impl Backend for CpuBackend {
+    fn exec(&self, n: usize) -> usize {
+        n.saturating_add(1)
+    }
+}
+
+pub struct GpuBackend;
+
+impl Backend for GpuBackend {
+    fn exec(&self, n: usize) -> usize {
+        n.checked_mul(2).expect("gpu slot overflow")
+    }
+}

@@ -1,0 +1,38 @@
+//! Shadowing and test-caller fixtures: a method and a free fn share the
+//! name `head`; only the free fn panics. A brittle helper is called
+//! solely from `#[cfg(test)]` code and must never flag.
+
+pub struct Queue {
+    items: Vec<usize>,
+}
+
+impl Queue {
+    pub fn new(items: &[usize]) -> Self {
+        Queue {
+            items: items.to_vec(),
+        }
+    }
+
+    /// Method `head`: total — returns `None` on empty.
+    pub fn head(&self) -> Option<usize> {
+        self.items.first().copied()
+    }
+}
+
+/// Free fn shadow of the method name — panics on empty input.
+pub fn head(items: &[usize]) -> usize {
+    items[0]
+}
+
+/// Reached only from the test module below: excluded from reachability.
+pub fn test_only_brittle(x: Option<usize>) -> usize {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exercises_the_brittle_helper() {
+        assert_eq!(super::test_only_brittle(Some(3)), 3);
+    }
+}

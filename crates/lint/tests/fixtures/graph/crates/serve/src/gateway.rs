@@ -1,0 +1,18 @@
+//! The serving entry that wires the fixture workspace together.
+//! `Gateway::admit` reaches: the safe `Queue::head` method (exact
+//! receiver-type resolution), the panicking free fn `head` (free-call
+//! resolution), and both `Backend::exec` impls (conservative trait-object
+//! fan-out).
+
+pub struct Gateway {
+    pub admitted: usize,
+}
+
+impl Gateway {
+    pub fn admit(&mut self, q: &Queue, items: &[usize], backend: &dyn Backend) -> usize {
+        let safe = q.head().unwrap_or(0);
+        let risky = head(items);
+        self.admitted += 1;
+        backend.exec(safe + risky)
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded violations for the `panic-reach` lint: a serving entry
+//! (`Gateway::admit`) calls a helper carrying four panic-capable
+//! constructs (indexing, `.unwrap()`, `.expect()`, `panic!`).
+//! Assert-macro arguments and `vec![…]` must NOT flag, and the same
+//! helper is clean when no serving entry can reach it.
+
+pub struct Gateway;
+
+impl Gateway {
+    pub fn admit(&self, queue: &[usize], head: Option<usize>) -> usize {
+        brittle(queue, head)
+    }
+}
+
+fn brittle(queue: &[usize], head: Option<usize>) -> usize {
+    debug_assert!(queue[0] <= queue[queue.len() - 1], "sorted");
+    let first = queue[0];
+    let h = head.unwrap();
+    let h2 = head.expect("must be set");
+    if first > h {
+        panic!("queue ahead of head");
+    }
+    let safe = vec![first, h, h2];
+    safe.len()
+}

@@ -106,7 +106,7 @@ pub fn take(len: usize) -> WsBuf {
             Some(i) => pool.swap_remove(i),
             None => {
                 ALLOC_EVENTS.with(|c| c.set(c.get() + 1));
-                Vec::with_capacity(len)
+                Vec::with_capacity(len) // attn-lint: allow(hot-path-alloc-reach) — arena miss: first-touch growth, counted by ALLOC_EVENTS; steady state reuses pooled buffers
             }
         }
     });
