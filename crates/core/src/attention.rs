@@ -30,7 +30,8 @@ use crate::checked::CheckedMatrix;
 use crate::config::ProtectionConfig;
 use crate::report::{AbftReport, SectionId};
 use crate::section::{replay_nn, ForwardCtx, GuardedSection};
-use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
+use attn_tensor::guard::softmax_rows_checked_inplace;
+use attn_tensor::ops::apply_additive_mask;
 use attn_tensor::rng::TensorRng;
 use attn_tensor::Matrix;
 
@@ -324,6 +325,9 @@ impl ProtectedAttention {
         );
         let s_o =
             GuardedSection::begin(SectionId::Output, &self.config, ctx.toggles.s_o, ctx.report);
+        // Non-GEMM scope: screens the per-head softmax outputs (the one
+        // nonlinearity inside attention) and heals from the cached scores.
+        let op_guard = GuardedSection::guard_step(&self.config);
 
         // ------------------------------------------------ section S_AS
         // X enters the section through fused encode-and-multiply: its
@@ -403,13 +407,15 @@ impl ProtectedAttention {
 
             // Leave the checksummed region: mask + softmax are nonlinear.
             // AP stays plain here; its re-encoding rides inside the fused
-            // `AP·V` GEMM that re-enters S_CL below.
+            // `AP·V` GEMM that re-enters S_CL below. The cached post-mask
+            // scores double as the op guard's preserved input: rows whose
+            // probabilities fail the sum-to-one screen recompute from them.
             let ap_m = s_cl.exit_cols(&as_h, |as_mat| {
                 if let Some(m) = mask {
                     apply_additive_mask(as_mat, m);
                 }
                 scores_cache.push(as_mat.clone());
-                softmax_rows_inplace(as_mat);
+                softmax_rows_checked_inplace(as_mat, &op_guard);
             });
             ap_mats.push(ap_m);
         }
@@ -488,6 +494,7 @@ impl ProtectedAttention {
             });
         }
         det.absorb(ctx.report);
+        ctx.report.absorb_op_guard(op_guard.take_stats());
 
         // Assemble caches (all post-correction).
         let q_mat = q.logical();

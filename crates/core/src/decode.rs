@@ -44,8 +44,9 @@ use crate::eec::{eec_correct_vector, VectorVerdict};
 use crate::report::{AbftReport, CorrectionRecord, SectionId};
 use crate::section::{replay_nn, ForwardCtx, GuardedSection};
 use attn_tensor::gemm::{self, KC, NC};
+use attn_tensor::guard::softmax_rows_checked_inplace;
 use attn_tensor::kv::PagedKv;
-use attn_tensor::ops::{apply_additive_mask, softmax_rows_inplace};
+use attn_tensor::ops::apply_additive_mask;
 use attn_tensor::Matrix;
 
 /// Default data rows per KV block — the verify-on-move granularity.
@@ -791,6 +792,9 @@ pub fn decode_step(
             ctx.report,
         );
         let s_o = GuardedSection::begin(SectionId::Output, config, ctx.toggles.s_o, ctx.report);
+        // Non-GEMM scope over the per-head softmax rows; heals recompute
+        // from a pre-softmax snapshot the checked in-place form keeps.
+        let op_guard = GuardedSection::guard_step(config);
 
         // ------------------------------------------------ section S_AS
         // Single-query projections through the fused encode entry: the
@@ -852,7 +856,7 @@ pub fn decode_step(
                 if let Some(mrow) = mask {
                     apply_additive_mask(m, mrow);
                 }
-                softmax_rows_inplace(m);
+                softmax_rows_checked_inplace(m, &op_guard);
             });
             ap_rows.push(ap);
         }
@@ -918,6 +922,7 @@ pub fn decode_step(
             });
         }
         det.absorb(ctx.report);
+        ctx.report.absorb_op_guard(op_guard.take_stats());
         o.logical()
     }
 }

@@ -67,6 +67,16 @@ pub struct AbftReport {
     pub sections_checked: usize,
     /// Sections skipped by the frequency gate.
     pub sections_skipped: usize,
+    /// Invariant screens evaluated by the non-GEMM op guards
+    /// (`OpGuard` scopes: softmax, LayerNorm, GELU, residual add,
+    /// embedding, loss, sampler, optimizer moments).
+    pub op_checks: usize,
+    /// Op-guard screens whose exact recompute differed bitwise from the
+    /// live value — genuine non-GEMM detections.
+    pub op_detections: usize,
+    /// Exact op-guard heals applied (recompute-from-inputs or bit
+    /// restores adopted).
+    pub op_heals: usize,
 }
 
 impl AbftReport {
@@ -79,11 +89,27 @@ impl AbftReport {
         self.unrecovered += other.unrecovered;
         self.sections_checked += other.sections_checked;
         self.sections_skipped += other.sections_skipped;
+        self.op_checks += other.op_checks;
+        self.op_detections += other.op_detections;
+        self.op_heals += other.op_heals;
+    }
+
+    /// Fold one non-GEMM op guard's counters into this report. Guard
+    /// detections that could not be healed join the shared
+    /// `unrecovered` pool.
+    pub fn absorb_op_guard(&mut self, s: attn_tensor::GuardStats) {
+        self.op_checks += s.checks;
+        self.op_detections += s.detections;
+        self.op_heals += s.heals;
+        self.unrecovered += s.unrecovered;
     }
 
     /// True when nothing was detected anywhere.
     pub fn is_quiet(&self) -> bool {
-        self.detections == 0 && self.corrections.is_empty() && self.unrecovered == 0
+        self.detections == 0
+            && self.corrections.is_empty()
+            && self.unrecovered == 0
+            && self.op_detections == 0
     }
 
     /// Number of corrections applied.
@@ -96,14 +122,17 @@ impl fmt::Display for AbftReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "detections={} corrections={} propagations={} rebuilds={} unrecovered={} checked={} skipped={}",
+            "detections={} corrections={} propagations={} rebuilds={} unrecovered={} checked={} skipped={} op_checks={} op_detections={} op_heals={}",
             self.detections,
             self.corrections.len(),
             self.propagations,
             self.checksum_rebuilds,
             self.unrecovered,
             self.sections_checked,
-            self.sections_skipped
+            self.sections_skipped,
+            self.op_checks,
+            self.op_detections,
+            self.op_heals
         )
     }
 }
@@ -143,6 +172,36 @@ mod tests {
         assert!(r.is_quiet());
         r.detections = 1;
         assert!(!r.is_quiet());
+    }
+
+    #[test]
+    fn op_guard_detections_break_quiet_and_merge() {
+        let mut r = AbftReport::default();
+        r.absorb_op_guard(attn_tensor::GuardStats {
+            checks: 7,
+            detections: 0,
+            heals: 0,
+            unrecovered: 0,
+        });
+        assert!(r.is_quiet(), "checks alone must stay quiet");
+        r.absorb_op_guard(attn_tensor::GuardStats {
+            checks: 1,
+            detections: 2,
+            heals: 1,
+            unrecovered: 1,
+        });
+        assert!(!r.is_quiet());
+        assert_eq!(r.op_checks, 8);
+        assert_eq!(r.op_detections, 2);
+        assert_eq!(r.op_heals, 1);
+        assert_eq!(r.unrecovered, 1);
+
+        let mut total = AbftReport::default();
+        total.merge(&r);
+        total.merge(&r);
+        assert_eq!(total.op_checks, 16);
+        assert_eq!(total.op_detections, 4);
+        assert_eq!(total.op_heals, 2);
     }
 
     #[test]

@@ -165,6 +165,22 @@ impl GuardedSection {
         }
     }
 
+    /// Open a whole-step guard scope for the non-GEMM operators
+    /// (softmax, LayerNorm, GELU, residual adds, embedding, loss,
+    /// sampler, optimizer moments).
+    ///
+    /// The returned [`OpGuard`](attn_tensor::OpGuard) is shared by
+    /// reference across every `*_checked` op inside the step; its
+    /// accumulated [`GuardStats`](attn_tensor::GuardStats) are folded
+    /// into the step report with
+    /// [`AbftReport::absorb_op_guard`](crate::report::AbftReport::absorb_op_guard).
+    /// A disabled config yields an inactive guard — every checked op
+    /// degenerates to its plain form, mirroring how an inactive section
+    /// degrades its GEMMs.
+    pub fn guard_step(config: &ProtectionConfig) -> attn_tensor::OpGuard {
+        attn_tensor::OpGuard::new(!config.is_off(), config.abft.detect_tol)
+    }
+
     /// Which section this is.
     pub fn id(&self) -> SectionId {
         self.id

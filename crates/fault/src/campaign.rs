@@ -65,9 +65,15 @@ impl CampaignStats {
     }
 
     /// 95% Wilson score interval for the success probability.
+    ///
+    /// Returns `(NaN, NaN)` for an empty campaign, matching [`Self::rate`]:
+    /// a campaign that never ran has no interval, and the old `(0.0, 1.0)`
+    /// answer dressed the undefined case up as a maximally-wide-but-valid
+    /// bound that downstream floor checks (`lo >= threshold`) silently
+    /// passed or failed on. NaN poisons any such comparison loudly.
     pub fn wilson_95(&self) -> (f64, f64) {
         if self.trials == 0 {
-            return (0.0, 1.0);
+            return (f64::NAN, f64::NAN);
         }
         let n = self.trials as f64;
         let p = self.rate();
@@ -157,11 +163,31 @@ mod tests {
         let empty = CampaignStats::from_outcomes(&[]);
         assert!(empty.rate().is_nan(), "0/0 has no point estimate");
         assert_eq!(empty.percent(), "n/a");
-        let (lo, hi) = empty.wilson_95();
-        assert_eq!((lo, hi), (0.0, 1.0));
 
         let all_failed = CampaignStats::from_outcomes(&[false, false]);
         assert_eq!(all_failed.rate(), 0.0);
         assert_eq!(all_failed.percent(), "0.0%");
+    }
+
+    #[test]
+    fn empty_campaign_interval_is_nan_not_a_vacuous_bound() {
+        // Regression: wilson_95 on 0 trials used to answer (0.0, 1.0),
+        // which a floor check like `lo >= 0.95` treats as a real (failing)
+        // measurement — and `hi >= x` as a passing one. NaN fails every
+        // comparison, so a campaign that never ran can't masquerade as one
+        // that did.
+        let empty = CampaignStats::from_outcomes(&[]);
+        let (lo, hi) = empty.wilson_95();
+        assert!(lo.is_nan() && hi.is_nan());
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        {
+            assert!(!(lo >= 0.0), "NaN must poison floor comparisons");
+            assert!(!(hi <= 1.0), "NaN must poison ceiling comparisons");
+        }
+
+        // One-trial campaigns still get a real interval.
+        let one = CampaignStats::from_outcomes(&[true]);
+        let (lo, hi) = one.wilson_95();
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
     }
 }

@@ -24,7 +24,7 @@ pub mod pattern;
 
 pub use bitflip::{flip_bit, near_inf_flip};
 pub use campaign::{run_campaign, CampaignStats};
-pub use inject::{FaultInjector, FaultKind, InjectionRecord};
+pub use inject::{FaultInjector, FaultKind, InjectionRecord, RegionRecord};
 pub use pattern::{classify, ErrorTypeCensus, PatternClass, PropagationReport, ValueClass};
 
 /// Default magnitude threshold above which a finite value counts as

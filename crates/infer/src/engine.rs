@@ -1,12 +1,13 @@
 //! The decoding engine: session lifecycle, batching, protection pacing.
 
-use crate::sampling::{sample_token, Sampling};
+use crate::sampling::{sample_token_checked, Sampling};
 use crate::session::DecodeSession;
 use attn_model::model::{InjectionSpec, TransformerModel};
 use attn_tensor::rng::TensorRng;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::policy::ProtectionPolicy;
 use attnchecker::report::AbftReport;
+use attnchecker::section::GuardedSection;
 use rayon::prelude::*;
 
 /// ABFT-protected autoregressive decoding engine.
@@ -154,7 +155,15 @@ impl DecodeEngine {
         inject: Option<&InjectionSpec>,
     ) -> usize {
         let toggles = self.policy.next_toggles();
-        let token = sample_token(&session.logits, sampling, &mut session.rng);
+        let protection = self
+            .model
+            .blocks
+            .first()
+            .map(|b| b.attn.protection)
+            .unwrap_or_else(ProtectionConfig::off);
+        let op_guard = GuardedSection::guard_step(&protection);
+        let token = sample_token_checked(&session.logits, sampling, &mut session.rng, &op_guard);
+        session.report.absorb_op_guard(op_guard.take_stats());
         session.tokens.push(token);
         session.logits = self.model.decode_step(
             token,
@@ -201,9 +210,19 @@ impl DecodeEngine {
         }
         let toggles = self.policy.next_toggles();
         let model = &self.model;
+        let protection = model
+            .blocks
+            .first()
+            .map(|b| b.attn.protection)
+            .unwrap_or_else(ProtectionConfig::off);
         let run = |(s, op): &mut (&mut DecodeSession, StepOp)| -> usize {
             let token = match *op {
-                StepOp::Gen => sample_token(&s.logits, sampling, &mut s.rng),
+                StepOp::Gen => {
+                    let op_guard = GuardedSection::guard_step(&protection);
+                    let t = sample_token_checked(&s.logits, sampling, &mut s.rng, &op_guard);
+                    s.report.absorb_op_guard(op_guard.take_stats());
+                    t
+                }
                 StepOp::Feed(t) => {
                     s.prompt_len += 1;
                     t

@@ -1,8 +1,8 @@
 //! Next-token selection from a logits row.
 
-use attn_tensor::ops::softmax_rows;
+use attn_tensor::guard::softmax_rows_checked;
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 
 /// Sampling strategy for [`sample_token`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,6 +22,22 @@ pub enum Sampling {
 /// # Panics
 /// Panics on an empty logits row.
 pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) -> usize {
+    sample_token_checked(logits, sampling, rng, &OpGuard::off())
+}
+
+/// [`sample_token`] with the temperature softmax guarded: the
+/// probability row is screened (entries in `[0, 1]`, sum ~1) and healed
+/// by exact recompute from the scaled logits on violation, so a struck
+/// distribution cannot silently skew token selection.
+///
+/// # Panics
+/// Panics on an empty logits row.
+pub fn sample_token_checked(
+    logits: &Matrix,
+    sampling: Sampling,
+    rng: &mut TensorRng,
+    g: &OpGuard,
+) -> usize {
     assert_eq!(logits.rows(), 1, "sample_token: one logits row");
     assert!(logits.cols() > 0, "sample_token: empty logits");
     let row = logits.row(0); // attn-lint: allow-path(panic-reach) — row 0 of the 1×V matrix asserted above
@@ -29,7 +45,7 @@ pub fn sample_token(logits: &Matrix, sampling: Sampling, rng: &mut TensorRng) ->
         Sampling::Greedy => argmax(row),
         Sampling::Temperature(t) if t > 0.0 => {
             let scaled = logits.map(|v| v / t);
-            let p = softmax_rows(&scaled); // attn-lint: allow-path(panic-reach) — softmax over the shape-asserted 1×V row; row iteration stays in bounds by construction
+            let p = softmax_rows_checked(&scaled, g); // attn-lint: allow-path(panic-reach) — softmax over the shape-asserted 1×V row; row iteration stays in bounds by construction
             let prow = p.row(0); // attn-lint: allow-path(panic-reach) — softmax preserves the asserted 1×V shape
 
             // A poisoned row (NaN logits, the non-trainable-state signal)

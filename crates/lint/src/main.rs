@@ -21,9 +21,13 @@ const USAGE: &str = "usage: attn_lint check [--json [PATH]] [--coverage [PATH]] 
 /// keeps the call graph honest (a conservative resolver that gives up
 /// everywhere would make every reachability lint vacuous);
 /// `MIN_GUARDED_OP_COVERAGE` is a ratchet pinned to the rate measured at
-/// PR time — it may only ever go up.
+/// PR time — it may only ever go up. Every cataloged op on the
+/// forward/decode/train paths now runs under a guard (GEMMs behind the
+/// `GuardedSection` barrier; softmax/LayerNorm/GELU/residual/embedding/
+/// loss/sampling/optimizer behind `attn_tensor::guard` wrappers), so the
+/// floor sits at 1.0: a new unguarded op is a CI failure, not drift.
 const MIN_RESOLUTION_RATE: f64 = 0.90;
-const MIN_GUARDED_OP_COVERAGE: f64 = 0.42;
+const MIN_GUARDED_OP_COVERAGE: f64 = 1.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -409,20 +409,44 @@ impl Coverage {
     }
 }
 
-/// Operator catalog: callee name (+ optional required owner) → kind.
-/// Guarded-ness of non-GEMM ops is structural: none of them runs under a
-/// checksum today (ROADMAP item 3).
-fn catalog_op(name: &str, owner_hint: Option<&str>) -> Option<&'static str> {
+/// Operator catalog: callee name (+ optional required owner) →
+/// `(kind, guarded)`. Plain kernel/API names are unguarded; the
+/// `*_checked` wrappers run an invariant screen with exact
+/// recompute-from-inputs fallback (`attn_tensor::guard`), so sites that
+/// call them count as guarded.
+fn catalog_op(name: &str, owner_hint: Option<&str>) -> Option<(&'static str, bool)> {
     match name {
-        "softmax_rows" | "softmax_rows_inplace" | "softmax_rows_backward" => Some("softmax"),
-        "layer_norm" | "layer_norm_backward" => Some("layernorm"),
-        "gelu" | "gelu_matrix" | "gelu_backward" => Some("gelu"),
-        "cross_entropy" => Some("loss"),
-        "sample_token" => Some("sampling"),
-        "add" if owner_hint == Some("Matrix") => Some("residual-add"),
-        "forward_tape" | "forward" if owner_hint == Some("Embedding") => Some("embedding"),
-        "step" | "step_batched" if owner_hint == Some("AdamW") => Some("optimizer"),
-        "forward_tape" | "forward" if owner_hint == Some("LayerNorm") => Some("layernorm"),
+        // Plain (unguarded) op entry points.
+        "softmax_rows" | "softmax_rows_inplace" | "softmax_rows_backward" => {
+            Some(("softmax", false))
+        }
+        "layer_norm" | "layer_norm_backward" => Some(("layernorm", false)),
+        "gelu" | "gelu_matrix" | "gelu_backward" => Some(("gelu", false)),
+        "cross_entropy" => Some(("loss", false)),
+        "sample_token" => Some(("sampling", false)),
+        "add" if owner_hint == Some("Matrix") => Some(("residual-add", false)),
+        "forward_tape" | "forward" if owner_hint == Some("Embedding") => Some(("embedding", false)),
+        "step" | "step_batched" if owner_hint == Some("AdamW") => Some(("optimizer", false)),
+        "forward_tape" | "forward" if owner_hint == Some("LayerNorm") => Some(("layernorm", false)),
+        // Guarded wrappers (screen + exact recompute on violation).
+        "softmax_rows_checked"
+        | "softmax_rows_checked_inplace"
+        | "softmax_rows_backward_checked" => Some(("softmax", true)),
+        "layer_norm_checked" | "layer_norm_backward_checked" => Some(("layernorm", true)),
+        "forward_tape_checked" | "backward_tape_checked" if owner_hint == Some("LayerNorm") => {
+            Some(("layernorm", true))
+        }
+        "gelu_matrix_checked" | "gelu_matrix_checked_inplace" | "gelu_backward_checked" => {
+            Some(("gelu", true))
+        }
+        "residual_add_checked" => Some(("residual-add", true)),
+        "verify_rowsum_add" => Some(("embedding", true)),
+        "cross_entropy_checked" => Some(("loss", true)),
+        "sample_token_checked" => Some(("sampling", true)),
+        "forward_checked" if owner_hint == Some("Embedding") => Some(("embedding", true)),
+        "step_checked" | "step_batched_checked" if owner_hint == Some("AdamW") => {
+            Some(("optimizer", true))
+        }
         _ => None,
     }
 }
@@ -491,7 +515,7 @@ pub fn coverage(g: &Graph) -> Coverage {
                     // not path-level operators.
                     None
                 } else {
-                    catalog_op(&site.name, owner_hint).map(|k| (k, false))
+                    catalog_op(&site.name, owner_hint)
                 };
                 if let Some((k, guarded)) = entry {
                     seen.insert(key, cov.ops.len());

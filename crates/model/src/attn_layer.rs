@@ -8,9 +8,10 @@
 
 use crate::param::{Grads, HasParams, Param};
 use attn_tensor::gemm::{matmul, matmul_nt, matmul_tn};
-use attn_tensor::ops::{col_sums, softmax_rows_backward};
+use attn_tensor::guard::softmax_rows_backward_checked;
+use attn_tensor::ops::col_sums;
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 use attnchecker::attention::{AttentionWeights, AttnCache, ProtectedAttention, SectionToggles};
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
@@ -122,6 +123,19 @@ impl AttentionLayer {
     /// Stateless backward over a tape; returns `dx` and writes all eight
     /// parameter gradients into `grads`.
     pub fn backward_tape(&self, dy: &Matrix, cache: &AttnCache, grads: &mut Grads) -> Matrix {
+        self.backward_tape_checked(dy, cache, grads, &OpGuard::off())
+    }
+
+    /// Stateless backward with a guarded softmax Jacobian product: each
+    /// per-head `dscores` is screened (rows of the Jacobian product sum
+    /// to ~0) and healed by exact recompute on violation.
+    pub fn backward_tape_checked(
+        &self,
+        dy: &Matrix,
+        cache: &AttnCache,
+        grads: &mut Grads,
+        g: &OpGuard,
+    ) -> Matrix {
         let hidden = self.hidden();
         let heads = self.heads;
         let d = hidden / heads;
@@ -150,7 +164,7 @@ impl AttentionLayer {
             let dv_h = matmul_tn(ap_h, &dcl_h);
 
             // AP = softmax(scores); scores = (Q·Kᵀ)·scale + mask
-            let dscores = softmax_rows_backward(ap_h, &dap);
+            let dscores = softmax_rows_backward_checked(ap_h, &dap, g);
             let dqk = dscores.scaled(scale);
 
             // QKᵀ term

@@ -12,10 +12,11 @@ use crate::ffn::FeedForward;
 use crate::layernorm::LayerNorm;
 use crate::param::{Grads, HasParams, Param};
 use crate::tape::BlockTape;
+use attn_tensor::guard::residual_add_checked;
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 use attnchecker::config::ProtectionConfig;
-use attnchecker::section::ForwardCtx;
+use attnchecker::section::{ForwardCtx, GuardedSection};
 use std::time::{Duration, Instant};
 
 /// Residual/normalisation arrangement.
@@ -77,16 +78,19 @@ impl TransformerBlock {
     /// activation tape. `ctx` flows through both protected sub-layers.
     pub fn forward_tape(&self, x: &Matrix, ctx: &mut ForwardCtx<'_, '_>) -> (Matrix, BlockTape) {
         let protection = self.attn.protection;
-        match self.arch {
+        let op_guard = GuardedSection::guard_step(&protection);
+        let out = match self.arch {
             BlockArch::PostLn => {
                 let t0 = Instant::now();
                 let (a, attn) = self.attn.forward_tape(x, ctx);
                 let attn_time = t0.elapsed();
-                let (h, ln1) = self.ln1.forward_tape(&x.add(&a));
+                let sum1 = residual_add_checked(x, &a, &op_guard);
+                let (h, ln1) = self.ln1.forward_tape_checked(&sum1, &op_guard);
                 let t1 = Instant::now();
                 let (f, ffn) = self.ffn.forward_guarded_tape(&h, &protection, ctx);
                 let ffn_time = t1.elapsed();
-                let (y, ln2) = self.ln2.forward_tape(&h.add(&f));
+                let sum2 = residual_add_checked(&h, &f, &op_guard);
+                let (y, ln2) = self.ln2.forward_tape_checked(&sum2, &op_guard);
                 (
                     y,
                     BlockTape {
@@ -100,17 +104,17 @@ impl TransformerBlock {
                 )
             }
             BlockArch::PreLn => {
-                let (n1, ln1) = self.ln1.forward_tape(x);
+                let (n1, ln1) = self.ln1.forward_tape_checked(x, &op_guard);
                 let t0 = Instant::now();
                 let (a, attn) = self.attn.forward_tape(&n1, ctx);
                 let attn_time = t0.elapsed();
-                let h = x.add(&a);
-                let (n2, ln2) = self.ln2.forward_tape(&h);
+                let h = residual_add_checked(x, &a, &op_guard);
+                let (n2, ln2) = self.ln2.forward_tape_checked(&h, &op_guard);
                 let t1 = Instant::now();
                 let (f, ffn) = self.ffn.forward_guarded_tape(&n2, &protection, ctx);
                 let ffn_time = t1.elapsed();
                 (
-                    h.add(&f),
+                    residual_add_checked(&h, &f, &op_guard),
                     BlockTape {
                         attn,
                         ffn,
@@ -121,29 +125,46 @@ impl TransformerBlock {
                     },
                 )
             }
-        }
+        };
+        ctx.report.absorb_op_guard(op_guard.take_stats());
+        out
     }
 
     /// Stateless backward over a tape; returns `dx`.
     pub fn backward_tape(&self, dy: &Matrix, tape: &BlockTape, grads: &mut Grads) -> Matrix {
+        self.backward_tape_checked(dy, tape, grads, &OpGuard::off())
+    }
+
+    /// Stateless backward with the non-GEMM ops guarded: LayerNorm and
+    /// GELU backward screens plus residual gradient-sum transport, all
+    /// healing by exact recompute on violation.
+    pub fn backward_tape_checked(
+        &self,
+        dy: &Matrix,
+        tape: &BlockTape,
+        grads: &mut Grads,
+        g: &OpGuard,
+    ) -> Matrix {
         match self.arch {
             BlockArch::PostLn => {
                 // y = LN2(h + FFN(h)), h = LN1(x + Attn(x))
-                let dsum2 = self.ln2.backward_tape(dy, &tape.ln2, grads);
-                let dh_f = self.ffn.backward_tape(&dsum2, &tape.ffn, grads);
-                let dh = dsum2.add(&dh_f);
-                let dsum1 = self.ln1.backward_tape(&dh, &tape.ln1, grads);
-                let dx_a = self.attn.backward_tape(&dsum1, &tape.attn, grads);
-                dsum1.add(&dx_a)
+                let dsum2 = self.ln2.backward_tape_checked(dy, &tape.ln2, grads, g);
+                let dh_f = self.ffn.backward_tape_checked(&dsum2, &tape.ffn, grads, g);
+                let dh = residual_add_checked(&dsum2, &dh_f, g);
+                let dsum1 = self.ln1.backward_tape_checked(&dh, &tape.ln1, grads, g);
+                let dx_a = self
+                    .attn
+                    .backward_tape_checked(&dsum1, &tape.attn, grads, g);
+                residual_add_checked(&dsum1, &dx_a, g)
             }
             BlockArch::PreLn => {
                 // y = h + FFN(LN2(h)), h = x + Attn(LN1(x))
-                let dn2 = self.ffn.backward_tape(dy, &tape.ffn, grads);
-                let dh_ln = self.ln2.backward_tape(&dn2, &tape.ln2, grads);
-                let dh = dy.add(&dh_ln);
-                let dn1 = self.attn.backward_tape(&dh, &tape.attn, grads);
-                let dx_ln = self.ln1.backward_tape(&dn1, &tape.ln1, grads);
-                dh.add(&dx_ln)
+                let dn2 = self.ffn.backward_tape_checked(dy, &tape.ffn, grads, g);
+                let dh_ln = self.ln2.backward_tape_checked(&dn2, &tape.ln2, grads, g);
+                let dh = residual_add_checked(dy, &dh_ln, g);
+                let dn1 = self.attn.backward_tape_checked(&dh, &tape.attn, grads, g);
+                let dx_ln = self.ln1.backward_tape_checked(&dn1, &tape.ln1, grads, g);
+                residual_add_checked(&dh, &dx_ln, g)
             }
         }
     }

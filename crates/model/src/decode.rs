@@ -19,15 +19,17 @@
 
 use crate::block::BlockArch;
 use crate::model::{InjectionSpec, ModelArch, TransformerModel};
+use attn_tensor::guard::{residual_add_checked, verify_rowsum_add};
 use attn_tensor::ops::MASK_NEG;
 use attn_tensor::Matrix;
 use attnchecker::attention::{FaultSite, SectionToggles};
 use attnchecker::checked::CheckedMatrix;
+use attnchecker::config::ProtectionConfig;
 use attnchecker::decode::{
     decode_step as attn_decode_step, AttentionWeightsRef, AttnKvCache, ColdKvCache,
 };
 use attnchecker::report::AbftReport;
-use attnchecker::section::ForwardCtx;
+use attnchecker::section::{ForwardCtx, GuardedSection};
 
 /// One decode session's model-side state: per-layer KV caches plus the
 /// number of consumed tokens. A state is either **live** (per-layer
@@ -209,6 +211,14 @@ impl TransformerModel {
         );
         let t = state.pos;
         let hidden = self.config.hidden;
+        let protection = self
+            .blocks
+            .first()
+            .map(|b| b.attn.protection)
+            .unwrap_or_else(ProtectionConfig::off);
+        // Non-GEMM op guard for the whole decode step: embedding row sum,
+        // per-block LayerNorms and residual adds, final LN.
+        let op_guard = GuardedSection::guard_step(&protection);
 
         // ---- embedding row (token + position), the row image of
         // `Embedding::forward_tape`.
@@ -225,6 +235,12 @@ impl TransformerModel {
         {
             *d = tv + pv;
         }
+        verify_rowsum_add(
+            tok_table.row(token),
+            pos_table.row(p),
+            h.row_mut(0),
+            &op_guard,
+        );
 
         // ---- blocks: pre-LN row pipeline with cached attention.
         for (i, (block, cache)) in self.blocks.iter().zip(&mut state.layers).enumerate() {
@@ -256,7 +272,7 @@ impl TransformerModel {
                 report: &mut *report,
             };
 
-            let (n1, _) = block.ln1.forward_tape(&h);
+            let (n1, _) = block.ln1.forward_tape_checked(&h, &op_guard);
             // Borrowed weight view: a decoded token must not pay a
             // hidden×hidden snapshot clone per layer on the serving path.
             let al = &block.attn;
@@ -273,20 +289,23 @@ impl TransformerModel {
                 bo: al.bo.bias(),
             };
             let a = attn_decode_step(&weights, &al.protection, &n1, cache, &mut ctx);
-            let res = h.add(&a);
-            let (n2, _) = block.ln2.forward_tape(&res);
-            let protection = block.attn.protection;
-            let (f, _) = block.ffn.forward_guarded_tape(&n2, &protection, &mut ctx);
-            h = res.add(&f);
+            let res = residual_add_checked(&h, &a, &op_guard);
+            let (n2, _) = block.ln2.forward_tape_checked(&res, &op_guard);
+            let block_protection = block.attn.protection;
+            let (f, _) = block
+                .ffn
+                .forward_guarded_tape(&n2, &block_protection, &mut ctx);
+            h = residual_add_checked(&res, &f, &op_guard);
         }
 
         // ---- head: final LN on the single row, then the classifier.
         if let Some(ln) = &self.final_ln {
-            let (y, _) = ln.forward_tape(&h);
+            let (y, _) = ln.forward_tape_checked(&h, &op_guard);
             h = y;
         }
         let (logits, _) = self.classifier.forward_tape(&h);
         state.pos = t + 1;
+        report.absorb_op_guard(op_guard.take_stats());
         logits
     }
 }

@@ -1,8 +1,9 @@
 //! Token + learned positional embeddings.
 
 use crate::param::{Grads, HasParams, Param};
+use attn_tensor::guard::verify_rowsum_add;
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 
 /// Token and position embedding table (the transformer input layer).
 #[derive(Debug, Clone)]
@@ -50,6 +51,17 @@ impl Embedding {
     /// Panics on out-of-vocabulary ids or sequences longer than the
     /// position table.
     pub fn forward_tape(&self, tokens: &[usize]) -> Matrix {
+        self.forward_checked(tokens, &OpGuard::off())
+    }
+
+    /// Guarded embed: each gathered row is screened against the f64 sum
+    /// transport `Σ tok_row + Σ pos_row ≈ Σ out_row` and healed
+    /// element-wise from the (at-rest) tables on violation.
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary ids or sequences longer than the
+    /// position table.
+    pub fn forward_checked(&self, tokens: &[usize], g: &OpGuard) -> Matrix {
         let hidden = self.tok.value.cols();
         let mut out = Matrix::zeros(tokens.len(), hidden);
         for (i, &t) in tokens.iter().enumerate() {
@@ -63,6 +75,7 @@ impl Embedding {
             {
                 *d = tv + pv;
             }
+            verify_rowsum_add(self.tok.value.row(t), self.pos.value.row(p), dst, g);
         }
         out
     }

@@ -14,9 +14,10 @@
 use crate::linear::ProtectedLinear;
 use crate::param::{Grads, HasParams, Param};
 use crate::tape::FfnTape;
-use attn_tensor::ops::{gelu, gelu_backward, gelu_matrix};
+use attn_tensor::guard::{gelu_backward_checked, gelu_matrix_checked, gelu_matrix_checked_inplace};
+use attn_tensor::ops::{gelu_backward, gelu_matrix};
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 use attnchecker::attention::AttnOp;
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
@@ -46,8 +47,16 @@ impl FeedForward {
     /// Stateless unprotected forward: returns the output and the
     /// activation tape.
     pub fn forward_tape(&self, x: &Matrix) -> (Matrix, FfnTape) {
+        self.forward_tape_with(x, &OpGuard::off())
+    }
+
+    /// Stateless forward with a guarded GELU: the nonlinearity's output
+    /// is screened element-wise and healed by exact recompute on
+    /// violation. The GEMMs stay unprotected (that is
+    /// [`Self::forward_guarded_tape`]'s job).
+    pub fn forward_tape_with(&self, x: &Matrix, g: &OpGuard) -> (Matrix, FfnTape) {
         let (pre, x_tape) = self.lin1.inner.forward_tape(x);
-        let act = gelu_matrix(&pre);
+        let act = gelu_matrix_checked(&pre, g);
         let (y, act_tape) = self.lin2.inner.forward_tape(&act);
         (
             y,
@@ -85,18 +94,20 @@ impl FeedForward {
             // divides by.
             return self.forward_tape(x);
         }
+        let op_guard = GuardedSection::guard_step(config);
         // The block input enters S_FFN through the fused encode path of
         // `ProtectedLinear`: no standalone encode sweep over `x`.
         let xc = sec.operand(x);
         let (pre, x_tape) = self.lin1.forward_guarded_tape(&xc, &sec, ctx);
         // GELU is nonlinear: exit the checksummed region; the result's
         // re-encoding rides inside the contraction GEMM's packing pass.
+        // The nonlinearity itself is covered by the element-wise op
+        // guard (bounds screen + exact recompute from the healed `pre`).
         let act = CheckedMatrix::from_plain_owned(sec.exit_cols(&pre, |m| {
-            for v in m.data_mut() {
-                *v = gelu(*v);
-            }
+            gelu_matrix_checked_inplace(m, &op_guard);
         }));
         let (y, act_tape) = self.lin2.forward_guarded_tape(&act, &sec, ctx);
+        ctx.report.absorb_op_guard(op_guard.take_stats());
         (
             y.logical(),
             FfnTape {
@@ -109,8 +120,20 @@ impl FeedForward {
 
     /// Stateless backward over a tape; returns `dx`.
     pub fn backward_tape(&self, dy: &Matrix, tape: &FfnTape, grads: &mut Grads) -> Matrix {
+        self.backward_tape_checked(dy, tape, grads, &OpGuard::off())
+    }
+
+    /// Stateless backward with a guarded GELU derivative; see
+    /// [`attn_tensor::guard::verify_gelu_backward`].
+    pub fn backward_tape_checked(
+        &self,
+        dy: &Matrix,
+        tape: &FfnTape,
+        grads: &mut Grads,
+        g: &OpGuard,
+    ) -> Matrix {
         let dact = self.lin2.backward_tape(dy, &tape.act, grads);
-        let dpre = gelu_backward(&tape.pre, &dact);
+        let dpre = gelu_backward_checked(&tape.pre, &dact, g);
         self.lin1.backward_tape(&dpre, &tape.x, grads)
     }
 

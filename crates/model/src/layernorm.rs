@@ -1,8 +1,9 @@
 //! Layer normalisation with learnable scale/shift.
 
 use crate::param::{Grads, HasParams, Param};
-use attn_tensor::ops::{layer_norm, layer_norm_backward, LayerNormCache};
-use attn_tensor::Matrix;
+use attn_tensor::guard::{layer_norm_backward_checked, layer_norm_checked};
+use attn_tensor::ops::{layer_norm, LayerNormCache};
+use attn_tensor::{Matrix, OpGuard};
 
 /// LayerNorm over the hidden dimension.
 #[derive(Debug, Clone)]
@@ -29,12 +30,30 @@ impl LayerNorm {
 
     /// Stateless forward: returns the output and the statistics tape.
     pub fn forward_tape(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
-        layer_norm(x, self.gamma.bias(), self.beta.bias(), self.eps)
+        self.forward_tape_checked(x, &OpGuard::off())
+    }
+
+    /// Guarded stateless forward: per-row invariant screens with exact
+    /// recompute-from-input on violation.
+    pub fn forward_tape_checked(&self, x: &Matrix, g: &OpGuard) -> (Matrix, LayerNormCache) {
+        layer_norm_checked(x, self.gamma.bias(), self.beta.bias(), self.eps, g)
     }
 
     /// Stateless backward over a tape; γ/β gradients go into `grads`.
     pub fn backward_tape(&self, dy: &Matrix, cache: &LayerNormCache, grads: &mut Grads) -> Matrix {
-        let (dx, dgamma, dbeta) = layer_norm_backward(dy, cache, self.gamma.bias());
+        self.backward_tape_checked(dy, cache, grads, &OpGuard::off())
+    }
+
+    /// Guarded stateless backward; see
+    /// [`attn_tensor::guard::verify_layer_norm_backward`].
+    pub fn backward_tape_checked(
+        &self,
+        dy: &Matrix,
+        cache: &LayerNormCache,
+        grads: &mut Grads,
+        g: &OpGuard,
+    ) -> Matrix {
+        let (dx, dgamma, dbeta) = layer_norm_backward_checked(dy, cache, self.gamma.bias(), g);
         grads.accumulate(&self.gamma.name, &Matrix::from_vec(1, dgamma.len(), dgamma));
         grads.accumulate(&self.beta.name, &Matrix::from_vec(1, dbeta.len(), dbeta));
         dx

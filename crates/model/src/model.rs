@@ -20,14 +20,15 @@ use crate::linear::Linear;
 use crate::param::{Grads, HasParams, Param};
 use crate::tape::{ExampleTape, HeadTape};
 use attn_fault::FaultKind;
-use attn_tensor::ops::{causal_mask, local_causal_mask, softmax_rows};
+use attn_tensor::guard::softmax_rows_checked;
+use attn_tensor::ops::{causal_mask, local_causal_mask};
 use attn_tensor::rng::TensorRng;
-use attn_tensor::Matrix;
+use attn_tensor::{Matrix, OpGuard};
 use attnchecker::attention::{AttnOp, FaultSite, SectionToggles};
 use attnchecker::checked::CheckedMatrix;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::report::AbftReport;
-use attnchecker::section::ForwardCtx;
+use attnchecker::section::{ForwardCtx, GuardedSection};
 use std::time::Duration;
 
 /// Which of the four studied architectures a model instantiates.
@@ -318,9 +319,18 @@ impl TransformerModel {
         let mut ffn_time = Duration::ZERO;
         let mut block_tapes = Vec::with_capacity(self.blocks.len());
 
-        let mut h = self.embedding.forward_tape(tokens);
+        // Blocks run their own op guards internally; this one covers the
+        // model-level non-GEMM ops (embedding gather, outer LayerNorms).
+        let protection = self
+            .blocks
+            .first()
+            .map(|b| b.attn.protection)
+            .unwrap_or_else(ProtectionConfig::off);
+        let op_guard = GuardedSection::guard_step(&protection);
+
+        let mut h = self.embedding.forward_checked(tokens, &op_guard);
         let emb_ln = self.emb_ln.as_ref().map(|ln| {
-            let (y, cache) = ln.forward_tape(&h);
+            let (y, cache) = ln.forward_tape_checked(&h, &op_guard);
             h = y;
             cache
         });
@@ -356,10 +366,11 @@ impl TransformerModel {
             block_tapes.push(tape);
         }
         let final_ln = self.final_ln.as_ref().map(|ln| {
-            let (y, cache) = ln.forward_tape(&h);
+            let (y, cache) = ln.forward_tape_checked(&h, &op_guard);
             h = y;
             cache
         });
+        report.absorb_op_guard(op_guard.take_stats());
 
         let select_row = match self.config.arch {
             ModelArch::Bert | ModelArch::Roberta => 0,
@@ -396,6 +407,19 @@ impl TransformerModel {
     /// Stateless backward of one example from the logits gradient over its
     /// activation tape; parameter gradients go into `grads`.
     pub fn backward_tape(&self, dlogits: &Matrix, tape: &ExampleTape, grads: &mut Grads) {
+        self.backward_tape_checked(dlogits, tape, grads, &OpGuard::off());
+    }
+
+    /// Stateless backward with the non-GEMM ops guarded end-to-end
+    /// (softmax Jacobian, LayerNorm backward, GELU derivative, residual
+    /// gradient sums) under one `g` scope.
+    pub fn backward_tape_checked(
+        &self,
+        dlogits: &Matrix,
+        tape: &ExampleTape,
+        grads: &mut Grads,
+        g: &OpGuard,
+    ) {
         let mut d = self
             .classifier
             .backward_tape(dlogits, &tape.head.classifier_x, grads);
@@ -411,14 +435,14 @@ impl TransformerModel {
 
         if let Some(ln) = &self.final_ln {
             let cache = tape.final_ln.as_ref().expect("final LN tape");
-            dh = ln.backward_tape(&dh, cache, grads);
+            dh = ln.backward_tape_checked(&dh, cache, grads, g);
         }
         for (block, bt) in self.blocks.iter().zip(&tape.blocks).rev() {
-            dh = block.backward_tape(&dh, bt, grads);
+            dh = block.backward_tape_checked(&dh, bt, grads, g);
         }
         if let Some(ln) = &self.emb_ln {
             let cache = tape.emb_ln.as_ref().expect("embedding LN tape");
-            dh = ln.backward_tape(&dh, cache, grads);
+            dh = ln.backward_tape_checked(&dh, cache, grads, g);
         }
         self.embedding.backward_tape(&dh, &tape.tokens, grads);
     }
@@ -490,9 +514,17 @@ impl HasParams for TransformerModel {
 /// Returns `(loss, dlogits)`. NaN/INF logits produce a NaN loss — the
 /// non-trainable-state signal of the paper's study.
 pub fn cross_entropy(logits: &Matrix, label: usize) -> (f32, Matrix) {
+    cross_entropy_checked(logits, label, &OpGuard::off())
+}
+
+/// Guarded softmax cross-entropy: the probability row is screened
+/// (entries in `[0, 1]`, row sums to ~1) and healed by exact recompute
+/// from the preserved logits on violation. NaN logits still surface a
+/// NaN loss — propagation recomputes identically and is not a fault.
+pub fn cross_entropy_checked(logits: &Matrix, label: usize, g: &OpGuard) -> (f32, Matrix) {
     assert_eq!(logits.rows(), 1);
     assert!(label < logits.cols());
-    let p = softmax_rows(logits);
+    let p = softmax_rows_checked(logits, g);
     let loss = -(p[(0, label)].max(f32::MIN_POSITIVE)).ln();
     // If the row went NaN, surface NaN instead of the clamped value.
     let loss = if p.row(0).iter().any(|x| x.is_nan()) {

@@ -1,6 +1,128 @@
-//! AdamW optimizer.
+//! AdamW optimizer, with ridden checksums over its moment state.
+//!
+//! The `m`/`v` moments are the only training state that persists
+//! *between* steps, so a particle strike while they sit at rest is
+//! invisible to every forward/backward guard and silently steers every
+//! later update. [`MomentGuard`] closes that hole: each row of each
+//! moment matrix carries a triple digest — an ordered `f64` sum, an
+//! index-weighted `f64` sum, and the XOR of the `f32` bit patterns —
+//! captured after a step and re-derived before the next one. The
+//! recompute is bit-deterministic, so a digest mismatch is always a
+//! genuine corruption (zero false positives), the weighted/plain sum
+//! ratio locates the flipped column, and the XOR delta restores the
+//! original bits exactly. Multi-cell corruption in one row exceeds the
+//! single-fault model and is surfaced as `unrecovered`.
 
 use crate::param::{Grads, HasParams, Param};
+use attn_tensor::{Matrix, OpGuard};
+use std::collections::HashMap;
+
+/// Bit-exact digest of one moment-matrix row. The `f64` accumulators are
+/// stored as bit patterns so comparison is exact even when a poisoned
+/// (NaN/Inf) moment row makes the sums non-finite — a legitimate
+/// propagation that must not read as a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowDigest {
+    /// Ordered `f64` sum of the row, as bits.
+    sum: u64,
+    /// Ordered `Σ (j+1)·x_j` in `f64`, as bits — `δwsum/δsum` locates a
+    /// single flipped column.
+    wsum: u64,
+    /// XOR of the `f32` bit patterns — the restore channel.
+    xor: u32,
+}
+
+fn digest_row(row: &[f32]) -> RowDigest {
+    let mut sum = 0.0f64;
+    let mut wsum = 0.0f64;
+    let mut xor = 0u32;
+    for (j, &x) in row.iter().enumerate() {
+        let xf = x as f64;
+        sum += xf;
+        wsum += (j + 1) as f64 * xf;
+        xor ^= x.to_bits();
+    }
+    RowDigest {
+        sum: sum.to_bits(),
+        wsum: wsum.to_bits(),
+        xor,
+    }
+}
+
+/// Restore candidate: flip column `j` of `row` by the XOR delta and keep
+/// it iff the row then re-digests to exactly `stored`.
+fn try_candidate(stored: &RowDigest, row: &mut [f32], j: usize, xor_delta: u32) -> bool {
+    let old = row[j];
+    row[j] = f32::from_bits(old.to_bits() ^ xor_delta);
+    if digest_row(row) == *stored {
+        true
+    } else {
+        row[j] = old;
+        false
+    }
+}
+
+/// Locate-and-restore a single corrupted cell; `false` when no single
+/// flip explains the digest (multi-cell corruption).
+fn try_heal_row(stored: &RowDigest, row: &mut [f32], live: &RowDigest) -> bool {
+    let xor_delta = stored.xor ^ live.xor;
+    if xor_delta == 0 {
+        // Identical bits XOR-wise but differing sums: at least two cells
+        // changed in a cancelling pattern — beyond the single-fault model.
+        return false;
+    }
+    let dsum = f64::from_bits(stored.sum) - f64::from_bits(live.sum);
+    let dwsum = f64::from_bits(stored.wsum) - f64::from_bits(live.wsum);
+    if dsum.is_finite() && dwsum.is_finite() && !attn_tensor::float::exactly_zero_f64(dsum) {
+        let j = (dwsum / dsum).round() - 1.0;
+        if j >= 0.0 && j < row.len() as f64 && try_candidate(stored, row, j as usize, xor_delta) {
+            return true;
+        }
+    }
+    // Non-finite or ambiguous deltas (e.g. a NaN-flip): scan every
+    // column; the digest re-check keeps the restore exact.
+    (0..row.len()).any(|j| try_candidate(stored, row, j, xor_delta))
+}
+
+fn verify_moment(stored: &[RowDigest], mat: &mut Matrix, g: &OpGuard) {
+    for (r, expected) in stored.iter().enumerate().take(mat.rows()) {
+        g.record_external_check();
+        let live = digest_row(mat.row(r));
+        if live == *expected {
+            continue;
+        }
+        if try_heal_row(expected, mat.row_mut(r), &live) {
+            g.record_external_heal();
+        } else {
+            g.record_unrecovered();
+        }
+    }
+}
+
+/// Ridden checksums over one parameter's AdamW moments, captured after a
+/// step and verified (and healed) before the next one consumes them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentGuard {
+    m: Vec<RowDigest>,
+    v: Vec<RowDigest>,
+}
+
+impl MomentGuard {
+    fn capture(p: &Param) -> Self {
+        Self {
+            m: (0..p.m.rows()).map(|r| digest_row(p.m.row(r))).collect(),
+            v: (0..p.v.rows()).map(|r| digest_row(p.v.row(r))).collect(),
+        }
+    }
+
+    fn verify_heal(&self, p: &mut Param, g: &OpGuard) {
+        if self.m.len() != p.m.rows() || self.v.len() != p.v.rows() {
+            return; // stale guard after a shape change; re-captured below
+        }
+        verify_moment(&self.m, &mut p.m, g);
+        verify_moment(&self.v, &mut p.v, g);
+    }
+}
 
 /// AdamW with decoupled weight decay (the fine-tuning default of the
 /// paper's HuggingFace setup).
@@ -18,6 +140,9 @@ pub struct AdamW {
     pub weight_decay: f32,
     /// Step counter (for bias correction).
     pub t: u64,
+    /// At-rest moment digests by parameter name, maintained only by the
+    /// `*_checked` step paths (the plain paths stay digest-free).
+    guards: HashMap<String, MomentGuard>,
 }
 
 impl AdamW {
@@ -30,6 +155,7 @@ impl AdamW {
             eps: 1e-8,
             weight_decay: 0.01,
             t: 0,
+            guards: HashMap::new(),
         }
     }
 
@@ -42,15 +168,58 @@ impl AdamW {
         model: &mut dyn HasParams,
         buffers: impl IntoIterator<Item = Grads>,
     ) {
-        for g in buffers {
-            g.merge_into(model);
+        self.step_batched_checked(model, buffers, &OpGuard::off());
+    }
+
+    /// [`Self::step_batched`] with the moment state guarded: digests are
+    /// verified (and single-cell corruption healed) before the update
+    /// consumes the moments, and re-captured after it.
+    pub fn step_batched_checked(
+        &mut self,
+        model: &mut dyn HasParams,
+        buffers: impl IntoIterator<Item = Grads>,
+        g: &OpGuard,
+    ) {
+        for grads in buffers {
+            grads.merge_into(model);
         }
-        self.step(model);
+        self.step_checked(model, g);
     }
 
     /// Apply one optimizer step over every parameter of `model`, then zero
     /// the gradients.
     pub fn step(&mut self, model: &mut dyn HasParams) {
+        self.step_checked(model, &OpGuard::off());
+    }
+
+    /// Guarded optimizer step: verify-and-heal the at-rest moments, run
+    /// the update, then capture fresh digests of the new moments. The
+    /// first checked step has nothing captured yet and only captures.
+    pub fn step_checked(&mut self, model: &mut dyn HasParams, g: &OpGuard) {
+        if g.active() {
+            let guards = std::mem::take(&mut self.guards);
+            model.visit_params(&mut |p: &mut Param| {
+                if let Some(mg) = guards.get(&p.name) {
+                    mg.verify_heal(p, g);
+                }
+            });
+            self.guards = guards;
+        }
+        self.update(model);
+        if g.active() {
+            let mut guards = std::mem::take(&mut self.guards);
+            model.visit_params(&mut |p: &mut Param| {
+                if let Some(slot) = guards.get_mut(&p.name) {
+                    *slot = MomentGuard::capture(p);
+                } else {
+                    guards.insert(p.name.clone(), MomentGuard::capture(p));
+                }
+            });
+            self.guards = guards;
+        }
+    }
+
+    fn update(&mut self, model: &mut dyn HasParams) {
         self.t += 1;
         let t = self.t as f32;
         let bc1 = 1.0 - self.beta1.powf(t);
@@ -165,6 +334,134 @@ mod tests {
         ob.step(&mut b);
 
         assert_eq!(a.p.value[(0, 0)].to_bits(), b.p.value[(0, 0)].to_bits());
+    }
+
+    fn batch(vals: &[f32]) -> One {
+        One {
+            p: Param::new("w", Matrix::from_vec(2, vals.len() / 2, vals.to_vec())),
+        }
+    }
+
+    fn grads_of(vals: &[f32]) -> Grads {
+        let mut g = Grads::new();
+        g.accumulate("w", &Matrix::from_vec(2, vals.len() / 2, vals.to_vec()));
+        g
+    }
+
+    const W0: [f32; 8] = [1.0, -2.0, 0.5, 3.0, -0.25, 4.0, 0.125, -1.5];
+    const G1: [f32; 8] = [0.3, -0.1, 0.7, 0.2, -0.4, 0.6, -0.9, 0.05];
+    const G2: [f32; 8] = [-0.2, 0.8, 0.1, -0.6, 0.35, -0.15, 0.45, -0.7];
+
+    #[test]
+    fn checked_step_is_bit_identical_to_plain_and_quiet() {
+        let mut plain = batch(&W0);
+        let mut checked = batch(&W0);
+        let mut op = AdamW::new(0.01);
+        let mut oc = AdamW::new(0.01);
+        let g = OpGuard::new(true, 5e-4);
+        for gr in [&G1, &G2] {
+            op.step_batched(&mut plain, [grads_of(gr)]);
+            oc.step_batched_checked(&mut checked, [grads_of(gr)], &g);
+        }
+        assert_eq!(plain.p.value, checked.p.value);
+        assert_eq!(plain.p.m, checked.p.m);
+        assert_eq!(plain.p.v, checked.p.v);
+        let s = g.take_stats();
+        assert!(s.is_quiet(), "fault-free moments must stay quiet: {s:?}");
+        // Second step verified 2 rows × 2 moment matrices.
+        assert_eq!(s.checks, 4);
+    }
+
+    #[test]
+    fn single_cell_moment_corruption_is_healed_exactly() {
+        for fault in [
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            3.0e38,
+            -3.0e38,
+            7.25e-3, // sub-threshold magnitude: digest compare still catches it
+        ] {
+            for second_moment in [false, true] {
+                let mut clean = batch(&W0);
+                let mut faulty = batch(&W0);
+                let mut oc = AdamW::new(0.01);
+                let mut of = AdamW::new(0.01);
+                let gq = OpGuard::new(true, 5e-4);
+                clean.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+                oc.step_checked(&mut clean, &gq);
+                clean.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
+                oc.step_checked(&mut clean, &gq);
+                assert!(gq.take_stats().is_quiet());
+
+                let gf = OpGuard::new(true, 5e-4);
+                faulty.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+                of.step_checked(&mut faulty, &gf);
+                let target = if second_moment {
+                    &mut faulty.p.v
+                } else {
+                    &mut faulty.p.m
+                };
+                target[(1, 2)] = fault;
+                faulty.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
+                of.step_checked(&mut faulty, &gf);
+                let s = gf.take_stats();
+                assert_eq!(s.detections, 1, "fault {fault} (v={second_moment})");
+                assert_eq!(s.heals, 1, "fault {fault} (v={second_moment})");
+                assert_eq!(s.unrecovered, 0);
+                assert_eq!(
+                    faulty.p.value, clean.p.value,
+                    "fault {fault}: corrected step must be bit-identical"
+                );
+                assert_eq!(faulty.p.m, clean.p.m);
+                assert_eq!(faulty.p.v, clean.p.v);
+            }
+        }
+    }
+
+    #[test]
+    fn first_checked_step_only_captures() {
+        let mut m = batch(&W0);
+        m.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+        let mut opt = AdamW::new(0.01);
+        let g = OpGuard::new(true, 5e-4);
+        opt.step_checked(&mut m, &g);
+        // Nothing captured before the first step → nothing verified.
+        assert_eq!(g.take_stats().checks, 0);
+    }
+
+    #[test]
+    fn multi_cell_moment_corruption_is_unrecovered() {
+        let mut m = batch(&W0);
+        m.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+        let mut opt = AdamW::new(0.01);
+        let g = OpGuard::new(true, 5e-4);
+        opt.step_checked(&mut m, &g);
+        // Two distinct cells of one row: beyond the single-fault model.
+        m.p.m[(0, 0)] += 1.0;
+        m.p.m[(0, 3)] -= 2.0;
+        m.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
+        opt.step_checked(&mut m, &g);
+        let s = g.take_stats();
+        assert_eq!(s.detections, 1);
+        assert_eq!(s.heals, 0);
+        assert_eq!(s.unrecovered, 1);
+    }
+
+    #[test]
+    fn poisoned_moments_are_propagation_not_faults() {
+        // An INF gradient legitimately drives the moments non-finite; the
+        // captured digests must track that state without false alarms.
+        let mut m = batch(&W0);
+        m.p.grad = Matrix::full(2, 4, f32::INFINITY);
+        let mut opt = AdamW::new(0.01);
+        let g = OpGuard::new(true, 5e-4);
+        opt.step_checked(&mut m, &g);
+        m.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+        opt.step_checked(&mut m, &g);
+        let s = g.take_stats();
+        assert_eq!(s.detections, 0, "NaN moments re-digest identically");
+        assert!(s.checks > 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! parameter bit are identical at any worker count.
 
 use crate::data::{Example, SyntheticMrpc};
-use crate::model::{cross_entropy, InjectionSpec, TransformerModel};
+use crate::model::{cross_entropy, cross_entropy_checked, InjectionSpec, TransformerModel};
 use crate::optim::AdamW;
 use crate::param::{Grads, HasParams};
 use attn_tensor::rng::TensorRng;
@@ -18,6 +18,7 @@ use attnchecker::attention::SectionToggles;
 use attnchecker::config::ProtectionConfig;
 use attnchecker::policy::ProtectionPolicy;
 use attnchecker::report::AbftReport;
+use attnchecker::section::GuardedSection;
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
@@ -181,6 +182,7 @@ impl Trainer {
 
         let inv = 1.0 / batch.len() as f32;
         let model = &self.model;
+        let protection = model.blocks[0].attn.protection;
         let run_item = |bi: usize| -> ItemOutcome {
             let ex = batch[bi];
             let spec = match &inject {
@@ -188,11 +190,15 @@ impl Trainer {
                 _ => None,
             };
             let mut report = AbftReport::default();
+            // One op-guard scope per item covers the loss softmax and the
+            // whole backward pass (the forward ops run their own scopes).
+            let op_guard = GuardedSection::guard_step(&protection);
             let (logits, tape) =
                 model.forward_tape(&ex.tokens, toggles, spec.as_ref(), &mut report);
-            let (loss, dlogits) = cross_entropy(&logits, ex.label);
+            let (loss, dlogits) = cross_entropy_checked(&logits, ex.label, &op_guard);
             let mut grads = Grads::new();
-            model.backward_tape(&dlogits.scaled(inv), &tape, &mut grads);
+            model.backward_tape_checked(&dlogits.scaled(inv), &tape, &mut grads, &op_guard);
+            report.absorb_op_guard(op_guard.take_stats());
             ItemOutcome {
                 loss,
                 grads,
@@ -223,8 +229,15 @@ impl Trainer {
             attention_time += item.attn_time;
             ffn_time += item.ffn_time;
         }
-        self.optim
-            .step_batched(&mut self.model, items.into_iter().map(|i| i.grads));
+        // The optimizer's at-rest moment digests verify-and-heal inside
+        // the same guarded scope; its activity lands in the step report.
+        let step_guard = GuardedSection::guard_step(&protection);
+        self.optim.step_batched_checked(
+            &mut self.model,
+            items.into_iter().map(|i| i.grads),
+            &step_guard,
+        );
+        report.absorb_op_guard(step_guard.take_stats());
 
         let loss = loss_sum * inv;
         let params_ok = self.model.params_finite();

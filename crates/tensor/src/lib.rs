@@ -23,6 +23,10 @@
 //!   [`gemm`] consume it without copying and without changing result bits.
 //! * Neural-network primitive ops in [`ops`] (numerically-stable softmax,
 //!   layer norm, GELU, bias, masking).
+//! * Invariant-screened guarded variants of the non-GEMM ops in [`guard`]
+//!   ([`OpGuard`], `softmax_rows_checked` & co.) — cheap invariant screens
+//!   with exact recompute-from-inputs healing, since exact checksum
+//!   transport stops at a nonlinearity.
 //! * Named exact-float comparisons in [`float`] (`exactly_zero` & co.) —
 //!   the helpers the workspace `float-eq` lint points raw `== 0.0` sites
 //!   to.
@@ -36,6 +40,7 @@ pub mod batch;
 pub mod error;
 pub mod float;
 pub mod gemm;
+pub mod guard;
 pub mod kv;
 pub mod matrix;
 pub mod ops;
@@ -47,6 +52,7 @@ pub mod workspace;
 
 pub use batch::Batch3;
 pub use error::ShapeError;
+pub use guard::{GuardStats, OpGuard};
 pub use kv::PagedKv;
 pub use matrix::Matrix;
 pub use view::{MatMut, MatRef};

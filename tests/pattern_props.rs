@@ -1,0 +1,170 @@
+//! Property tests for the propagation-pattern classifier (paper §2.2,
+//! Table 2): `shape_of` must be a pure function of the *set* of corrupted
+//! positions (stable under any reordering), `Clean` must coincide exactly
+//! with an empty position list, and the paper's glyph notation
+//! (`1R-Θ`, `1C-∞*`, `2D-M`, …) is pinned so a formatting drift cannot
+//! silently change the reproduced Table 2 cells.
+
+use attn_fault::pattern::{classify, shape_of, PatternClass};
+use attn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A small finite reference matrix with values far from the classifier's
+/// relative tolerance.
+fn base_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..6, 2usize..8).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(-40.0f32..40.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+/// Fisher–Yates driven by a splitmix-style generator, so the permutation
+/// property needs no shuffle combinator from the (vendored, slim) proptest.
+fn shuffled(mut v: Vec<(usize, usize)>, mut seed: u64) -> Vec<(usize, usize)> {
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        v.swap(i, j);
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The 0D/1R/1C/2D verdict may not depend on the order faults were
+    /// discovered in — only on where they are.
+    #[test]
+    fn shape_classification_is_permutation_stable(
+        original in prop::collection::vec((0usize..8, 0usize..8), 0..24),
+        seed in 0u64..u64::MAX,
+    ) {
+        let permuted = shuffled(original.clone(), seed);
+        prop_assert_eq!(shape_of(&original), shape_of(&permuted));
+    }
+
+    /// `Clean` ⇔ the classifier found no corrupted positions, and the
+    /// report is internally consistent: the pattern is `shape_of` of its
+    /// own position list and the census counts every position exactly once.
+    #[test]
+    fn clean_iff_positions_empty(
+        m in base_matrix(),
+        cell_mask in prop::collection::vec(0usize..2, 48),
+    ) {
+        let mut corrupted = m.clone();
+        let mut planted = 0usize;
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                if cell_mask[r * m.cols() + c] == 1 {
+                    corrupted[(r, c)] = f32::INFINITY;
+                    planted += 1;
+                }
+            }
+        }
+        let rep = classify(&m, &corrupted, 1e-4);
+        prop_assert_eq!(rep.is_clean(), rep.positions.is_empty());
+        prop_assert_eq!(rep.is_clean(), planted == 0);
+        prop_assert_eq!(rep.positions.len(), planted);
+        prop_assert_eq!(rep.census.total(), planted);
+        prop_assert_eq!(rep.pattern, shape_of(&rep.positions));
+        if rep.is_clean() {
+            prop_assert_eq!(rep.cell(), "-");
+        }
+    }
+
+    /// Deviations at or below the relative tolerance never register as
+    /// corruption, for any victim cell.
+    #[test]
+    fn sub_tolerance_noise_is_clean(
+        m in base_matrix(),
+        rf in 0.0f64..1.0,
+        cf in 0.0f64..1.0,
+    ) {
+        let r = ((rf * m.rows() as f64) as usize).min(m.rows() - 1);
+        let c = ((cf * m.cols() as f64) as usize).min(m.cols() - 1);
+        let mut close = m.clone();
+        let a = m[(r, c)];
+        close[(r, c)] = a + 0.5 * 1e-4 * a.abs().max(1.0);
+        prop_assert!(classify(&m, &close, 1e-4).is_clean());
+    }
+
+    /// Table 2 glyphs for whole-row corruption are pinned: a row of NaNs is
+    /// `1R-Θ`, single-sign INF is `1R-∞`, mixed-sign INF is `1R-∞*`,
+    /// near-INF magnitudes are `1R-N`, and moderate noise is `1R-ε`.
+    #[test]
+    fn table2_row_glyphs_are_pinned(
+        m in base_matrix(),
+        rf in 0.0f64..1.0,
+        class in 0usize..5,
+    ) {
+        let r = ((rf * m.rows() as f64) as usize).min(m.rows() - 1);
+        let mut corrupted = m.clone();
+        for c in 0..m.cols() {
+            corrupted[(r, c)] = match class {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                // Mixed signs: guaranteed ≥1 of each because cols ≥ 2.
+                2 if c % 2 == 0 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 5e11,
+                _ => m[(r, c)] + 10.0,
+            };
+        }
+        let rep = classify(&m, &corrupted, 1e-4);
+        prop_assert_eq!(rep.pattern, PatternClass::OneRow { row: r });
+        let expected = match class {
+            0 => "1R-Θ",
+            1 => "1R-∞",
+            2 => "1R-∞*",
+            3 => "1R-N",
+            _ => "1R-ε",
+        };
+        prop_assert_eq!(rep.cell(), expected);
+    }
+
+    /// Column and 2D glyphs are pinned too: a full column of NaNs is
+    /// `1C-Θ`, one lone INF is `0D-∞`, and an off-diagonal mixture of NaN
+    /// and INF is `2D-M`.
+    #[test]
+    fn table2_column_and_2d_glyphs_are_pinned(
+        m in base_matrix(),
+        cf in 0.0f64..1.0,
+    ) {
+        let c = ((cf * m.cols() as f64) as usize).min(m.cols() - 1);
+
+        let mut col_nan = m.clone();
+        for r in 0..m.rows() {
+            col_nan[(r, c)] = f32::NAN;
+        }
+        let rep = classify(&m, &col_nan, 1e-4);
+        prop_assert_eq!(rep.pattern, PatternClass::OneCol { col: c });
+        prop_assert_eq!(rep.cell(), "1C-Θ");
+
+        let mut lone = m.clone();
+        lone[(0, c)] = f32::INFINITY;
+        let rep = classify(&m, &lone, 1e-4);
+        prop_assert_eq!(rep.pattern, PatternClass::ZeroD { row: 0, col: c });
+        prop_assert_eq!(rep.cell(), "0D-∞");
+
+        // Two cells sharing neither row nor column (rows ≥ 2, cols ≥ 2).
+        let c2 = (c + 1) % m.cols();
+        let mut scatter = m.clone();
+        scatter[(0, c)] = f32::NAN;
+        scatter[(1, c2)] = f32::NEG_INFINITY;
+        let rep = classify(&m, &scatter, 1e-4);
+        prop_assert_eq!(rep.pattern, PatternClass::TwoD);
+        prop_assert_eq!(rep.cell(), "2D-M");
+    }
+}
+
+/// The bare shape glyphs of Table 2's row labels never drift.
+#[test]
+fn shape_glyphs_are_pinned() {
+    assert_eq!(PatternClass::Clean.glyph(), "-");
+    assert_eq!(PatternClass::ZeroD { row: 0, col: 0 }.glyph(), "0D");
+    assert_eq!(PatternClass::OneRow { row: 0 }.glyph(), "1R");
+    assert_eq!(PatternClass::OneCol { col: 0 }.glyph(), "1C");
+    assert_eq!(PatternClass::TwoD.glyph(), "2D");
+}
