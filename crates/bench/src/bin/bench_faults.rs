@@ -574,9 +574,11 @@ fn main() {
                 pct(c.detection)
             ));
         }
-        // Single-cell classes must heal exactly; region classes exceed the
-        // single-fault locate-and-restore model and are recorded honestly.
-        if kind.is_single_cell() && c.correction < 1.0 {
+        // Every class must heal exactly: single-cell faults restore through
+        // the per-row digest, and the region classes (stuck row, burst) —
+        // single-row spans — restore through the column-digest axis, where
+        // each corrupted cell is the only suspect in its column.
+        if c.correction < 1.0 {
             failures.push(format!(
                 "moments/{kind}: bit-exact heal {} < 100%",
                 pct(c.correction)
@@ -754,7 +756,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"floors\": {{\"fp_detections\": 0, \"extreme_verify_detection\": 1.0, \"extreme_verify_correction\": 1.0, \"moment_detection\": 1.0, \"moment_single_cell_heal\": 1.0, \"kv_extreme_detection\": 1.0, \"e2e_extreme_detection\": 1.0}}\n}}"
+        "  \"floors\": {{\"fp_detections\": 0, \"extreme_verify_detection\": 1.0, \"extreme_verify_correction\": 1.0, \"moment_detection\": 1.0, \"moment_heal\": 1.0, \"kv_extreme_detection\": 1.0, \"e2e_extreme_detection\": 1.0}}\n}}"
     );
     std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
     println!("wrote BENCH_faults.json");

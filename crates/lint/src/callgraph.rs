@@ -72,6 +72,9 @@ pub struct CallSite {
     pub targets: Vec<usize>,
     /// Whether the site sits inside a rayon parallel chain.
     pub in_par_chain: bool,
+    /// Whether the site sits inside an `is_x86_feature_detected!`-gated
+    /// branch.
+    pub gated: bool,
     /// Whether this is a `.name(…)` method call.
     pub is_method: bool,
     /// How the site resolved.
@@ -92,6 +95,8 @@ pub struct FnNode {
     pub line: u32,
     /// Declared under `#[cfg(test)]` / `#[test]`.
     pub is_test: bool,
+    /// Carries a `#[target_feature(…)]` attribute.
+    pub has_target_feature: bool,
     /// Has a `{ … }` body (false for bodiless trait declarations).
     pub has_body: bool,
     /// Call sites in this body (indexes into [`Graph::sites`]).
@@ -191,6 +196,7 @@ pub fn build(files: &[FileInput<'_>]) -> Graph {
                 file: fi,
                 line: item.line,
                 is_test: item.is_test,
+                has_target_feature: item.has_target_feature,
                 has_body: item.body.is_some(),
                 calls: Vec::new(),
                 panic_sites: Vec::new(),
@@ -538,6 +544,7 @@ fn resolve_site(
         caller,
         targets: Vec::new(),
         in_par_chain: ctx.in_par_chain.get(i).copied().unwrap_or(false),
+        gated: ctx.in_feature_gate.get(i).copied().unwrap_or(false),
         is_method,
         resolution: Resolution::External,
     };

@@ -17,13 +17,25 @@
 //!    gateway/engine entry points may panic: [`reach::PANIC_REACH`]
 //!    (plus [`lints::FLOAT_EQ`] for the sentinel-comparison hygiene the
 //!    gates depend on).
+//! 5. **Sound protection dataflow** — encoded operands reach a
+//!    verify/exit point before escaping or feeding a nonlinearity
+//!    ([`dataflow::ENCODED_TYPESTATE`]), every `unsafe` site carries a
+//!    checked `// SAFETY:` justification ([`dataflow::UNSAFE_AUDIT`]),
+//!    and `#[target_feature]` kernels are only callable through
+//!    `is_x86_feature_detected!`-gated dispatch
+//!    ([`reach::TARGET_FEATURE_REACH`]).
 //!
 //! Since PR 8 the tool is *interprocedural*: an item-level parser
 //! ([`parse`]) over the hand-written lexer builds a workspace symbol
 //! table, [`callgraph`] resolves a conservative call graph from it
 //! (receiver-type hints where cheap, bounded fan-out where not), and
-//! [`reach`] runs four reachability analyses whose findings carry the
-//! shortest entry→violation call path. The tool stays self-contained
+//! [`reach`] runs five reachability analyses whose findings carry the
+//! shortest entry→violation call path. Since PR 10 it is also a
+//! *dataflow* tool: [`dataflow`] abstract-interprets matrix values
+//! through {Raw, Encoded, Verified, Stale} typestates per fn body, and
+//! the whole workspace is lexed/parsed exactly once per run
+//! ([`prepare_tree`]) and shared between `check` and `--coverage`.
+//! The tool stays self-contained
 //! (no external deps — this environment is vendored-only) and scans
 //! every `crates/*/src` file plus, with a relaxed lint set, the root
 //! `tests/` and `examples/` trees. Suppression is per-line and
@@ -50,6 +62,7 @@
 //! tracked artifact behind ROADMAP item 3.
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod directives;
 pub mod lexer;
 pub mod lints;
@@ -66,29 +79,38 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-/// The eight contract lints, in report order: four syntactic, four
-/// interprocedural.
-pub const LINT_NAMES: [&str; 8] = [
+/// The eleven contract lints, in report order: four syntactic, two
+/// dataflow, five interprocedural.
+pub const LINT_NAMES: [&str; 11] = [
     lints::NONDET_REDUCE,
     lints::HOT_PATH_ALLOC,
     lints::UNGUARDED_GEMM,
     lints::FLOAT_EQ,
+    dataflow::ENCODED_TYPESTATE,
+    dataflow::UNSAFE_AUDIT,
     reach::PANIC_REACH,
     reach::HOT_PATH_ALLOC_REACH,
     reach::UNGUARDED_GEMM_REACH,
     reach::NONDET_REDUCE_REACH,
+    reach::TARGET_FEATURE_REACH,
 ];
 
 /// The reachability subset — the only lints `allow-path` may name.
-pub const REACH_NAMES: [&str; 4] = [
+pub const REACH_NAMES: [&str; 5] = [
     reach::PANIC_REACH,
     reach::HOT_PATH_ALLOC_REACH,
     reach::UNGUARDED_GEMM_REACH,
     reach::NONDET_REDUCE_REACH,
+    reach::TARGET_FEATURE_REACH,
 ];
 
 /// Meta diagnostics about the suppression inventory itself.
-pub const META_NAMES: [&str; 3] = ["unknown-allow", "missing-justification", "unused-allow"];
+pub const META_NAMES: [&str; 4] = [
+    "unknown-allow",
+    "missing-justification",
+    "unused-allow",
+    "unused-safety",
+];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +155,19 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One suppression honoured during a scan: where the directive sits and
+/// which lint it silenced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Workspace-relative path of the directive.
+    pub file: String,
+    /// 1-based position of the directive comment.
+    pub line: u32,
+    pub col: u32,
+    /// Lint name(s) it suppressed (comma-joined for allow-paths).
+    pub lint: String,
+}
+
 /// Result of scanning a tree (or a set of sources, for tests).
 #[derive(Debug, Default)]
 pub struct Report {
@@ -142,10 +177,19 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Justified allows (and allow-paths) that suppressed something.
     pub suppressions_used: usize,
+    /// Every suppression honoured, sorted by (file, line, col, lint).
+    pub suppressions: Vec<Suppression>,
     /// Wall time of the scan, in milliseconds.
     pub wall_ms: u128,
+    /// Wall time of the shared lex/scope/directive/parse pass, in
+    /// microseconds — the work `--coverage` reuses instead of redoing.
+    pub prepare_us: u128,
+    /// Microseconds saved by reusing the prepared workspace for
+    /// `--coverage` (0 when coverage did not run).
+    pub coverage_reuse_saved_us: u128,
     /// Per-pass wall time in microseconds, in run order (lints first,
-    /// then the `parse`/`callgraph` infrastructure entries).
+    /// then the `callgraph` infrastructure entry; the shared prepare
+    /// pass is [`Report::prepare_us`]).
     pub lint_us: Vec<(&'static str, u128)>,
     /// Call sites seen by the graph.
     pub calls_total: usize,
@@ -153,6 +197,10 @@ pub struct Report {
     pub calls_resolved: usize,
     /// Sites the conservative resolver gave up on.
     pub calls_unresolved: usize,
+    /// Non-test `unsafe` sites in Full-profile code.
+    pub unsafe_sites: usize,
+    /// Of those, sites carrying a checked `// SAFETY:` justification.
+    pub unsafe_documented: usize,
     /// Serving entry points found in this tree, qualified.
     pub entry_points: Vec<String>,
 }
@@ -187,6 +235,29 @@ impl Report {
             self.calls_resolved as f64 / self.calls_total as f64
         }
     }
+
+    /// Fraction of non-test `unsafe` sites carrying a checked
+    /// `// SAFETY:` justification (1.0 when there are no sites).
+    pub fn safety_coverage(&self) -> f64 {
+        if self.unsafe_sites == 0 {
+            1.0
+        } else {
+            self.unsafe_documented as f64 / self.unsafe_sites as f64
+        }
+    }
+
+    /// Suppressions honoured per lint name (zero entries included).
+    pub fn suppression_counts(&self) -> Vec<(&'static str, usize)> {
+        LINT_NAMES
+            .iter()
+            .map(|&name| {
+                (
+                    name,
+                    self.suppressions.iter().filter(|s| s.lint == name).count(),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Lint profile by path: root `tests/` and `examples/` get the relaxed
@@ -209,57 +280,25 @@ struct Prepared {
     parsed: Option<parse::ParsedFile>,
 }
 
-/// Scan a set of `(workspace-relative path, source)` pairs: syntactic
-/// lints per file, then one shared call graph over the `Full`-profile
-/// files, then the reachability lints, then suppression filtering and
-/// the meta findings.
-pub fn scan_sources(files: &[(String, String)]) -> Report {
-    let started = Instant::now();
-    let mut lint_us: Vec<(&'static str, u128)> = LINT_NAMES.iter().map(|&n| (n, 0u128)).collect();
-    lint_us.push(("parse", 0));
-    lint_us.push(("callgraph", 0));
-    let bump = |v: &mut Vec<(&'static str, u128)>, name: &str, t0: Instant| {
-        let us = t0.elapsed().as_micros();
-        if let Some(e) = v.iter_mut().find(|e| e.0 == name) {
-            e.1 += us;
-        }
-    };
+/// A lexed/scoped/parsed workspace: the shared artifact behind both
+/// `check` and `--coverage`, built once per run.
+pub struct PreparedTree {
+    prepared: Vec<Prepared>,
+    /// Wall time of the lex/scope/directive/parse pass, in microseconds.
+    pub prepare_us: u128,
+}
 
+/// Lex, scope-analyze, directive-parse, and item-parse a set of
+/// `(workspace-relative path, source)` pairs once.
+pub fn prepare_sources(files: &[(String, String)]) -> PreparedTree {
+    let started = Instant::now();
     let mut prepared: Vec<Prepared> = Vec::new();
-    let mut raw: Vec<Finding> = Vec::new();
-    let mut path_allows: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
     for (rel, src) in files {
         let toks = lexer::lex(src);
         let ctx = scope::analyze(&toks);
-        let mut dir = directives::parse(rel, &toks, &ctx.code_lines);
+        let dir = directives::parse(rel, &toks, &ctx.code_lines);
         let profile = profile_for(rel);
-
-        let t0 = Instant::now();
-        lints::nondet_reduce(rel, &toks, &ctx, &mut raw);
-        bump(&mut lint_us, lints::NONDET_REDUCE, t0);
-        if profile == Profile::Full {
-            if dir.hot_path {
-                let t0 = Instant::now();
-                lints::hot_path_alloc(rel, &toks, &ctx, &mut raw);
-                bump(&mut lint_us, lints::HOT_PATH_ALLOC, t0);
-            }
-            if !lints::unguarded_gemm_whitelisted(rel) {
-                let t0 = Instant::now();
-                lints::unguarded_gemm(rel, &toks, &ctx, &mut raw);
-                bump(&mut lint_us, lints::UNGUARDED_GEMM, t0);
-            }
-        }
-        let t0 = Instant::now();
-        lints::float_eq(rel, &toks, &ctx, &mut raw);
-        bump(&mut lint_us, lints::FLOAT_EQ, t0);
-
-        let parsed = (profile == Profile::Full).then(|| {
-            let t0 = Instant::now();
-            let p = parse::parse_file(&toks, &ctx);
-            bump(&mut lint_us, "parse", t0);
-            p
-        });
-        path_allows.insert(rel.clone(), std::mem::take(&mut dir.allow_paths));
+        let parsed = (profile == Profile::Full).then(|| parse::parse_file(&toks, &ctx));
         prepared.push(Prepared {
             rel: rel.clone(),
             profile,
@@ -268,6 +307,65 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
             dir,
             parsed,
         });
+    }
+    PreparedTree {
+        prepared,
+        prepare_us: started.elapsed().as_micros(),
+    }
+}
+
+/// Scan a prepared workspace: syntactic and dataflow lints per file,
+/// then one shared call graph over the `Full`-profile files, then the
+/// reachability lints, then suppression filtering and the meta findings.
+pub fn scan_prepared(tree: &PreparedTree) -> Report {
+    let started = Instant::now();
+    let mut lint_us: Vec<(&'static str, u128)> = LINT_NAMES.iter().map(|&n| (n, 0u128)).collect();
+    lint_us.push(("callgraph", 0));
+    let bump = |v: &mut Vec<(&'static str, u128)>, name: &str, t0: Instant| {
+        let us = t0.elapsed().as_micros();
+        if let Some(e) = v.iter_mut().find(|e| e.0 == name) {
+            e.1 += us;
+        }
+    };
+
+    let prepared = &tree.prepared;
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut unsafe_sites = 0usize;
+    let mut unsafe_documented = 0usize;
+    for p in prepared {
+        let rel = p.rel.as_str();
+        let (toks, ctx) = (&p.toks, &p.ctx);
+        let t0 = Instant::now();
+        lints::nondet_reduce(rel, toks, ctx, &mut raw);
+        bump(&mut lint_us, lints::NONDET_REDUCE, t0);
+        if p.profile == Profile::Full {
+            if p.dir.hot_path {
+                let t0 = Instant::now();
+                lints::hot_path_alloc(rel, toks, ctx, &mut raw);
+                bump(&mut lint_us, lints::HOT_PATH_ALLOC, t0);
+            }
+            if !lints::unguarded_gemm_whitelisted(rel) {
+                let t0 = Instant::now();
+                lints::unguarded_gemm(rel, toks, ctx, &mut raw);
+                bump(&mut lint_us, lints::UNGUARDED_GEMM, t0);
+            }
+        }
+        let t0 = Instant::now();
+        lints::float_eq(rel, toks, ctx, &mut raw);
+        bump(&mut lint_us, lints::FLOAT_EQ, t0);
+
+        if let Some(parsed) = &p.parsed {
+            if !dataflow::typestate_whitelisted(rel) {
+                let t0 = Instant::now();
+                dataflow::encoded_typestate(rel, toks, parsed, &mut raw);
+                bump(&mut lint_us, dataflow::ENCODED_TYPESTATE, t0);
+            }
+            let t0 = Instant::now();
+            let tally = dataflow::unsafe_audit(rel, toks, ctx, &p.dir, parsed, p.profile, &mut raw);
+            bump(&mut lint_us, dataflow::UNSAFE_AUDIT, t0);
+            unsafe_sites += tally.sites;
+            unsafe_documented += tally.documented;
+        }
     }
 
     // One shared call graph over the Full-profile files.
@@ -290,6 +388,10 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
     let graph = callgraph::build(&inputs);
     bump(&mut lint_us, "callgraph", t0);
     let hot: Vec<bool> = full.iter().map(|p| p.dir.hot_path).collect();
+    let path_allows: Vec<(&str, &[Allow])> = prepared
+        .iter()
+        .map(|p| (p.rel.as_str(), p.dir.allow_paths.as_slice()))
+        .collect();
     let cuts = reach::PathAllows::new(&graph.files, &path_allows);
 
     let t0 = Instant::now();
@@ -304,11 +406,15 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
     let t0 = Instant::now();
     reach::nondet_reduce_reach(&graph, &cuts, &mut raw);
     bump(&mut lint_us, reach::NONDET_REDUCE_REACH, t0);
+    let t0 = Instant::now();
+    reach::target_feature_reach(&graph, &cuts, &mut raw);
+    bump(&mut lint_us, reach::TARGET_FEATURE_REACH, t0);
 
     // Suppression filtering against each finding's own file.
     let dirs: BTreeMap<&str, &directives::Directives> =
         prepared.iter().map(|p| (p.rel.as_str(), &p.dir)).collect();
     let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressions: Vec<Suppression> = Vec::new();
     let mut suppressed = 0usize;
     for f in raw {
         let allow = dirs.get(f.file.as_str()).and_then(|d| {
@@ -320,13 +426,19 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
             Some(a) => {
                 a.used.set(true);
                 suppressed += 1;
+                suppressions.push(Suppression {
+                    file: f.file.clone(),
+                    line: a.line,
+                    col: a.col,
+                    lint: f.lint.to_string(),
+                });
             }
             None => findings.push(f),
         }
     }
-    // Directive errors and unused allows are findings too — the
-    // suppression inventory must stay exact.
-    for p in &prepared {
+    // Directive errors, unused allows, and unused SAFETY comments are
+    // findings too — the suppression inventory must stay exact.
+    for p in prepared {
         findings.extend(p.dir.errors.iter().cloned());
         for a in &p.dir.allows {
             if !a.used.get() {
@@ -343,14 +455,18 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
                 ));
             }
         }
-    }
-    for (rel, allows) in &path_allows {
-        for a in allows {
+        for a in &p.dir.allow_paths {
             if a.used.get() {
                 suppressed += 1;
+                suppressions.push(Suppression {
+                    file: p.rel.clone(),
+                    line: a.line,
+                    col: a.col,
+                    lint: a.names.join(","),
+                });
             } else {
                 findings.push(Finding::new(
-                    rel,
+                    &p.rel,
                     a.line,
                     a.col,
                     "unused-allow",
@@ -362,21 +478,51 @@ pub fn scan_sources(files: &[(String, String)]) -> Report {
                 ));
             }
         }
+        if p.profile == Profile::Full {
+            for s in &p.dir.safeties {
+                if !s.used.get() {
+                    findings.push(Finding::new(
+                        &p.rel,
+                        s.line,
+                        s.col,
+                        "unused-safety",
+                        format!(
+                            "`// SAFETY:` on line {} documents no unsafe site; move it \
+                             directly above (or onto) the `unsafe` line, after any \
+                             attributes",
+                            s.line
+                        ),
+                    ));
+                }
+            }
+        }
     }
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+    suppressions
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.lint).cmp(&(&b.file, b.line, b.col, &b.lint)));
 
     Report {
-        files_scanned: files.len(),
+        files_scanned: prepared.len(),
         findings,
         suppressions_used: suppressed,
+        suppressions,
         wall_ms: started.elapsed().as_millis(),
+        prepare_us: tree.prepare_us,
+        coverage_reuse_saved_us: 0,
         lint_us,
         calls_total: graph.calls_total,
         calls_resolved: graph.calls_resolved,
         calls_unresolved: graph.calls_unresolved,
+        unsafe_sites,
+        unsafe_documented,
         entry_points: reach::entry_points(&graph),
     }
+}
+
+/// Prepare and scan in one call (tests and single-shot callers).
+pub fn scan_sources(files: &[(String, String)]) -> Report {
+    scan_prepared(&prepare_sources(files))
 }
 
 /// Scan one source file (given its workspace-relative path, which drives
@@ -430,36 +576,25 @@ fn collect_tree(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     Ok(out)
 }
 
-/// Scan the workspace tree under `root`.
-pub fn run_check(root: &Path) -> std::io::Result<Report> {
-    Ok(scan_sources(&collect_tree(root)?))
+/// Prepare the workspace tree under `root` once, for [`scan_prepared`]
+/// and [`run_coverage_prepared`] to share.
+pub fn prepare_tree(root: &Path) -> std::io::Result<PreparedTree> {
+    Ok(prepare_sources(&collect_tree(root)?))
 }
 
-/// Build the call graph for `root` and walk the forward/decode/train
-/// entry points, cataloguing every op with its protection status.
-pub fn run_coverage(root: &Path) -> std::io::Result<reach::Coverage> {
-    let files = collect_tree(root)?;
-    let mut prepared: Vec<Prepared> = Vec::new();
-    for (rel, src) in &files {
-        let profile = profile_for(rel);
-        if profile != Profile::Full {
-            continue;
-        }
-        let toks = lexer::lex(src);
-        let ctx = scope::analyze(&toks);
-        let dir = directives::parse(rel, &toks, &ctx.code_lines);
-        let parsed = Some(parse::parse_file(&toks, &ctx));
-        prepared.push(Prepared {
-            rel: rel.clone(),
-            profile,
-            toks,
-            ctx,
-            dir,
-            parsed,
-        });
-    }
-    let inputs: Vec<callgraph::FileInput<'_>> = prepared
+/// Scan the workspace tree under `root`.
+pub fn run_check(root: &Path) -> std::io::Result<Report> {
+    Ok(scan_prepared(&prepare_tree(root)?))
+}
+
+/// Build the call graph from an already-prepared workspace and walk the
+/// forward/decode/train entry points, cataloguing every op with its
+/// protection status.
+pub fn run_coverage_prepared(tree: &PreparedTree) -> reach::Coverage {
+    let inputs: Vec<callgraph::FileInput<'_>> = tree
+        .prepared
         .iter()
+        .filter(|p| p.profile == Profile::Full)
         .filter_map(|p| {
             p.parsed.as_ref().map(|parsed| callgraph::FileInput {
                 rel: &p.rel,
@@ -470,7 +605,12 @@ pub fn run_coverage(root: &Path) -> std::io::Result<reach::Coverage> {
         })
         .collect();
     let graph = callgraph::build(&inputs);
-    Ok(reach::coverage(&graph))
+    reach::coverage(&graph)
+}
+
+/// Prepare-and-walk convenience over [`run_coverage_prepared`].
+pub fn run_coverage(root: &Path) -> std::io::Result<reach::Coverage> {
+    Ok(run_coverage_prepared(&prepare_tree(root)?))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -28,6 +28,12 @@ const USAGE: &str = "usage: attn_lint check [--json [PATH]] [--coverage [PATH]] 
 /// floor sits at 1.0: a new unguarded op is a CI failure, not drift.
 const MIN_RESOLUTION_RATE: f64 = 0.90;
 const MIN_GUARDED_OP_COVERAGE: f64 = 1.0;
+/// Every non-test `unsafe` site must carry a checked `// SAFETY:`
+/// justification. Enforced on every `check` run (not only `--coverage`):
+/// an undocumented site is already an `unsafe-audit` finding, so this
+/// floor exists to catch ratio regressions if the lint itself is ever
+/// suppressed per-site.
+const MIN_SAFETY_COVERAGE: f64 = 1.0;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -87,35 +93,38 @@ fn main() -> ExitCode {
             .unwrap_or_else(|_| PathBuf::from("."))
     });
 
-    let report = match attn_lint::run_check(&root) {
-        Ok(r) => r,
+    // Parse the workspace exactly once; `check` and `--coverage` both
+    // consume the same prepared artifact.
+    let tree = match attn_lint::prepare_tree(&root) {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("attn_lint: scan failed under {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let mut report = attn_lint::scan_prepared(&tree);
     print!("{}", attn_lint::report::render_text(&report));
-    if let Some(path) = json_path {
-        let json = attn_lint::report::render_json(&report);
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("attn_lint: cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-        println!("attn_lint: report written to {}", path.display());
-    }
 
     let mut floors_ok = true;
+    if report.safety_coverage() < MIN_SAFETY_COVERAGE {
+        eprintln!(
+            "attn_lint: FLOOR: SAFETY coverage {:.4} < {MIN_SAFETY_COVERAGE} \
+             ({}/{} unsafe sites documented)",
+            report.safety_coverage(),
+            report.unsafe_documented,
+            report.unsafe_sites
+        );
+        floors_ok = false;
+    }
     if let Some(path) = coverage_path {
-        let cov = match attn_lint::run_coverage(&root) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!(
-                    "attn_lint: coverage walk failed under {}: {e}",
-                    root.display()
-                );
-                return ExitCode::from(2);
-            }
-        };
+        let cov = attn_lint::run_coverage_prepared(&tree);
+        // The coverage walk reused the prepared tree instead of re-lexing
+        // and re-parsing the workspace; credit the saving in the report.
+        report.coverage_reuse_saved_us = tree.prepare_us;
+        println!(
+            "attn_lint: coverage reused the prepared tree (saved ~{} us of re-parse)",
+            tree.prepare_us
+        );
         print!("{}", attn_lint::report::render_coverage_text(&cov));
         let json = attn_lint::report::render_coverage_json(&cov);
         if let Err(e) = std::fs::write(&path, json) {
@@ -147,6 +156,17 @@ fn main() -> ExitCode {
             );
             floors_ok = false;
         }
+    }
+
+    // Written after the coverage block so `coverage_reuse_saved_us` lands
+    // in the artifact when `--coverage` ran.
+    if let Some(path) = json_path {
+        let json = attn_lint::report::render_json(&report);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("attn_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("attn_lint: report written to {}", path.display());
     }
 
     if report.is_clean() && floors_ok {

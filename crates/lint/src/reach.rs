@@ -1,7 +1,7 @@
 //! Reachability analyses over the workspace call graph, plus the
 //! protection-coverage traversal behind `--coverage`.
 //!
-//! Four lints run here:
+//! Five lints run here:
 //!
 //! * **panic-reach** — panic-capable constructs (unwrap/expect/
 //!   panic-family macros/expression-position indexing) transitively
@@ -14,7 +14,11 @@
 //!   forward/decode/train paths other than through the guarded barrier
 //!   modules (`core/{section,checksum,decode,checked}.rs`),
 //! * **nondet-reduce-reach** — calls from inside a rayon parallel chain
-//!   to functions whose own body performs an ordered float reduction.
+//!   to functions whose own body performs an ordered float reduction,
+//! * **target-feature-reach** — calls to `#[target_feature]` fns from
+//!   sites not inside an `is_x86_feature_detected!`-gated branch (callers
+//!   that are themselves `#[target_feature]` are already in the gated
+//!   world and exempt).
 //!
 //! Findings carry the shortest entry→violation call path. Suppression:
 //! a regular `allow(<reach-lint>)` on the violating line kills the sink;
@@ -40,6 +44,8 @@ pub const HOT_PATH_ALLOC_REACH: &str = "hot-path-alloc-reach";
 pub const UNGUARDED_GEMM_REACH: &str = "unguarded-gemm-reach";
 /// Ordered float reductions called from parallel chains.
 pub const NONDET_REDUCE_REACH: &str = "nondet-reduce-reach";
+/// `#[target_feature]` fns called outside a feature-detected gate.
+pub const TARGET_FEATURE_REACH: &str = "target-feature-reach";
 
 /// Serving entry points for panic reachability: `(owner, method)`.
 pub const SERVE_ENTRIES: [(&str, &str); 5] = [
@@ -93,9 +99,11 @@ pub struct PathAllows<'a> {
 }
 
 impl<'a> PathAllows<'a> {
-    /// Build the index from per-file allow-path directives; `files` maps
-    /// rel paths to graph file indexes.
-    pub fn new(files: &[String], per_file: &'a BTreeMap<String, Vec<Allow>>) -> Self {
+    /// Build the index from per-file allow-path directives (borrowed in
+    /// place from each file's parsed `Directives`, so one prepared
+    /// workspace serves both check and coverage); `files` maps rel paths
+    /// to graph file indexes.
+    pub fn new(files: &[String], per_file: &[(&str, &'a [Allow])]) -> Self {
         let idx: BTreeMap<&str, usize> = files
             .iter()
             .enumerate()
@@ -103,14 +111,21 @@ impl<'a> PathAllows<'a> {
             .collect();
         let mut by_site: BTreeMap<(usize, u32), Vec<&'a Allow>> = BTreeMap::new();
         for (rel, allows) in per_file {
-            let Some(&fi) = idx.get(rel.as_str()) else {
+            let Some(&fi) = idx.get(rel) else {
                 continue;
             };
-            for a in allows {
+            for a in *allows {
                 by_site.entry((fi, a.target_line)).or_default().push(a);
             }
         }
         Self { by_site }
+    }
+
+    /// An index with no edge cuts (coverage traversals).
+    pub fn none() -> Self {
+        Self {
+            by_site: BTreeMap::new(),
+        }
     }
 
     /// Does an allow-path cover this call site for `lint`? Marks it used.
@@ -353,6 +368,46 @@ pub fn nondet_reduce_reach(g: &Graph, cuts: &PathAllows<'_>, out: &mut Vec<Findi
     }
 }
 
+/// target-feature-reach: calls to `#[target_feature]` fns whose call
+/// site is not inside an `is_x86_feature_detected!`-gated branch.
+/// Callers that are themselves `#[target_feature]` run only after some
+/// dispatcher proved the feature, so their internal calls are exempt —
+/// the lint pins the obligation on the dispatch boundary.
+pub fn target_feature_reach(g: &Graph, cuts: &PathAllows<'_>, out: &mut Vec<Finding>) {
+    for f in &g.fns {
+        if f.has_target_feature {
+            continue;
+        }
+        for &si in &f.calls {
+            let site = &g.sites[si];
+            if site.gated || site.targets.is_empty() {
+                continue;
+            }
+            if cuts.cuts(site.file, site.line, TARGET_FEATURE_REACH) {
+                continue;
+            }
+            for &t in &site.targets {
+                let tf = &g.fns[t];
+                if tf.has_target_feature {
+                    out.push(Finding::new(
+                        &g.files[site.file],
+                        site.line,
+                        site.col,
+                        TARGET_FEATURE_REACH,
+                        format!(
+                            "`{}` is `#[target_feature]` but this call site is not inside an \
+                             `is_x86_feature_detected!`-gated branch; dispatch through a \
+                             detected gate or vouch for it with an allow-path",
+                            tf.qualified()
+                        ),
+                    ));
+                    break; // one finding per site, not per candidate
+                }
+            }
+        }
+    }
+}
+
 /// One operator instance on a forward/decode/train path.
 #[derive(Debug)]
 pub struct CoverageOp {
@@ -460,8 +515,7 @@ pub fn coverage(g: &Graph) -> Coverage {
         ..Default::default()
     };
     // Reachable sets per path kind, each with its own predecessors.
-    let no_cuts_map: BTreeMap<String, Vec<Allow>> = BTreeMap::new();
-    let no_cuts = PathAllows::new(&g.files, &no_cuts_map);
+    let no_cuts = PathAllows::none();
     let mut preds: Vec<(&'static str, PredMap)> = Vec::new();
     for kind in ["forward", "decode", "train"] {
         let specs: Vec<(&str, &str)> = OP_PATH_ENTRIES

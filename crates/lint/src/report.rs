@@ -11,6 +11,11 @@
 //! * `attn-lint-report/v2` — adds per-pass wall time (`lint_us`), the
 //!   call-graph resolution stats (`calls`), and the serving entry-point
 //!   list the reachability lints anchored on (`entry_points`).
+//! * `attn-lint-report/v3` — adds the shared-prepare timing
+//!   (`prepare_us`, `coverage_reuse_saved_us`), the `unsafe` inventory
+//!   (`unsafe`: sites/documented/safety_coverage), per-lint suppression
+//!   counts (`suppression_counts`), and the full `suppressions` array
+//!   (sorted, so the committed artifact is byte-stable).
 //! * `attn-lint-coverage/v1` — the `--coverage` artifact: every op on
 //!   the forward/decode/train paths with guarded/unguarded status.
 
@@ -28,7 +33,7 @@ pub fn render_text(report: &Report) -> String {
     let _ = writeln!(
         out,
         "attn_lint: {} files scanned, {} finding{}, {} suppression{} honoured, \
-         {}/{} calls resolved ({:.1}%), {} ms",
+         {}/{} calls resolved ({:.1}%), {}/{} unsafe sites documented, {} ms",
         report.files_scanned,
         report.findings.len(),
         if report.findings.len() == 1 { "" } else { "s" },
@@ -41,18 +46,26 @@ pub fn render_text(report: &Report) -> String {
         report.calls_resolved,
         report.calls_total,
         report.resolution_rate() * 100.0,
+        report.unsafe_documented,
+        report.unsafe_sites,
         report.wall_ms
     );
     out
 }
 
-/// Machine-readable rendering (schema `attn-lint-report/v2`).
+/// Machine-readable rendering (schema `attn-lint-report/v3`).
 pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"attn-lint-report/v2\",\n");
+    out.push_str("  \"schema\": \"attn-lint-report/v3\",\n");
     let _ = writeln!(out, "  \"files_scanned\": {},", report.files_scanned);
     let _ = writeln!(out, "  \"wall_ms\": {},", report.wall_ms);
+    let _ = writeln!(out, "  \"prepare_us\": {},", report.prepare_us);
+    let _ = writeln!(
+        out,
+        "  \"coverage_reuse_saved_us\": {},",
+        report.coverage_reuse_saved_us
+    );
     let _ = writeln!(out, "  \"total_findings\": {},", report.findings.len());
     let _ = writeln!(
         out,
@@ -67,6 +80,13 @@ pub fn render_json(report: &Report) -> String {
         report.calls_resolved,
         report.calls_unresolved,
         report.resolution_rate()
+    );
+    let _ = writeln!(
+        out,
+        "  \"unsafe\": {{\"sites\": {}, \"documented\": {}, \"safety_coverage\": {:.4}}},",
+        report.unsafe_sites,
+        report.unsafe_documented,
+        report.safety_coverage()
     );
     out.push_str("  \"entry_points\": [");
     for (i, e) in report.entry_points.iter().enumerate() {
@@ -95,6 +115,30 @@ pub fn render_json(report: &Report) -> String {
         let _ = write!(out, "\"{name}\": {n}{sep}");
     }
     out.push_str("},\n");
+    out.push_str("  \"suppression_counts\": {");
+    let scounts = report.suppression_counts();
+    for (i, (name, n)) in scounts.iter().enumerate() {
+        let sep = if i + 1 == scounts.len() { "" } else { ", " };
+        let _ = write!(out, "\"{name}\": {n}{sep}");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        let sep = if i + 1 == report.suppressions.len() {
+            "\n  "
+        } else {
+            ","
+        };
+        let _ = write!(
+            out,
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"lint\": {}}}{sep}",
+            json_str(&s.file),
+            s.line,
+            s.col,
+            json_str(&s.lint)
+        );
+    }
+    out.push_str("],\n");
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         let sep = if i + 1 == report.findings.len() {
@@ -240,19 +284,32 @@ mod tests {
                 message: "raw `==` with \"quotes\"\nand newline".into(),
             }],
             suppressions_used: 2,
+            suppressions: vec![crate::Suppression {
+                file: "crates/x/src/a.rs".into(),
+                line: 9,
+                col: 12,
+                lint: "panic-reach".into(),
+            }],
             wall_ms: 5,
+            prepare_us: 1234,
             lint_us: vec![("float-eq", 12)],
             calls_total: 10,
             calls_resolved: 9,
             calls_unresolved: 1,
+            unsafe_sites: 4,
+            unsafe_documented: 4,
             entry_points: vec!["Gateway::tick".into()],
+            ..Default::default()
         };
         let json = render_json(&report);
-        assert!(json.contains("\"schema\": \"attn-lint-report/v2\""));
+        assert!(json.contains("\"schema\": \"attn-lint-report/v3\""));
         assert!(json.contains("\"total_findings\": 1"));
         assert!(json.contains("\\\"quotes\\\"\\nand newline"));
         assert!(json.contains("\"float-eq\": 1"));
         assert!(json.contains("\"resolution_rate\": 0.9000"));
+        assert!(json.contains("\"prepare_us\": 1234"));
+        assert!(json.contains("\"safety_coverage\": 1.0000"));
+        assert!(json.contains("\"panic-reach\": 1")); // suppression_counts
         assert!(json.contains("\"Gateway::tick\""));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -36,4 +36,26 @@ fn the_workspace_tree_is_clean() {
         !report.entry_points.is_empty(),
         "no serving entries found — panic-reach has nothing to anchor on"
     );
+    // PR-10 floors, explicit even though `is_clean()` implies the zero
+    // counts: the three dataflow/dispatch lints must hold tree-wide, and
+    // every non-test unsafe site must carry a checked justification.
+    for lint in ["encoded-typestate", "unsafe-audit", "target-feature-reach"] {
+        let n = report
+            .counts()
+            .iter()
+            .find(|(name, _)| *name == lint)
+            .map_or(0, |(_, n)| *n);
+        assert_eq!(n, 0, "FLOOR: {lint} findings in the tree");
+    }
+    assert!(
+        report.unsafe_sites > 0,
+        "the GEMM kernel carries unsafe sites; zero means the audit went blind"
+    );
+    assert_eq!(
+        report.safety_coverage(),
+        1.0,
+        "FLOOR: {}/{} unsafe sites documented",
+        report.unsafe_documented,
+        report.unsafe_sites
+    );
 }

@@ -176,6 +176,106 @@ fn unknown_and_unjustified_allows_do_not_suppress() {
 }
 
 #[test]
+fn encoded_typestate_catches_escape_mutation_and_nonlinearity() {
+    let src = include_str!("fixtures/typestate_bad.rs");
+    let names = lints("crates/model/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "encoded-typestate"),
+        3,
+        "escape + raw mutation + nonlinearity: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        3,
+        "the verified escape and pre-encode mutation must stay clean: {names:?}"
+    );
+}
+
+#[test]
+fn encoded_typestate_respects_the_kernel_crate_whitelist() {
+    let src = include_str!("fixtures/typestate_bad.rs");
+    let names = lints("crates/tensor/src/fixture.rs", src);
+    assert_eq!(count(&names, "encoded-typestate"), 0, "{names:?}");
+}
+
+#[test]
+fn encoded_typestate_allows_suppress_with_justification() {
+    let src = include_str!("fixtures/typestate_bad.rs").replace(
+        "    let leaked = sec.gemm_encode_cols(q, kt);",
+        "    // attn-lint: allow(encoded-typestate) — drained by the caller\n    \
+         let leaked = sec.gemm_encode_cols(q, kt);",
+    );
+    let (findings, suppressed) = scan_source("crates/model/src/fixture.rs", &src);
+    assert_eq!(
+        findings
+            .iter()
+            .filter(|f| f.lint == "encoded-typestate")
+            .count(),
+        2,
+        "only the vouched escape is silenced: {findings:?}"
+    );
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn unsafe_audit_catches_undocumented_sites_and_loose_lengths() {
+    let src = include_str!("fixtures/unsafe_audit_bad.rs");
+    let names = lints("crates/tensor/src/fixture.rs", src);
+    assert_eq!(
+        count(&names, "unsafe-audit"),
+        4,
+        "impl + fn + block + raw-parts length: {names:?}"
+    );
+    assert_eq!(
+        names.len(),
+        4,
+        "documented, asserted, and test-region sites must not flag: {names:?}"
+    );
+}
+
+#[test]
+fn safety_meta_errors_keep_the_inventory_exact() {
+    let src = include_str!("fixtures/safety_meta_bad.rs");
+    let mut names = lints("crates/core/src/fixture.rs", src);
+    names.sort_unstable();
+    assert_eq!(
+        names,
+        vec!["missing-justification", "unsafe-audit", "unused-safety"],
+        "empty justification leaves its block undocumented, stranded SAFETY flags"
+    );
+}
+
+#[test]
+fn unsafe_and_typestate_markers_are_inert_in_strings_and_comments() {
+    let src = include_str!("fixtures/unsafe_torture_clean.rs");
+    let (findings, suppressed) = scan_source("crates/model/src/fixture.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 0, "the commented-out allow must never parse");
+}
+
+#[test]
+fn report_ordering_is_deterministic_across_input_order() {
+    let src = "pub fn chk(x: f32, y: f32) -> bool {\n    x == 0.5 || y != 1.5\n}\n";
+    let zeta = ("crates/zeta/src/a.rs".to_string(), src.to_string());
+    let alpha = ("crates/alpha/src/a.rs".to_string(), src.to_string());
+    let fwd = attn_lint::scan_sources(&[zeta.clone(), alpha.clone()]);
+    let rev = attn_lint::scan_sources(&[alpha, zeta]);
+    let key = |r: &attn_lint::Report| -> Vec<(String, u32, u32, &'static str)> {
+        r.findings
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.col, f.lint))
+            .collect()
+    };
+    let (f1, f2) = (key(&fwd), key(&rev));
+    assert_eq!(f1, f2, "input order must not leak into the report");
+    assert!(
+        f1.windows(2).all(|w| w[0] <= w[1]),
+        "findings sorted by (file, line, col, lint): {f1:?}"
+    );
+    assert!(!f1.is_empty(), "the seeded float compares must flag");
+}
+
+#[test]
 fn findings_render_with_the_documented_format() {
     let src = include_str!("fixtures/float_eq_bad.rs");
     let (findings, _) = scan_source("crates/model/src/fixture.rs", src);

@@ -1,0 +1,13 @@
+//! Seeded SAFETY-inventory violations (3): an empty justification (which
+//! also leaves its unsafe block undocumented) and a stranded `// SAFETY:`
+//! that documents no unsafe site.
+
+pub fn empty_justification(p: *mut f32) {
+    // SAFETY:
+    unsafe { *p = 1.0 };
+}
+
+// SAFETY: stranded — nothing below is unsafe.
+pub fn stranded() -> i32 {
+    3
+}

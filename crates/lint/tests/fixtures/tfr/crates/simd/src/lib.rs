@@ -1,0 +1,36 @@
+//! Mini-tree fixture for `target-feature-reach`: the detected-gate
+//! dispatcher is the clean path; `sum_hasty` calls the AVX2 kernel with
+//! no gate and must be the tree's single finding.
+
+#[target_feature(enable = "avx2")]
+// SAFETY: reached only through a detected-feature gate (or the seeded
+// hasty caller below, which exists to trip the reach lint).
+pub unsafe fn sum_avx2(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+pub fn sum(xs: &[f32]) -> f32 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: the detected gate above proves AVX2 is present.
+        unsafe { sum_avx2(xs) }
+    } else {
+        sum_scalar(xs)
+    }
+}
+
+pub fn sum_hasty(xs: &[f32]) -> f32 {
+    // SAFETY: assumes AVX2 unconditionally — this is the seeded bug.
+    unsafe { sum_avx2(xs) }
+}
+
+fn sum_scalar(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}

@@ -9,8 +9,10 @@ pub fn sneaky_projection(a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
 }
 
 pub fn guarded_is_fine(section: &mut GuardedSection, x: &Matrix, w: &Matrix) -> CheckedMatrix {
-    // Method call on a GuardedSection IS the guarded API.
-    section.gemm_encode_cols(x, w)
+    // Method call on a GuardedSection IS the guarded API; the encoded
+    // value is verified on its way out, so typestate stays clean too.
+    let y = section.gemm_encode_cols(x, w);
+    section.exit_cols(&y)
 }
 
 #[cfg(test)]

@@ -1,0 +1,41 @@
+//! Seeded unsafe-audit violations (4): an undocumented `unsafe impl`,
+//! an undocumented `unsafe fn`, an undocumented `unsafe` block, and a
+//! documented `from_raw_parts_mut` whose length is never tied to an
+//! asserted bound. The documented/asserted/test sites below them are
+//! the negative controls.
+
+pub struct Cursor(*mut f32);
+
+unsafe impl Send for Cursor {}
+
+pub unsafe fn poke(p: *mut f32) {
+    *p = 1.0;
+}
+
+pub fn reconstruct_loose(ptr: *mut f32, n: usize) -> f32 {
+    // SAFETY: caller promises `n` live floats (but nothing checks it).
+    let s = unsafe { std::slice::from_raw_parts_mut(ptr, n) };
+    s[0]
+}
+
+pub fn undocumented_block(p: *mut f32) {
+    unsafe {
+        *p = 2.0;
+    }
+}
+
+pub fn reconstruct_checked(ptr: *mut f32, n: usize, cap: usize) -> f32 {
+    assert!(n <= cap, "checkout bound");
+    // SAFETY: `n` is asserted within the checked-out capacity above.
+    let s = unsafe { std::slice::from_raw_parts_mut(ptr, n) };
+    s[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let mut x = 0.0f32;
+        unsafe { super::poke(&mut x) };
+    }
+}

@@ -10,8 +10,17 @@
 //! recompute is bit-deterministic, so a digest mismatch is always a
 //! genuine corruption (zero false positives), the weighted/plain sum
 //! ratio locates the flipped column, and the XOR delta restores the
-//! original bits exactly. Multi-cell corruption in one row exceeds the
-//! single-fault model and is surfaced as `unrecovered`.
+//! original bits exactly.
+//!
+//! A second, *column* digest axis turns single-axis localisation into 2D:
+//! the mismatched rows × mismatched columns form a suspect rectangle, and
+//! region faults that defeat the per-row single-flip model heal through
+//! the other axis — every cell of a corrupted row span is the only suspect
+//! in its column, so the column XOR delta restores it bit-exactly, and a
+//! full 2×2 rectangle is solved from the stored sum/weighted-sum pair with
+//! an exact re-digest gate. Corruption beyond the rectangle solvers is
+//! surfaced as `unrecovered`; every heal, from any path, is accepted only
+//! when the affected rows *and* columns re-digest to their stored bits.
 
 use crate::param::{Grads, HasParams, Param};
 use attn_tensor::{Matrix, OpGuard};
@@ -49,6 +58,49 @@ fn digest_row(row: &[f32]) -> RowDigest {
     }
 }
 
+/// Column digest of column `c`: the same (sum, weighted sum, xor) triple
+/// as [`digest_row`] but walked down the rows, weights by `(r+1)`.
+fn digest_col(mat: &Matrix, c: usize) -> RowDigest {
+    let mut sum = 0.0f64;
+    let mut wsum = 0.0f64;
+    let mut xor = 0u32;
+    for r in 0..mat.rows() {
+        let x = mat[(r, c)];
+        let xf = x as f64;
+        sum += xf;
+        wsum += (r + 1) as f64 * xf;
+        xor ^= x.to_bits();
+    }
+    RowDigest {
+        sum: sum.to_bits(),
+        wsum: wsum.to_bits(),
+        xor,
+    }
+}
+
+/// All column digests in one row-major sweep (cache-friendly capture).
+fn digest_cols(mat: &Matrix) -> Vec<RowDigest> {
+    let mut sum = vec![0.0f64; mat.cols()];
+    let mut wsum = vec![0.0f64; mat.cols()];
+    let mut xor = vec![0u32; mat.cols()];
+    for r in 0..mat.rows() {
+        let w = (r + 1) as f64;
+        for (c, &x) in mat.row(r).iter().enumerate() {
+            let xf = x as f64;
+            sum[c] += xf;
+            wsum[c] += w * xf;
+            xor[c] ^= x.to_bits();
+        }
+    }
+    (0..mat.cols())
+        .map(|c| RowDigest {
+            sum: sum[c].to_bits(),
+            wsum: wsum[c].to_bits(),
+            xor: xor[c],
+        })
+        .collect()
+}
+
 /// Restore candidate: flip column `j` of `row` by the XOR delta and keep
 /// it iff the row then re-digests to exactly `stored`.
 fn try_candidate(stored: &RowDigest, row: &mut [f32], j: usize, xor_delta: u32) -> bool {
@@ -84,18 +136,238 @@ fn try_heal_row(stored: &RowDigest, row: &mut [f32], live: &RowDigest) -> bool {
     (0..row.len()).any(|j| try_candidate(stored, row, j, xor_delta))
 }
 
-fn verify_moment(stored: &[RowDigest], mat: &mut Matrix, g: &OpGuard) {
-    for (r, expected) in stored.iter().enumerate().take(mat.rows()) {
-        g.record_external_check();
-        let live = digest_row(mat.row(r));
-        if live == *expected {
+/// Step `x` by `steps` ulps in value order (sign-magnitude bit space), the
+/// candidate ladder for the 2×2 rectangle solver's sum-channel seed.
+fn nudge_f32(x: f32, steps: i64) -> f32 {
+    let b = x.to_bits();
+    let key = if b & 0x8000_0000 != 0 {
+        -((b & 0x7fff_ffff) as i64)
+    } else {
+        b as i64
+    };
+    let k = key + steps;
+    let bits = if k < 0 {
+        0x8000_0000u32 | ((-k) as u32 & 0x7fff_ffff)
+    } else {
+        k as u32
+    };
+    f32::from_bits(bits)
+}
+
+/// Heal a full 2×2 suspect rectangle `{r0,r1} × {c0,c1}`.
+///
+/// The four XOR deltas have one 32-bit degree of freedom (row and column
+/// XORs share a parity constraint), so the sum channel breaks the tie:
+/// the stored (sum, weighted-sum) pair of row `r0`, minus the ordered
+/// partial sum over its *clean* cells, is a 2×2 linear system whose
+/// solution approximates the original value at `(r0, c0)` to well under
+/// an f32 ulp. Each candidate in a small ulp ladder around that seed
+/// determines all four deltas through the XOR equations; a candidate is
+/// adopted only when every affected row and column re-digests to its
+/// stored bits, so an off-by-ulps seed can only cost us the heal, never
+/// corrupt the moments.
+fn heal_2x2(stored: &MomentDigests, mat: &mut Matrix, rs: [usize; 2], cs: [usize; 2]) -> bool {
+    let [r0, r1] = rs;
+    let [c0, c1] = cs;
+    let x0 = stored.rows[r0].xor ^ digest_row(mat.row(r0)).xor;
+    let x1 = stored.rows[r1].xor ^ digest_row(mat.row(r1)).xor;
+    let y0 = stored.cols[c0].xor ^ digest_col(mat, c0).xor;
+    let y1 = stored.cols[c1].xor ^ digest_col(mat, c1).xor;
+    if x0 ^ x1 != y0 ^ y1 {
+        // Row and column XOR deltas disagree on the rectangle's parity:
+        // the corruption is not confined to these four cells.
+        return false;
+    }
+    // Ordered partial sums of row r0 over the clean (non-suspect) cells.
+    let mut s_known = 0.0f64;
+    let mut w_known = 0.0f64;
+    for (j, &x) in mat.row(r0).iter().enumerate() {
+        if j == c0 || j == c1 {
             continue;
         }
-        if try_heal_row(expected, mat.row_mut(r), &live) {
+        let xf = x as f64;
+        s_known += xf;
+        w_known += (j + 1) as f64 * xf;
+    }
+    let dsum = f64::from_bits(stored.rows[r0].sum) - s_known;
+    let dwsum = f64::from_bits(stored.rows[r0].wsum) - w_known;
+    if !dsum.is_finite() || !dwsum.is_finite() {
+        return false; // poisoned originals: the sum channel carries no seed
+    }
+    let wa = (c0 + 1) as f64;
+    let wb = (c1 + 1) as f64;
+    let ob = (dwsum - wa * dsum) / (wb - wa);
+    let seed = (dsum - ob) as f32;
+    // ±8 ulps is orders of magnitude beyond the solve's rounding error.
+    for step in 0..=16i64 {
+        let off = if step % 2 == 0 {
+            step / 2
+        } else {
+            -(step + 1) / 2
+        };
+        let cand = nudge_f32(seed, off);
+        let d00 = cand.to_bits() ^ mat[(r0, c0)].to_bits();
+        if d00 == 0 && x0 == 0 {
+            continue; // no-op candidate cannot explain a mismatched row
+        }
+        let d01 = x0 ^ d00;
+        let d10 = y0 ^ d00;
+        let d11 = x1 ^ d10;
+        for (r, c, d) in [(r0, c0, d00), (r0, c1, d01), (r1, c0, d10), (r1, c1, d11)] {
+            let v = mat[(r, c)];
+            mat[(r, c)] = f32::from_bits(v.to_bits() ^ d);
+        }
+        if digest_row(mat.row(r0)) == stored.rows[r0]
+            && digest_row(mat.row(r1)) == stored.rows[r1]
+            && digest_col(mat, c0) == stored.cols[c0]
+            && digest_col(mat, c1) == stored.cols[c1]
+        {
+            return true;
+        }
+        for (r, c, d) in [(r0, c0, d00), (r0, c1, d01), (r1, c0, d10), (r1, c1, d11)] {
+            let v = mat[(r, c)];
+            mat[(r, c)] = f32::from_bits(v.to_bits() ^ d);
+        }
+    }
+    false
+}
+
+/// 2D region heal over the suspect rectangle `bad_rows × bad_cols`.
+///
+/// Peeling pass first: any still-mismatched column intersecting exactly
+/// one mismatched row holds that row's only corruption in this column, so
+/// its column XOR delta restores the cell (and symmetrically for rows) —
+/// this alone covers every single-row region (burst, stuck row) and every
+/// L-shaped residue peeling exposes. What survives peeling as an exact
+/// 2×2 rectangle goes to [`heal_2x2`]. Returns `true` only when every
+/// suspect row and column re-digests to its stored bits.
+fn heal_region(
+    stored: &MomentDigests,
+    mat: &mut Matrix,
+    bad_rows: &[usize],
+    bad_cols: &[usize],
+) -> bool {
+    let budget = bad_rows.len() * bad_cols.len() + 2;
+    for _ in 0..budget {
+        let rs: Vec<usize> = bad_rows
+            .iter()
+            .copied()
+            .filter(|&r| digest_row(mat.row(r)) != stored.rows[r])
+            .collect();
+        let cs: Vec<usize> = bad_cols
+            .iter()
+            .copied()
+            .filter(|&c| digest_col(mat, c) != stored.cols[c])
+            .collect();
+        if rs.is_empty() && cs.is_empty() {
+            return true;
+        }
+        if rs.is_empty() || cs.is_empty() {
+            return false; // one axis clean, the other not: cancelling corruption
+        }
+        let mut progress = false;
+        for &c in &cs {
+            if rs.len() == 1 {
+                let r = rs[0];
+                let delta = stored.cols[c].xor ^ digest_col(mat, c).xor;
+                if delta != 0 {
+                    let v = mat[(r, c)];
+                    mat[(r, c)] = f32::from_bits(v.to_bits() ^ delta);
+                    progress = true;
+                }
+            }
+        }
+        if !progress && cs.len() == 1 {
+            let c = cs[0];
+            for &r in &rs {
+                let delta = stored.rows[r].xor ^ digest_row(mat.row(r)).xor;
+                if delta != 0 {
+                    let v = mat[(r, c)];
+                    mat[(r, c)] = f32::from_bits(v.to_bits() ^ delta);
+                    progress = true;
+                }
+            }
+        }
+        if progress {
+            continue;
+        }
+        if rs.len() == 2 && cs.len() == 2 {
+            return heal_2x2(stored, mat, [rs[0], rs[1]], [cs[0], cs[1]])
+                && bad_rows
+                    .iter()
+                    .all(|&r| digest_row(mat.row(r)) == stored.rows[r])
+                && bad_cols
+                    .iter()
+                    .all(|&c| digest_col(mat, c) == stored.cols[c]);
+        }
+        return false;
+    }
+    false
+}
+
+fn verify_moment(stored: &MomentDigests, mat: &mut Matrix, g: &OpGuard) {
+    let mut bad_rows: Vec<usize> = Vec::new();
+    for (r, expected) in stored.rows.iter().enumerate().take(mat.rows()) {
+        g.record_external_check();
+        if digest_row(mat.row(r)) != *expected {
+            bad_rows.push(r);
+        }
+    }
+    if bad_rows.is_empty() {
+        return;
+    }
+    // Single-flip fast path, row by row — the 0D fault model.
+    let mut region_rows: Vec<usize> = Vec::new();
+    for &r in &bad_rows {
+        let live = digest_row(mat.row(r));
+        if try_heal_row(&stored.rows[r], mat.row_mut(r), &live) {
             g.record_external_heal();
         } else {
+            region_rows.push(r);
+        }
+    }
+    if region_rows.is_empty() {
+        return;
+    }
+    // 2D path: intersect with the column axis and heal the rectangle.
+    let bad_cols: Vec<usize> = (0..mat.cols())
+        .filter(|&c| digest_col(mat, c) != stored.cols[c])
+        .collect();
+    let snapshot: Vec<(usize, Vec<f32>)> = region_rows
+        .iter()
+        .map(|&r| (r, mat.row(r).to_vec()))
+        .collect();
+    if !bad_cols.is_empty() && heal_region(stored, mat, &region_rows, &bad_cols) {
+        for _ in &region_rows {
+            g.record_external_heal();
+        }
+    } else {
+        for (r, row) in snapshot {
+            mat.row_mut(r).copy_from_slice(&row);
+        }
+        for _ in &region_rows {
             g.record_unrecovered();
         }
+    }
+}
+
+/// Both digest axes of one moment matrix: per-row and per-column triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MomentDigests {
+    rows: Vec<RowDigest>,
+    cols: Vec<RowDigest>,
+}
+
+impl MomentDigests {
+    fn capture(mat: &Matrix) -> Self {
+        Self {
+            rows: (0..mat.rows()).map(|r| digest_row(mat.row(r))).collect(),
+            cols: digest_cols(mat),
+        }
+    }
+
+    fn matches_shape(&self, mat: &Matrix) -> bool {
+        self.rows.len() == mat.rows() && self.cols.len() == mat.cols()
     }
 }
 
@@ -103,20 +375,20 @@ fn verify_moment(stored: &[RowDigest], mat: &mut Matrix, g: &OpGuard) {
 /// step and verified (and healed) before the next one consumes them.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MomentGuard {
-    m: Vec<RowDigest>,
-    v: Vec<RowDigest>,
+    m: MomentDigests,
+    v: MomentDigests,
 }
 
 impl MomentGuard {
     fn capture(p: &Param) -> Self {
         Self {
-            m: (0..p.m.rows()).map(|r| digest_row(p.m.row(r))).collect(),
-            v: (0..p.v.rows()).map(|r| digest_row(p.v.row(r))).collect(),
+            m: MomentDigests::capture(&p.m),
+            v: MomentDigests::capture(&p.v),
         }
     }
 
     fn verify_heal(&self, p: &mut Param, g: &OpGuard) {
-        if self.m.len() != p.m.rows() || self.v.len() != p.v.rows() {
+        if !self.m.matches_shape(&p.m) || !self.v.matches_shape(&p.v) {
             return; // stale guard after a shape change; re-captured below
         }
         verify_moment(&self.m, &mut p.m, g);
@@ -430,22 +702,87 @@ mod tests {
         assert_eq!(g.take_stats().checks, 0);
     }
 
+    /// Run the two-step checked flow twice — once clean, once with
+    /// `corrupt` applied to the first moment between the steps — and
+    /// return the guard stats plus both final states.
+    fn region_fault_flow(corrupt: impl FnOnce(&mut Matrix)) -> (One, One, attn_tensor::GuardStats) {
+        let mut clean = batch(&W0);
+        let mut faulty = batch(&W0);
+        let mut oc = AdamW::new(0.01);
+        let mut of = AdamW::new(0.01);
+        let gq = OpGuard::new(true, 5e-4);
+        clean.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+        oc.step_checked(&mut clean, &gq);
+        clean.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
+        oc.step_checked(&mut clean, &gq);
+        assert!(gq.take_stats().is_quiet());
+
+        let gf = OpGuard::new(true, 5e-4);
+        faulty.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
+        of.step_checked(&mut faulty, &gf);
+        corrupt(&mut faulty.p.m);
+        faulty.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
+        of.step_checked(&mut faulty, &gf);
+        (clean, faulty, gf.take_stats())
+    }
+
     #[test]
-    fn multi_cell_moment_corruption_is_unrecovered() {
-        let mut m = batch(&W0);
-        m.p.grad = Matrix::from_vec(2, 4, G1.to_vec());
-        let mut opt = AdamW::new(0.01);
-        let g = OpGuard::new(true, 5e-4);
-        opt.step_checked(&mut m, &g);
-        // Two distinct cells of one row: beyond the single-fault model.
-        m.p.m[(0, 0)] += 1.0;
-        m.p.m[(0, 3)] -= 2.0;
-        m.p.grad = Matrix::from_vec(2, 4, G2.to_vec());
-        opt.step_checked(&mut m, &g);
-        let s = g.take_stats();
+    fn multi_cell_row_region_heals_via_column_digests() {
+        // Two distinct cells of one row defeat the per-row single-flip
+        // model, but each sits alone in its column: the column XOR deltas
+        // restore both bit-exactly.
+        let (clean, faulty, s) = region_fault_flow(|m| {
+            m[(0, 0)] += 1.0;
+            m[(0, 3)] -= 2.0;
+        });
         assert_eq!(s.detections, 1);
+        assert_eq!(s.heals, 1);
+        assert_eq!(s.unrecovered, 0);
+        assert_eq!(
+            faulty.p.value, clean.p.value,
+            "healed step must be bit-identical"
+        );
+        assert_eq!(faulty.p.m, clean.p.m);
+        assert_eq!(faulty.p.v, clean.p.v);
+    }
+
+    #[test]
+    fn rectangular_2x2_region_heals_bit_exactly() {
+        // A full 2×2 rectangle — two cells in each of two rows, sharing
+        // columns — is underdetermined for XOR alone; the sum-channel seed
+        // plus the exact re-digest gate recovers all four cells.
+        let (clean, faulty, s) = region_fault_flow(|m| {
+            m[(0, 1)] = f32::INFINITY;
+            m[(0, 3)] += 0.75;
+            m[(1, 1)] = f32::NAN;
+            m[(1, 3)] *= -3.0;
+        });
+        assert_eq!(s.detections, 2, "both rows detected");
+        assert_eq!(s.heals, 2, "both rows healed through the 2D solver");
+        assert_eq!(s.unrecovered, 0);
+        assert_eq!(
+            faulty.p.value, clean.p.value,
+            "healed step must be bit-identical"
+        );
+        assert_eq!(faulty.p.m, clean.p.m);
+        assert_eq!(faulty.p.v, clean.p.v);
+    }
+
+    #[test]
+    fn region_beyond_2x2_is_unrecovered_and_reverted() {
+        // A 2×3 region exceeds the rectangle solvers; the guard must
+        // surface it instead of guessing, leaving the rows untouched.
+        let (_, faulty, s) = region_fault_flow(|m| {
+            for r in 0..2 {
+                for c in [0usize, 1, 3] {
+                    m[(r, c)] += (1 + r + c) as f32;
+                }
+            }
+        });
+        assert_eq!(s.detections, 2);
         assert_eq!(s.heals, 0);
-        assert_eq!(s.unrecovered, 1);
+        assert_eq!(s.unrecovered, 2);
+        assert!(faulty.p.m.all_finite());
     }
 
     #[test]

@@ -427,18 +427,20 @@ struct DstPtr {
     ldc: usize,
 }
 
-unsafe impl Send for DstPtr {}
-unsafe impl Sync for DstPtr {}
+unsafe impl Send for DstPtr {} // SAFETY: plain pointer+stride pair; every tile writes a disjoint region.
+unsafe impl Sync for DstPtr {} // SAFETY: fields are only read; the pointed-to writes are disjoint per tile.
 
 /// Raw staging cursor for per-block checksum partials (disjoint block
-/// slices per tile task).
+/// slices per tile task). `len` is the checked-out capacity in floats,
+/// asserted against before any block slice is reconstructed.
 #[derive(Clone, Copy)]
 struct StagePtr {
     ptr: *mut f32,
+    len: usize,
 }
 
-unsafe impl Send for StagePtr {}
-unsafe impl Sync for StagePtr {}
+unsafe impl Send for StagePtr {} // SAFETY: plain pointer+len pair; every block owns a disjoint slice.
+unsafe impl Sync for StagePtr {} // SAFETY: fields are only read; block slices never overlap across tiles.
 
 #[derive(Clone, Copy, PartialEq)]
 enum FuseKind {
@@ -508,6 +510,7 @@ fn gemm_driver<A: SrcRead, B: SrcRead>(
             .map_or(std::ptr::NonNull::<f32>::dangling().as_ptr(), |s| {
                 s.as_mut_slice().as_mut_ptr()
             }),
+        len: stage_blocks * 2 * k,
     };
 
     let tiles = n_ib * n_jb;
@@ -572,11 +575,19 @@ fn compute_tile<A: SrcRead, B: SrcRead>(
     // must be fed once, not once per column tile) — regions are disjoint
     // per block index, so the raw slice reconstruction is sound.
     let mut col_cs = (fuse == FuseKind::Cols && jb == 0).then(|| {
+        debug_assert!((ib + 1) * 2 * k <= stage.len);
+        // SAFETY: the staging checkout holds `stage.len` live floats and
+        // row block `ib` owns the disjoint `[ib·2k, (ib+1)·2k)` slice —
+        // only the `jb == 0` tile of each block row reconstructs it.
         let s = unsafe { std::slice::from_raw_parts_mut(stage.ptr.add(ib * 2 * k), 2 * k) };
         let (sum, wsum) = s.split_at_mut(k);
         ColCsAccum { sum, wsum }
     });
     let mut row_cs = (fuse == FuseKind::Rows && ib == 0).then(|| {
+        debug_assert!((jb + 1) * 2 * k <= stage.len);
+        // SAFETY: as above with the roles swapped — column block `jb`
+        // owns `[jb·2k, (jb+1)·2k)` and only the `ib == 0` tile of each
+        // block column reconstructs it.
         let s = unsafe { std::slice::from_raw_parts_mut(stage.ptr.add(jb * 2 * k), 2 * k) };
         let (sum, wsum) = s.split_at_mut(k);
         RowCsAccum { sum, wsum }
@@ -601,6 +612,9 @@ fn compute_tile<A: SrcRead, B: SrcRead>(
                 let apan = &ap[ipan * kc * MR..(ipan + 1) * kc * MR];
                 let mut acc = [[0.0f32; NR]; MR];
                 microkernel(apan, bpan, &mut acc);
+                // SAFETY: the 2D tile grid gives this task exclusive
+                // ownership of the `(i0.., j0..)` output region, and
+                // `mr`/`nr` are clipped to the tile edges above.
                 unsafe {
                     writeback_add(dst, i0 + ipan * MR, j0 + jp * NR, mr, nr, &acc);
                 }
@@ -637,6 +651,8 @@ fn microkernel(apan: &[f32], bpan: &[f32], acc: &mut [[f32; NR]; MR]) {
 /// The caller must guarantee the addressed region lies within the output
 /// buffer and is not written by any other concurrent tile (the 2D grid
 /// gives every tile a disjoint region).
+// SAFETY: per the contract above — callers pass tile-owned
+// `(i0, j0, mr, nr)` regions clipped to the output shape.
 unsafe fn writeback_add(
     dst: DstPtr,
     i0: usize,
@@ -645,6 +661,7 @@ unsafe fn writeback_add(
     nr: usize,
     acc: &[[f32; NR]; MR],
 ) {
+    debug_assert!(mr <= MR && nr <= NR);
     for (r, accr) in acc.iter().enumerate().take(mr) {
         let row = std::slice::from_raw_parts_mut(dst.ptr.add((i0 + r) * dst.ldc + j0), nr);
         for (cv, &v) in row.iter_mut().zip(&accr[..nr]) {
